@@ -1,0 +1,262 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec 5.3) plus the DESIGN.md ablations. Each benchmark prints its result
+// table once (so `go test -bench=. -benchmem` doubles as the reproduction
+// run) and reports ns/op for the full experiment at the benchmark scale.
+//
+// Benchmark scales are reduced from the paper's (50k-row populations instead
+// of 426k, fewer training epochs); the mosaic-bench CLI exposes flags for
+// full-scale runs. See EXPERIMENTS.md for recorded outputs.
+package mosaic_test
+
+import (
+	"sync"
+	"testing"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/swg"
+)
+
+// benchSpiral is the spiral configuration shared by Figure 5/6 benchmarks.
+func benchSpiral() bench.SpiralConfig {
+	return bench.SpiralConfig{
+		PopN: 20000, SampleN: 4000, Bias: 8, Bins: 32, Seed: 11,
+		SWG: swg.Config{
+			Hidden: []int{64, 64, 64}, Latent: 2, Lambda: 0.04,
+			BatchSize: 400, Projections: 32, Epochs: 15, StepsPerEpoch: 8,
+			LR: 0.002, Seed: 11,
+		},
+	}
+}
+
+func benchFlights() bench.FlightsConfig {
+	return bench.FlightsConfig{
+		PopN: 20000, SampleFrac: 0.05, BiasFrac: 0.95, OpenSamples: 5, Seed: 11,
+		SWG: swg.Config{
+			Hidden: []int{50, 50, 50}, Latent: 12, Lambda: 1e-6,
+			BatchSize: 250, Projections: 24, Epochs: 10, StepsPerEpoch: 4,
+			LR: 0.002, Seed: 11,
+		},
+	}
+}
+
+// Shared setups so the N figures amortize one training run each.
+var (
+	spiralOnce  sync.Once
+	spiralSetup *bench.SpiralSetup
+	spiralErr   error
+
+	flightsOnce  sync.Once
+	flightsSetup *bench.FlightsSetup
+	flightsErr   error
+)
+
+func getSpiral(b *testing.B) *bench.SpiralSetup {
+	b.Helper()
+	spiralOnce.Do(func() {
+		spiralSetup, spiralErr = bench.BuildSpiral(benchSpiral())
+	})
+	if spiralErr != nil {
+		b.Fatal(spiralErr)
+	}
+	return spiralSetup
+}
+
+func getFlights(b *testing.B) *bench.FlightsSetup {
+	b.Helper()
+	flightsOnce.Do(func() {
+		flightsSetup, flightsErr = bench.BuildFlights(benchFlights())
+	})
+	if flightsErr != nil {
+		b.Fatal(flightsErr)
+	}
+	return flightsSetup
+}
+
+// BenchmarkFigure5 regenerates Fig 5: biased spiral sample vs M-SWG sample
+// against the population (marginal W1 + shape preservation).
+func BenchmarkFigure5(b *testing.B) {
+	setup := getSpiral(b)
+	b.ResetTimer()
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure5From(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Fig 6: box plots of range-query percent
+// difference, Unif vs M-SWG, across box width coverages.
+func BenchmarkFigure6(b *testing.B) {
+	setup := getSpiral(b)
+	cfg := bench.Fig6Config{Spiral: setup.Cfg, Queries: 100, Replicates: 10}
+	b.ResetTimer()
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure6From(setup, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkFigure7Left regenerates Fig 7's left panel: continuous queries
+// 1–4, Unif vs IPF vs M-SWG.
+func BenchmarkFigure7Left(b *testing.B) {
+	setup := getFlights(b)
+	b.ResetTimer()
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure7From(setup, bench.FlightQueries[:4])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkFigure7Right regenerates Fig 7's right panel: categorical GROUP
+// BY queries 5–8.
+func BenchmarkFigure7Right(b *testing.B) {
+	setup := getFlights(b)
+	b.ResetTimer()
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure7From(setup, bench.FlightQueries[4:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkVisibilityTable regenerates the Sec 3.3 FN/FP trade-off table.
+func BenchmarkVisibilityTable(b *testing.B) {
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunVisibility(bench.VisibilityConfig{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkRandomQuerySweep regenerates the 200-random-query model-selection
+// sweep (Sec 5.3's "all of our M-SWG models achieve a lower query error than
+// Unif" claim).
+func BenchmarkRandomQuerySweep(b *testing.B) {
+	setup := getFlights(b)
+	b.ResetTimer()
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.SweepFrom(setup, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkAblationLambda sweeps the λ trade-off (A1).
+func BenchmarkAblationLambda(b *testing.B) {
+	cfg := benchSpiral()
+	cfg.SWG.Epochs = 8
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationLambda(cfg, []float64{0.004, 0.04, 0.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkAblationProjections sweeps the sliced-W1 projection count (A2).
+func BenchmarkAblationProjections(b *testing.B) {
+	cfg := benchSpiral()
+	cfg.SWG.Epochs = 8
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationProjections(cfg, []int{4, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkAblationMechanism compares known-mechanism HT weighting against
+// IPF (A3, the two SEMI-OPEN subcases of Sec 4.1).
+func BenchmarkAblationMechanism(b *testing.B) {
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationMechanism(bench.FlightsConfig{PopN: 30000, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkAblationMarginalScope compares Fig 3's query-population vs
+// global-population marginal paths (A4).
+func BenchmarkAblationMarginalScope(b *testing.B) {
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationMarginalScope(benchFlights())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// BenchmarkAblationBayesVsSWG compares the explicit Bayesian-network model
+// against the implicit M-SWG on COUNT queries (A5, Sec 4.2's discussion).
+func BenchmarkAblationBayesVsSWG(b *testing.B) {
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationBayesVsSWG(benchFlights())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}

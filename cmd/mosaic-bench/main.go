@@ -1,0 +1,113 @@
+// Command mosaic-bench regenerates the paper's evaluation tables and
+// figures at configurable scale.
+//
+// Usage:
+//
+//	mosaic-bench -exp fig5|fig6|fig7|visibility|sweep|lambda|projections|
+//	             mechanism|scope|bayes|tables|all
+//	             [-pop N] [-sample N] [-epochs N] [-projections N] [-seed N]
+//
+// The default scales are laptop-sized; raise -pop/-epochs/-projections to
+// approach the paper's settings (426k rows, 80 epochs, p=1000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/dataset"
+	"mosaic/internal/swg"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, all)")
+	popN := flag.Int("pop", 50000, "population rows")
+	sampleN := flag.Int("sample", 10000, "spiral sample rows")
+	epochs := flag.Int("epochs", 25, "M-SWG training epochs")
+	projections := flag.Int("projections", 64, "sliced-W1 projections per ≥2-D marginal")
+	workers := flag.Int("workers", 4, "parallel loss workers for M-SWG training")
+	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	spiral := bench.SpiralConfig{
+		PopN: *popN, SampleN: *sampleN, Seed: *seed,
+		SWG: swg.Config{
+			Hidden: []int{100, 100, 100}, Latent: 2, Lambda: 0.04,
+			BatchSize: 500, Projections: *projections, Epochs: *epochs,
+			Workers: *workers, Seed: *seed,
+		},
+	}
+	flights := bench.FlightsConfig{
+		PopN: *popN, OpenSamples: *openSamples, Seed: *seed,
+		SWG: swg.Config{
+			Hidden: []int{50, 50, 50, 50, 50}, Latent: 18, Lambda: 1e-7,
+			BatchSize: 500, Projections: *projections, Epochs: *epochs,
+			Workers: *workers, Seed: *seed,
+		},
+	}
+
+	runs := map[string]func() (fmt.Stringer, error){
+		"fig5": func() (fmt.Stringer, error) { return bench.RunFigure5(spiral) },
+		"fig6": func() (fmt.Stringer, error) {
+			return bench.RunFigure6(bench.Fig6Config{Spiral: spiral})
+		},
+		"fig7": func() (fmt.Stringer, error) { return bench.RunFigure7(flights) },
+		"visibility": func() (fmt.Stringer, error) {
+			return bench.RunVisibility(bench.VisibilityConfig{Seed: *seed})
+		},
+		"sweep": func() (fmt.Stringer, error) {
+			return bench.RunSweep(bench.SweepConfig{Flights: flights, Queries: 200})
+		},
+		"lambda": func() (fmt.Stringer, error) { return bench.RunAblationLambda(spiral, nil) },
+		"projections": func() (fmt.Stringer, error) {
+			return bench.RunAblationProjections(spiral, nil)
+		},
+		"mechanism": func() (fmt.Stringer, error) { return bench.RunAblationMechanism(flights) },
+		"scope":     func() (fmt.Stringer, error) { return bench.RunAblationMarginalScope(flights) },
+		"bayes":     func() (fmt.Stringer, error) { return bench.RunAblationBayesVsSWG(flights) },
+		"tables":    func() (fmt.Stringer, error) { return tables{}, nil },
+	}
+	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
+		"lambda", "projections", "mechanism", "scope", "bayes"}
+
+	selected := []string{*exp}
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		run, ok := runs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mosaic-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mosaic-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n\n", name, time.Since(start).Seconds(), res)
+	}
+}
+
+// tables prints the static Table 1 / Table 2 inventories.
+type tables struct{}
+
+func (tables) String() string {
+	out := "Table 1 — flights attributes (name, abbrev, encoded dims)\n"
+	dims := map[string]int{"carrier": len(dataset.Carriers), "taxi_out": 1, "taxi_in": 1, "elapsed_time": 1, "distance": 1}
+	abbrevs := map[string]string{"carrier": "C", "taxi_out": "O", "taxi_in": "I", "elapsed_time": "E", "distance": "D"}
+	for i := 0; i < dataset.FlightsSchema.Len(); i++ {
+		name := dataset.FlightsSchema.At(i).Name
+		out += fmt.Sprintf("  %-14s %-3s %d\n", name, abbrevs[name], dims[name])
+	}
+	out += "\nTable 2 — evaluation queries\n"
+	for _, q := range bench.FlightQueries {
+		out += fmt.Sprintf("  %d  %s\n", q.ID, q.SQL)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Command mosaic is an interactive shell and script runner for the Mosaic
+// open-world database.
+//
+// Usage:
+//
+//	mosaic [-seed N] [-open-samples N] [file.sql ...]
+//
+// With file arguments, each script executes in order against one shared
+// database and SELECT results print to stdout. Without arguments, mosaic
+// reads statements from stdin (terminated by ';'), REPL-style.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mosaic"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
+	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
+	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
+	flag.Parse()
+
+	db := mosaic.Open(&mosaic.Options{
+		Seed:        *seed,
+		OpenSamples: *openSamples,
+		SWG:         mosaic.SWGConfig{Epochs: *epochs},
+	})
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fatalf("mosaic: %v", err)
+			}
+			if err := runScript(db, string(src)); err != nil {
+				fatalf("mosaic: %s: %v", path, err)
+			}
+		}
+		return
+	}
+	repl(db)
+}
+
+func runScript(db *mosaic.DB, src string) error {
+	results, err := db.Run(src)
+	for _, res := range results {
+		if res != nil {
+			fmt.Println(res.String())
+			fmt.Println()
+		}
+	}
+	return err
+}
+
+func repl(db *mosaic.DB) {
+	fmt.Println("Mosaic — open world query processing. Statements end with ';'. Ctrl-D exits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "mosaic> "
+	fmt.Print(prompt)
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			if err := runScript(db, buf.String()); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			buf.Reset()
+			fmt.Print(prompt)
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	if buf.Len() > 0 {
+		if err := runScript(db, buf.String()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	fmt.Println()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mosaic"
+)
+
+func TestRunScriptExecutesAndPrints(t *testing.T) {
+	db := mosaic.Open(nil)
+	// Results print to stdout; capture is unnecessary — we assert behaviour
+	// through the database state and the returned error.
+	err := runScript(db, `
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1), (2), (3);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Scalar("SELECT COUNT(*) FROM t")
+	if err != nil || got != 3 {
+		t.Errorf("COUNT after script = %g, %v", got, err)
+	}
+	if err := runScript(db, "SELECT broken FROM"); err == nil {
+		t.Error("parse error should propagate")
+	}
+}
+
+func TestRunScriptPartialFailureKeepsEarlierStatements(t *testing.T) {
+	db := mosaic.Open(nil)
+	err := runScript(db, `
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES ('not an int');
+	`)
+	if err == nil {
+		t.Fatal("type error should propagate")
+	}
+	// The CREATE TABLE before the failure persists (no transactionality —
+	// documented behaviour for the shell).
+	if _, err := db.Table("t"); err != nil {
+		t.Errorf("earlier statement should have applied: %v", err)
+	}
+}
+
+func TestScriptFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.sql")
+	script := "CREATE TABLE t (a INT);\nINSERT INTO t VALUES (7);\nSELECT a FROM t;\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := mosaic.Open(nil)
+	if err := runScript(db, string(src)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package mosaic_test
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+// Example demonstrates the core open-world workflow: declare a population,
+// attach census-style marginals, ingest a biased sample, and query at
+// different visibilities. The sample holds only Yahoo users, yet SEMI-OPEN
+// reweighting recovers the full population count from the metadata.
+func Example() {
+	db := mosaic.Open(nil)
+
+	err := db.Exec(`
+		CREATE TABLE Census (country TEXT, n INT);
+		CREATE GLOBAL POPULATION People (country TEXT, email TEXT);
+		CREATE SAMPLE YahooUsers AS (SELECT * FROM People WHERE email = 'Yahoo');
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("Census", [][]any{{"UK", 600}, {"FR", 400}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(`CREATE METADATA People_M1 AS (SELECT country, n FROM Census)`); err != nil {
+		log.Fatal(err)
+	}
+	// The biased sample: twice as many UK Yahoo users as French ones.
+	if err := db.Ingest("YahooUsers", [][]any{
+		{"UK", "Yahoo"}, {"UK", "Yahoo"}, {"UK", "Yahoo"}, {"UK", "Yahoo"},
+		{"FR", "Yahoo"}, {"FR", "Yahoo"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	closed, err := db.Scalar(`SELECT CLOSED COUNT(*) FROM People`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	semiOpen, err := db.Scalar(`SELECT SEMI-OPEN COUNT(*) FROM People`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CLOSED COUNT(*)    = %.0f (just the sample)\n", closed)
+	fmt.Printf("SEMI-OPEN COUNT(*) = %.0f (IPF against the census)\n", semiOpen)
+
+	res, err := db.Query(`SELECT SEMI-OPEN country, COUNT(*) FROM People GROUP BY country ORDER BY country`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		c, _ := row[1].Float64()
+		fmt.Printf("%s: %.0f\n", row[0].AsText(), c)
+	}
+	// Output:
+	// CLOSED COUNT(*)    = 6 (just the sample)
+	// SEMI-OPEN COUNT(*) = 1000 (IPF against the census)
+	// FR: 400
+	// UK: 600
+}

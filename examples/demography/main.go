@@ -1,0 +1,110 @@
+// Demography demonstrates the SEMI-OPEN workflow the paper's Sec 6 calls
+// out as Mosaic's prime use case: social-science survey reweighting. A
+// survey sample over-represents one stratum; census marginals (age band ×
+// region) calibrate it via IPF, and a known-mechanism variant shows
+// Horvitz–Thompson weighting for comparison.
+//
+// Run with:
+//
+//	go run ./examples/demography
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mosaic"
+)
+
+func main() {
+	db := mosaic.Open(&mosaic.Options{Seed: 9})
+
+	must(db.Exec(`
+		CREATE TABLE Census (age_band TEXT, region TEXT, n INT);
+		CREATE GLOBAL POPULATION Residents (age_band TEXT, region TEXT, income FLOAT);
+		CREATE SAMPLE Survey AS (SELECT * FROM Residents);
+	`))
+
+	// Census ground truth: age-band and region marginals of a synthetic
+	// 100k-person region.
+	type cell struct {
+		age, region string
+		n           int
+	}
+	truth := []cell{
+		{"18-34", "urban", 22000}, {"18-34", "rural", 8000},
+		{"35-54", "urban", 20000}, {"35-54", "rural", 12000},
+		{"55+", "urban", 15000}, {"55+", "rural", 23000},
+	}
+	var censusRows [][]any
+	for _, c := range truth {
+		censusRows = append(censusRows, []any{c.age, c.region, c.n})
+	}
+	must(db.Ingest("Census", censusRows))
+	must(db.Exec(`
+		CREATE METADATA Residents_Age AS (SELECT age_band, SUM(n) FROM Census GROUP BY age_band);
+		CREATE METADATA Residents_Region AS (SELECT region, SUM(n) FROM Census GROUP BY region);
+	`))
+
+	// The survey: an online panel that badly over-represents young urban
+	// respondents. Incomes differ by stratum, so the raw mean is biased.
+	rng := rand.New(rand.NewSource(4))
+	meanIncome := map[string]float64{
+		"18-34|urban": 42000, "18-34|rural": 35000,
+		"35-54|urban": 61000, "35-54|rural": 48000,
+		"55+|urban": 52000, "55+|rural": 39000,
+	}
+	panelShare := map[string]float64{ // sampling rates per stratum:
+		// the panel massively over-represents affluent urban professionals.
+		"18-34|urban": 0.012, "18-34|rural": 0.002,
+		"35-54|urban": 0.040, "35-54|rural": 0.002,
+		"55+|urban": 0.003, "55+|rural": 0.001,
+	}
+	var survey [][]any
+	var trueTotalIncome, trueN float64
+	for _, c := range truth {
+		key := c.age + "|" + c.region
+		trueTotalIncome += meanIncome[key] * float64(c.n)
+		trueN += float64(c.n)
+		for i := 0; i < c.n; i++ {
+			if rng.Float64() < panelShare[key] {
+				income := meanIncome[key] * (0.6 + 0.8*rng.Float64())
+				survey = append(survey, []any{c.age, c.region, income})
+			}
+		}
+	}
+	must(db.Ingest("Survey", survey))
+	trueMean := trueTotalIncome / trueN
+
+	fmt.Printf("population 100000; survey panel %d respondents\n", len(survey))
+	fmt.Printf("true mean income: %.0f\n\n", trueMean)
+
+	raw, err := db.Scalar(`SELECT CLOSED AVG(income) FROM Residents`)
+	must(err)
+	fmt.Printf("CLOSED    AVG(income) = %.0f  (raw panel — biased %+.1f%%)\n",
+		raw, 100*(raw-trueMean)/trueMean)
+
+	ipf, err := db.Scalar(`SELECT SEMI-OPEN AVG(income) FROM Residents`)
+	must(err)
+	fmt.Printf("SEMI-OPEN AVG(income) = %.0f  (IPF against census marginals — %+.1f%%)\n",
+		ipf, 100*(ipf-trueMean)/trueMean)
+
+	count, err := db.Scalar(`SELECT SEMI-OPEN COUNT(*) FROM Residents`)
+	must(err)
+	fmt.Printf("SEMI-OPEN COUNT(*)    = %.0f  (population size recovered from marginals)\n\n", count)
+
+	// Per-region calibrated means.
+	res, err := db.Query(`
+		SELECT SEMI-OPEN region, COUNT(*), AVG(income)
+		FROM Residents GROUP BY region ORDER BY region`)
+	must(err)
+	fmt.Println("calibrated per-region estimates:")
+	fmt.Println(res)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/stats"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+var sc = schema.MustNew(
+	schema.Attribute{Name: "c", Kind: value.KindText},
+	schema.Attribute{Name: "x", Kind: value.KindFloat},
+	schema.Attribute{Name: "y", Kind: value.KindFloat},
+)
+
+// correlatedData builds a sample where y ≈ 2x (strong dependence) and c is
+// independent noise: the Chow–Liu tree must connect x—y.
+func correlatedData(t *testing.T, n int, seed int64) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New("s", sc)
+	labels := []string{"p", "q"}
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		y := 2*x + rng.NormFloat64()*0.3
+		c := labels[rng.Intn(2)]
+		if err := tbl.Append([]value.Value{value.Text(c), value.Float(x), value.Float(y)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestLearnBuildsTree(t *testing.T) {
+	tbl := correlatedData(t, 3000, 1)
+	net, err := Learn(tbl, Options{Bins: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := net.Parent()
+	if len(par) != 3 {
+		t.Fatalf("parent vector = %v", par)
+	}
+	roots := 0
+	for _, p := range par {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("tree must have exactly one root: %v", par)
+	}
+	// x (index 1) and y (index 2) must be adjacent: one is the other's
+	// parent, directly or through the root chain of length 1.
+	adjacent := par[1] == 2 || par[2] == 1
+	if !adjacent {
+		t.Errorf("x and y not adjacent in tree: parents=%v (dependence missed)", par)
+	}
+	if net.Total() != 3000 {
+		t.Errorf("Total = %g", net.Total())
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	empty := table.New("s", sc)
+	if _, err := Learn(empty, Options{}); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestSamplePreservesMarginal(t *testing.T) {
+	tbl := correlatedData(t, 4000, 2)
+	net, err := Learn(tbl, Options{Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	gen, err := net.Sample("g", 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Len() != 4000 {
+		t.Fatalf("generated %d", gen.Len())
+	}
+	// Mean of x in generated data ≈ mean in training data (bin midpoints
+	// introduce at most half a bin width of bias).
+	xs, _ := tbl.FloatColumn("x")
+	gs, _ := gen.FloatColumn("x")
+	if d := math.Abs(stats.Mean(xs) - stats.Mean(gs)); d > 0.6 {
+		t.Errorf("generated mean off by %g", d)
+	}
+}
+
+func TestSamplePreservesDependence(t *testing.T) {
+	tbl := correlatedData(t, 4000, 4)
+	net, err := Learn(tbl, Options{Bins: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	gen, err := net.Sample("g", 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(tb *table.Table) float64 {
+		xs, _ := tb.FloatColumn("x")
+		ys, _ := tb.FloatColumn("y")
+		mx, my := stats.Mean(xs), stats.Mean(ys)
+		var cov, vx, vy float64
+		for i := range xs {
+			cov += (xs[i] - mx) * (ys[i] - my)
+			vx += (xs[i] - mx) * (xs[i] - mx)
+			vy += (ys[i] - my) * (ys[i] - my)
+		}
+		return cov / math.Sqrt(vx*vy)
+	}
+	if got := corr(gen); got < 0.8 {
+		t.Errorf("generated corr(x,y) = %.3f; tree lost the dependence", got)
+	}
+}
+
+func TestEstimateProb(t *testing.T) {
+	tbl := correlatedData(t, 3000, 6)
+	net, err := Learn(tbl, Options{Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth: P(x > 5) ≈ 0.5 on Uniform(0,10).
+	xi, _ := sc.Index("x")
+	rng := rand.New(rand.NewSource(7))
+	p, err := net.EstimateProb(func(row []value.Value) (bool, error) {
+		return row[xi].AsFloat() > 5, nil
+	}, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 0.06 {
+		t.Errorf("P(x>5) = %.3f, want ≈0.5", p)
+	}
+}
+
+func TestWeightedLearning(t *testing.T) {
+	// Doubling a region's weights must shift the learned marginal.
+	rng := rand.New(rand.NewSource(8))
+	tbl := table.New("s", sc)
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 10
+		w := 1.0
+		if x > 5 {
+			w = 4 // upweight the upper half
+		}
+		if err := tbl.AppendWeighted([]value.Value{
+			value.Text("p"), value.Float(x), value.Float(x),
+		}, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := Learn(tbl, Options{Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, _ := sc.Index("x")
+	p, err := net.EstimateProb(func(row []value.Value) (bool, error) {
+		return row[xi].AsFloat() > 5, nil
+	}, 20000, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mass above 5 is 4/(4+1) = 0.8.
+	if math.Abs(p-0.8) > 0.06 {
+		t.Errorf("weighted P(x>5) = %.3f, want ≈0.8", p)
+	}
+}
+
+func TestCategoricalOnlyNetwork(t *testing.T) {
+	cs := schema.MustNew(
+		schema.Attribute{Name: "a", Kind: value.KindText},
+		schema.Attribute{Name: "b", Kind: value.KindBool},
+	)
+	tbl := table.New("s", cs)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		a := "x"
+		if rng.Float64() < 0.3 {
+			a = "y"
+		}
+		// b depends on a.
+		b := a == "x"
+		if rng.Float64() < 0.1 {
+			b = !b
+		}
+		if err := tbl.Append([]value.Value{value.Text(a), value.Bool(b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := Learn(tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := net.Sample("g", 1000, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generated (a=x, b=true) co-occurrence must dominate (a=x, b=false).
+	var xTrue, xFalse float64
+	gen.Scan(func(row []value.Value, _ float64) bool {
+		if row[0].AsText() == "x" {
+			if row[1].AsBool() {
+				xTrue++
+			} else {
+				xFalse++
+			}
+		}
+		return true
+	})
+	if xTrue <= xFalse {
+		t.Errorf("dependence lost: x&true=%g x&false=%g", xTrue, xFalse)
+	}
+}

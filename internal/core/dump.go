@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mosaic/internal/catalog"
+	"mosaic/internal/schema"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// DumpScript serializes the whole database as a Mosaic SQL script that
+// recreates it when executed against an empty engine: auxiliary tables with
+// their rows, the global population, derived populations, metadata (via
+// temporary staging tables, with bin widths), samples with their rows, and
+// per-tuple weights that differ from 1.
+//
+// Known limitations, noted as comments in the output: mechanisms other than
+// UNIFORM cannot be expressed in SQL (stratified probabilities and
+// predicate-biased designs are Go-API objects), so those samples dump as
+// mechanism-less.
+func (e *Engine) DumpScript() (string, error) {
+	var b strings.Builder
+	b.WriteString("-- Mosaic dump; replay with mosaic.DB.Exec or cmd/mosaic.\n")
+
+	// Auxiliary tables (sorted for determinism).
+	names := e.auxTableNames()
+	for _, n := range names {
+		t, _ := e.cat.Table(n)
+		fmt.Fprintf(&b, "CREATE TABLE %s %s;\n", n, schemaDDL(t.Schema()))
+		dumpRows(&b, n, t, nil)
+	}
+
+	// Populations: the GP first, then derived ones.
+	gp, hasGP := e.cat.GlobalPopulation()
+	if hasGP {
+		fmt.Fprintf(&b, "CREATE GLOBAL POPULATION %s %s;\n", gp.Name, schemaDDL(gp.Schema))
+		for _, p := range e.derivedPopulations() {
+			fmt.Fprintf(&b, "CREATE POPULATION %s AS (SELECT %s FROM %s",
+				p.Name, strings.Join(p.Schema.Names(), ", "), p.From)
+			if p.Where != nil {
+				fmt.Fprintf(&b, " WHERE %s", p.Where)
+			}
+			b.WriteString(");\n")
+		}
+		// Metadata for every population, via staging tables.
+		pops := append([]*catalog.Population{gp}, e.derivedPopulations()...)
+		for _, p := range pops {
+			for _, m := range p.MarginalList() {
+				staging := "__meta_" + sanitize(m.Name)
+				cols := make([]string, len(m.Attrs))
+				for i, a := range m.Attrs {
+					k, err := p.Schema.Kind(a)
+					if err != nil {
+						return "", err
+					}
+					// Binned numeric cells hold midpoints, which may be
+					// fractional even for INT attributes.
+					if m.BinWidth(i) > 0 && k == value.KindInt {
+						k = value.KindFloat
+					}
+					cols[i] = fmt.Sprintf("%s %s", a, k)
+				}
+				fmt.Fprintf(&b, "CREATE TEMPORARY TABLE %s (%s, mcount FLOAT);\n",
+					staging, strings.Join(cols, ", "))
+				var lines []string
+				for _, c := range m.SortedCells() {
+					vals := make([]string, 0, len(c.Vals)+1)
+					for _, v := range c.Vals {
+						vals = append(vals, v.String())
+					}
+					vals = append(vals, fmt.Sprintf("%g", c.Count))
+					lines = append(lines, "("+strings.Join(vals, ", ")+")")
+				}
+				if len(lines) > 0 {
+					fmt.Fprintf(&b, "INSERT INTO %s VALUES %s;\n", staging, strings.Join(lines, ", "))
+				}
+				fmt.Fprintf(&b, "CREATE METADATA %s FOR %s", m.Name, p.Name)
+				var bins []string
+				for i, a := range m.Attrs {
+					if w := m.BinWidth(i); w > 0 {
+						bins = append(bins, fmt.Sprintf("%s %g", a, w))
+					}
+				}
+				if len(bins) > 0 {
+					fmt.Fprintf(&b, " WITH BINS (%s)", strings.Join(bins, ", "))
+				}
+				fmt.Fprintf(&b, " AS (SELECT %s, mcount FROM %s);\n",
+					strings.Join(m.Attrs, ", "), staging)
+				fmt.Fprintf(&b, "DROP TABLE %s;\n", staging)
+			}
+		}
+	}
+
+	// Samples.
+	for _, s := range e.sortedSamples() {
+		fmt.Fprintf(&b, "CREATE SAMPLE %s %s AS (SELECT %s FROM %s",
+			s.Name, schemaDDL(s.Table.Schema()),
+			strings.Join(s.Table.Schema().Names(), ", "), s.From)
+		if s.Where != nil {
+			fmt.Fprintf(&b, " WHERE %s", s.Where)
+		}
+		if s.Mechanism != nil {
+			if mn := s.Mechanism.Name(); strings.HasPrefix(mn, "UNIFORM PERCENT ") {
+				fmt.Fprintf(&b, " USING MECHANISM %s", mn)
+				b.WriteString(");\n")
+			} else {
+				fmt.Fprintf(&b, "); -- mechanism %q is not expressible in SQL; restore via SetMechanism\n", mn)
+			}
+		} else {
+			b.WriteString(");\n")
+		}
+		dumpRows(&b, s.Name, s.Table, s.InitialWeights)
+	}
+	return b.String(), nil
+}
+
+func (e *Engine) auxTableNames() []string {
+	var names []string
+	// The catalog has no listing API for tables by design; rebuild the list
+	// through Resolve by tracking registrations would be invasive, so the
+	// catalog exposes AllTables below.
+	for _, t := range e.cat.AllTables() {
+		names = append(names, t.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *Engine) derivedPopulations() []*catalog.Population {
+	var out []*catalog.Population
+	for _, p := range e.cat.AllPopulations() {
+		if !p.Global {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (e *Engine) sortedSamples() []*catalog.Sample {
+	out := e.cat.AllSamples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func schemaDDL(s *schema.Schema) string {
+	parts := make([]string, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		a := s.At(i)
+		parts[i] = fmt.Sprintf("%s %s", a.Name, a.Kind)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// dumpRows emits INSERT statements in batches, followed by per-weight
+// UPDATE SAMPLE statements for non-unit initial weights (grouped by weight
+// value and matched by full-tuple predicates).
+func dumpRows(b *strings.Builder, name string, t *table.Table, seedWeights []float64) {
+	const batch = 500
+	var lines []string
+	flush := func() {
+		if len(lines) == 0 {
+			return
+		}
+		fmt.Fprintf(b, "INSERT INTO %s VALUES %s;\n", name, strings.Join(lines, ", "))
+		lines = lines[:0]
+	}
+	t.Scan(func(row []value.Value, _ float64) bool {
+		vals := make([]string, len(row))
+		for i, v := range row {
+			vals[i] = v.String()
+		}
+		lines = append(lines, "("+strings.Join(vals, ", ")+")")
+		if len(lines) >= batch {
+			flush()
+		}
+		return true
+	})
+	flush()
+	if seedWeights == nil {
+		return
+	}
+	// Group rows by weight; emit one UPDATE per distinct non-unit weight
+	// with a disjunction of full-tuple matches. Rows with identical tuples
+	// share a weight under this scheme — acceptable for dump fidelity since
+	// identical tuples are statistically exchangeable.
+	byWeight := map[float64][]string{}
+	var order []float64
+	i := 0
+	sc := t.Schema()
+	t.Scan(func(row []value.Value, _ float64) bool {
+		w := seedWeights[i]
+		i++
+		if w == 1 {
+			return true
+		}
+		var conj []string
+		for ci, v := range row {
+			if v.IsNull() {
+				conj = append(conj, fmt.Sprintf("%s IS NULL", sc.At(ci).Name))
+			} else {
+				conj = append(conj, fmt.Sprintf("%s = %s", sc.At(ci).Name, v))
+			}
+		}
+		pred := "(" + strings.Join(conj, " AND ") + ")"
+		if _, ok := byWeight[w]; !ok {
+			order = append(order, w)
+		}
+		byWeight[w] = append(byWeight[w], pred)
+		return true
+	})
+	for _, w := range order {
+		preds := dedupStrings(byWeight[w])
+		fmt.Fprintf(b, "UPDATE SAMPLE %s SET WEIGHT = %g WHERE %s;\n",
+			name, w, strings.Join(preds, " OR "))
+	}
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

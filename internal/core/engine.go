@@ -1,0 +1,483 @@
+// Package core is Mosaic's open-world engine: it owns the catalog, executes
+// the Mosaic SQL dialect, and routes population queries through the three
+// visibility paths of the paper — CLOSED (samples as-is), SEMI-OPEN
+// (mechanism or IPF reweighting), and OPEN (M-SWG tuple generation).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"mosaic/internal/catalog"
+	"mosaic/internal/exec"
+	"mosaic/internal/expr"
+	"mosaic/internal/ipf"
+	"mosaic/internal/marginal"
+	"mosaic/internal/mechanism"
+	"mosaic/internal/schema"
+	"mosaic/internal/sql"
+	"mosaic/internal/swg"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Seed drives all engine randomness (model training, generation).
+	// Default 1.
+	Seed int64
+	// OpenSamples is the number of generated samples averaged per OPEN query
+	// (the paper generates 10, Sec 5.3). Default 10.
+	OpenSamples int
+	// GeneratedRows is the size of each generated sample; 0 means the size
+	// of the source sample (the paper's protocol).
+	GeneratedRows int
+	// UnionSamples enables the Sec 7 "Multiple Samples" extension: instead
+	// of answering from one optimal sample, all schema-covering samples of
+	// the population are unioned and reweighted together.
+	UnionSamples bool
+	// IPF tunes the SEMI-OPEN fit.
+	IPF ipf.Options
+	// SWG is the base M-SWG configuration for OPEN queries; the engine
+	// derives a per-model seed from Seed.
+	SWG swg.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.OpenSamples <= 0 {
+		o.OpenSamples = 10
+	}
+	return o
+}
+
+// Engine executes Mosaic statements.
+type Engine struct {
+	cat  *catalog.Catalog
+	opts Options
+
+	mu     sync.Mutex
+	models map[string]*swg.Model // key: sample|population
+}
+
+// NewEngine creates an engine with an empty catalog.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		cat:    catalog.New(),
+		opts:   opts.withDefaults(),
+		models: make(map[string]*swg.Model),
+	}
+}
+
+// Catalog exposes the engine's catalog (for ingestion APIs and tests).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opts }
+
+// ExecScript parses and executes a semicolon-separated script, returning the
+// result of each statement (nil for DDL/DML).
+func (e *Engine) ExecScript(src string) ([]*exec.Result, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*exec.Result, 0, len(stmts))
+	for i, st := range stmts {
+		res, err := e.Exec(st)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Exec executes one parsed statement.
+func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
+	switch s := st.(type) {
+	case *sql.Select:
+		return e.Query(s)
+	case *sql.CreateTable:
+		return nil, e.execCreateTable(s)
+	case *sql.CreatePopulation:
+		return nil, e.execCreatePopulation(s)
+	case *sql.CreateSample:
+		return nil, e.execCreateSample(s)
+	case *sql.CreateMetadata:
+		return nil, e.execCreateMetadata(s)
+	case *sql.Insert:
+		return nil, e.execInsert(s)
+	case *sql.UpdateWeights:
+		return nil, e.execUpdateWeights(s)
+	case *sql.Drop:
+		e.invalidateModels()
+		return nil, e.cat.Drop(s.Kind, s.Name)
+	case *sql.Explain:
+		return e.Explain(s.Query)
+	case *sql.Copy:
+		return nil, e.execCopy(s)
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", st)
+	}
+}
+
+func (e *Engine) invalidateModels() {
+	e.mu.Lock()
+	e.models = make(map[string]*swg.Model)
+	e.mu.Unlock()
+}
+
+// sourceTable resolves a FROM name to a physical table (auxiliary table or
+// sample backing store); populations have no physical table.
+func (e *Engine) sourceTable(name string) (*table.Table, error) {
+	if t, ok := e.cat.Table(name); ok {
+		return t, nil
+	}
+	if s, ok := e.cat.Sample(name); ok {
+		return s.Table, nil
+	}
+	return nil, fmt.Errorf("core: relation %q is not a table or sample", name)
+}
+
+func (e *Engine) execCreateTable(s *sql.CreateTable) error {
+	if s.AsSelect != nil {
+		src, err := e.sourceTable(s.AsSelect.From)
+		if err != nil {
+			return fmt.Errorf("core: CREATE TABLE %s AS: %v", s.Name, err)
+		}
+		t, err := exec.Materialize(src, s.AsSelect, exec.Options{Weighted: false}, s.Name)
+		if err != nil {
+			return err
+		}
+		if s.Schema != nil && !t.Schema().Equal(s.Schema) {
+			return fmt.Errorf("core: CREATE TABLE %s: declared schema %s does not match SELECT schema %s",
+				s.Name, s.Schema, t.Schema())
+		}
+		return e.cat.RegisterTable(t)
+	}
+	_, err := e.cat.CreateTable(s.Name, s.Schema)
+	return err
+}
+
+func (e *Engine) execCreatePopulation(s *sql.CreatePopulation) error {
+	if s.Global {
+		sc := s.Schema
+		if sc == nil {
+			return fmt.Errorf("core: global population %s needs an explicit attribute list", s.Name)
+		}
+		_, err := e.cat.CreateGlobalPopulation(s.Name, sc)
+		return err
+	}
+	sel := s.AsSelect
+	var attrs []string
+	for _, it := range sel.Items {
+		if it.Star {
+			continue
+		}
+		col, ok := it.Expr.(*expr.Column)
+		if !ok || it.Agg != sql.AggNone {
+			return fmt.Errorf("core: population %s definition must project plain columns", s.Name)
+		}
+		attrs = append(attrs, col.Name)
+	}
+	_, err := e.cat.CreatePopulation(s.Name, sel.From, sel.Where, attrs)
+	return err
+}
+
+func (e *Engine) execCreateSample(s *sql.CreateSample) error {
+	pop, ok := e.cat.Population(s.From)
+	if !ok {
+		return fmt.Errorf("core: population %q is not declared", s.From)
+	}
+	var sc *schema.Schema
+	switch {
+	case s.Schema != nil:
+		sc = s.Schema
+	case s.Star:
+		sc = pop.Schema
+	default:
+		ps, _, err := pop.Schema.Project(s.Columns)
+		if err != nil {
+			return fmt.Errorf("core: sample %s: %v", s.Name, err)
+		}
+		sc = ps
+	}
+	var mech mechanism.Mechanism
+	if s.Mechanism != nil {
+		switch s.Mechanism.Kind {
+		case "UNIFORM":
+			mech = mechanism.Uniform{Percent: s.Mechanism.Percent}
+		case "STRATIFIED":
+			// Per-stratum probabilities depend on the (unknown) population
+			// stratum sizes; the catalog records the design and the engine
+			// treats the mechanism as known only after the user supplies the
+			// probabilities via SetSampleMechanism. Until then SEMI-OPEN
+			// falls back to IPF.
+			mech = mechanism.Stratified{Attr: s.Mechanism.Attr, Percent: s.Mechanism.Percent}
+		default:
+			return fmt.Errorf("core: unknown mechanism %q", s.Mechanism.Kind)
+		}
+	}
+	_, err := e.cat.CreateSample(s.Name, s.From, s.Where, sc, mech)
+	return err
+}
+
+// SetSampleMechanism installs or replaces a sample's mechanism (the Go-API
+// hook for mechanisms SQL cannot express, e.g. computed stratified
+// probabilities or predicate-biased designs).
+func (e *Engine) SetSampleMechanism(sample string, m mechanism.Mechanism) error {
+	s, ok := e.cat.Sample(sample)
+	if !ok {
+		return fmt.Errorf("core: no sample %q", sample)
+	}
+	s.Mechanism = m
+	return nil
+}
+
+func (e *Engine) execCreateMetadata(s *sql.CreateMetadata) error {
+	src, err := e.sourceTable(s.From)
+	if err != nil {
+		return fmt.Errorf("core: CREATE METADATA %s: %v", s.Name, err)
+	}
+	m, err := marginal.New(s.Name, s.Attrs)
+	if err != nil {
+		return err
+	}
+	for attr, w := range s.Bins {
+		if err := m.SetBinWidth(attr, w); err != nil {
+			return err
+		}
+	}
+	idxs := make([]int, len(s.Attrs))
+	for i, a := range s.Attrs {
+		j, ok := src.Schema().Index(a)
+		if !ok {
+			return fmt.Errorf("core: CREATE METADATA %s: relation %s has no attribute %q", s.Name, s.From, a)
+		}
+		idxs[i] = j
+	}
+	env := src.Schema()
+	var scanErr error
+	src.Scan(func(row []value.Value, w float64) bool {
+		if s.Where != nil {
+			ok, err := expr.Truthy(s.Where, &expr.Binding{Schema: env, Row: row})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		count := w
+		if s.CountExpr != nil {
+			v, err := s.CountExpr.Eval(&expr.Binding{Schema: env, Row: row})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			f, err := v.Float64()
+			if err != nil {
+				scanErr = fmt.Errorf("core: CREATE METADATA %s: count column: %v", s.Name, err)
+				return false
+			}
+			count = f
+		}
+		vals := make([]value.Value, len(idxs))
+		for i, j := range idxs {
+			vals[i] = row[j]
+		}
+		if err := m.Add(vals, count); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	e.invalidateModels()
+	return e.cat.AddMarginal(s.TargetPopulation(), m)
+}
+
+// AddMarginal attaches a programmatically built marginal to a population.
+func (e *Engine) AddMarginal(pop string, m *marginal.Marginal) error {
+	e.invalidateModels()
+	return e.cat.AddMarginal(pop, m)
+}
+
+func (e *Engine) execInsert(s *sql.Insert) error {
+	t, err := e.sourceTable(s.Table)
+	if err != nil {
+		return fmt.Errorf("core: INSERT INTO %s: %v", s.Table, err)
+	}
+	sc := t.Schema()
+	colIdx := make([]int, 0, sc.Len())
+	if len(s.Columns) > 0 {
+		for _, c := range s.Columns {
+			j, ok := sc.Index(c)
+			if !ok {
+				return fmt.Errorf("core: INSERT INTO %s: no column %q", s.Table, c)
+			}
+			colIdx = append(colIdx, j)
+		}
+	}
+	for ri, rexprs := range s.Rows {
+		row := make([]value.Value, sc.Len())
+		if len(s.Columns) == 0 {
+			if len(rexprs) != sc.Len() {
+				return fmt.Errorf("core: INSERT INTO %s row %d: %d values for %d columns", s.Table, ri+1, len(rexprs), sc.Len())
+			}
+			for i, ex := range rexprs {
+				v, err := ex.Eval(nil)
+				if err != nil {
+					return fmt.Errorf("core: INSERT INTO %s row %d: %v", s.Table, ri+1, err)
+				}
+				row[i] = v
+			}
+		} else {
+			if len(rexprs) != len(colIdx) {
+				return fmt.Errorf("core: INSERT INTO %s row %d: %d values for %d columns", s.Table, ri+1, len(rexprs), len(colIdx))
+			}
+			for i, ex := range rexprs {
+				v, err := ex.Eval(nil)
+				if err != nil {
+					return fmt.Errorf("core: INSERT INTO %s row %d: %v", s.Table, ri+1, err)
+				}
+				row[colIdx[i]] = v
+			}
+		}
+		if err := t.Append(row); err != nil {
+			return err
+		}
+	}
+	// Ingesting into a sample invalidates trained models and recorded
+	// initial weights (new rows default to weight 1).
+	if smp, ok := e.cat.Sample(s.Table); ok {
+		smp.InitialWeights = nil
+		e.invalidateModels()
+	}
+	return nil
+}
+
+func (e *Engine) execUpdateWeights(s *sql.UpdateWeights) error {
+	smp, ok := e.cat.Sample(s.Sample)
+	if !ok {
+		return fmt.Errorf("core: no sample %q", s.Sample)
+	}
+	t := smp.Table
+	sc := t.Schema()
+	w := t.Weights()
+	i := 0
+	var scanErr error
+	t.Scan(func(row []value.Value, cur float64) bool {
+		b := &expr.Binding{Schema: sc, Row: row}
+		if s.Where != nil {
+			ok, err := expr.Truthy(s.Where, b)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				i++
+				return true
+			}
+		}
+		v, err := s.Weight.Eval(b)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		f, err := v.Float64()
+		if err != nil {
+			scanErr = fmt.Errorf("core: UPDATE SAMPLE %s: weight: %v", s.Sample, err)
+			return false
+		}
+		if f < 0 {
+			scanErr = fmt.Errorf("core: UPDATE SAMPLE %s: negative weight %g", s.Sample, f)
+			return false
+		}
+		w[i] = f
+		i++
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if err := t.SetWeights(w); err != nil {
+		return err
+	}
+	smp.InitialWeights = append([]float64(nil), w...)
+	e.invalidateModels()
+	return nil
+}
+
+// Ingest appends Go-native rows into a table or sample (the bulk-loading
+// path the paper's "...Ingest Yahoo sample..." step implies).
+func (e *Engine) Ingest(relation string, rows [][]any) error {
+	t, err := e.sourceTable(relation)
+	if err != nil {
+		return err
+	}
+	for ri, raw := range rows {
+		row := make([]value.Value, len(raw))
+		for i, x := range raw {
+			v, err := value.FromRaw(x)
+			if err != nil {
+				return fmt.Errorf("core: ingest %s row %d: %v", relation, ri+1, err)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row); err != nil {
+			return err
+		}
+	}
+	if smp, ok := e.cat.Sample(relation); ok {
+		smp.InitialWeights = nil
+		e.invalidateModels()
+	}
+	return nil
+}
+
+// IngestTable bulk-copies all rows of src into the named relation.
+func (e *Engine) IngestTable(relation string, src *table.Table) error {
+	dst, err := e.sourceTable(relation)
+	if err != nil {
+		return err
+	}
+	var cpErr error
+	src.Scan(func(row []value.Value, _ float64) bool {
+		if err := dst.Append(row); err != nil {
+			cpErr = err
+			return false
+		}
+		return true
+	})
+	if cpErr != nil {
+		return cpErr
+	}
+	if smp, ok := e.cat.Sample(relation); ok {
+		smp.InitialWeights = nil
+		e.invalidateModels()
+	}
+	return nil
+}
+
+func andExpr(a, b expr.Expr) expr.Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return expr.Bin(expr.OpAnd, a, b)
+	}
+}
+
+func modelKey(sample, pop string) string {
+	return strings.ToLower(sample) + "|" + strings.ToLower(pop)
+}

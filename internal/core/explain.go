@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mosaic/internal/catalog"
+	"mosaic/internal/exec"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Explain describes how a SELECT would be answered without running it: the
+// relation kind, the resolved visibility, the chosen sample, the marginal
+// scope (Fig 3's two paths), and the debiasing technique.
+func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
+	res := &exec.Result{Columns: []string{"property", "value"}}
+	add := func(k, v string) {
+		res.Rows = append(res.Rows, []value.Value{value.Text(k), value.Text(v)})
+	}
+	kind := e.cat.Resolve(sel.From)
+	add("relation", sel.From)
+	switch kind {
+	case "":
+		return nil, fmt.Errorf("core: unknown relation %q", sel.From)
+	case "table":
+		add("kind", "auxiliary table")
+		add("technique", "direct scan (closed world)")
+		return res, nil
+	case "sample":
+		add("kind", "sample")
+		add("technique", "direct scan over stored weights")
+		return res, nil
+	}
+	pop, _ := e.cat.Population(sel.From)
+	if pop.Global {
+		add("kind", "global population")
+	} else {
+		add("kind", fmt.Sprintf("population (view over %s)", pop.From))
+	}
+	vis := sel.Visibility
+	if vis == sql.VisibilityDefault {
+		vis = sql.VisibilitySemiOpen
+		add("visibility", vis.String()+" (default)")
+	} else {
+		add("visibility", vis.String())
+	}
+	ctx, err := e.plan(pop, sel)
+	if err != nil {
+		return nil, err
+	}
+	add("sample", fmt.Sprintf("%s (%d tuples)", ctx.sample.Name, ctx.sample.Table.Len()))
+	if ctx.sample.Mechanism != nil {
+		add("mechanism", ctx.sample.Mechanism.Name())
+	} else {
+		add("mechanism", "unknown")
+	}
+	if len(ctx.margs) > 0 {
+		names := make([]string, len(ctx.margs))
+		for i, m := range ctx.margs {
+			names[i] = m.Name
+		}
+		add("marginal scope", ctx.scope+" population")
+		add("marginals", strings.Join(names, ", "))
+	} else {
+		add("marginals", "none")
+	}
+	switch vis {
+	case sql.VisibilityClosed:
+		add("technique", "sample as stored (user-initialized weights)")
+	case sql.VisibilitySemiOpen:
+		if _, usable, _ := e.knownMechanismWeights(ctx.sample); usable {
+			add("technique", "inverse inclusion probability (Horvitz–Thompson)")
+		} else if len(ctx.margs) > 0 {
+			add("technique", "IPF reweighting against marginals")
+		} else {
+			add("technique", "UNANSWERABLE: no mechanism and no marginals")
+		}
+	case sql.VisibilityOpen:
+		if len(ctx.margs) == 0 {
+			add("technique", "UNANSWERABLE: OPEN needs marginals")
+		} else {
+			n := e.opts.GeneratedRows
+			if n <= 0 {
+				n = ctx.sample.Table.Len()
+			}
+			add("technique", fmt.Sprintf("M-SWG generation: %d replicates × %d tuples, group-intersect + average",
+				e.opts.OpenSamples, n))
+		}
+	}
+	return res, nil
+}
+
+// execCopy bulk-loads a CSV file into a table or sample, coercing each field
+// to the target column's kind. Empty fields load as NULL.
+func (e *Engine) execCopy(c *sql.Copy) error {
+	t, err := e.sourceTable(c.Table)
+	if err != nil {
+		return fmt.Errorf("core: COPY %s: %v", c.Table, err)
+	}
+	f, err := os.Open(c.Path)
+	if err != nil {
+		return fmt.Errorf("core: COPY %s: %v", c.Table, err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = t.Schema().Len()
+	records, err := r.ReadAll()
+	if err != nil {
+		return fmt.Errorf("core: COPY %s: %v", c.Table, err)
+	}
+	if c.Header && len(records) > 0 {
+		records = records[1:]
+	}
+	sc := t.Schema()
+	for ri, rec := range records {
+		row := make([]value.Value, sc.Len())
+		for i, field := range rec {
+			v, err := parseCSVField(field, sc.At(i).Kind)
+			if err != nil {
+				return fmt.Errorf("core: COPY %s row %d column %q: %v", c.Table, ri+1, sc.At(i).Name, err)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row); err != nil {
+			return fmt.Errorf("core: COPY %s row %d: %v", c.Table, ri+1, err)
+		}
+	}
+	if smp, ok := e.cat.Sample(c.Table); ok {
+		smp.InitialWeights = nil
+		e.invalidateModels()
+	}
+	return nil
+}
+
+func parseCSVField(s string, k value.Kind) (value.Value, error) {
+	if s == "" {
+		return value.Null(), nil
+	}
+	switch k {
+	case value.KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Int(i), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Float(f), nil
+	case value.KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(strings.ToLower(s)))
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Bool(b), nil
+	default:
+		return value.Text(s), nil
+	}
+}
+
+// unionCoveringSamples implements the Sec 7 "Multiple Samples" extension:
+// rather than picking one optimal sample, union every schema-covering sample
+// of the population and let IPF or the M-SWG reweight the combined tuples.
+// The union's mechanism is unknown (the members may have different designs),
+// and seed weights concatenate the members' seed weights.
+func (e *Engine) unionCoveringSamples(gp *catalog.Population, need map[string]bool) (*catalog.Sample, error) {
+	var members []*catalog.Sample
+	for _, s := range e.cat.SamplesOf(gp.Name) {
+		ok := true
+		for a := range need {
+			if _, has := s.Table.Schema().Index(a); !has {
+				ok = false
+				break
+			}
+		}
+		if ok && s.Table.Len() > 0 {
+			members = append(members, s)
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: no sample of population %q covers the query attributes", gp.Name)
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	// Use the narrowest member schema all members share: project each
+	// member down to the intersection of attributes so heterogeneous
+	// samples can still union (Sec 7 "Data Integration" relaxation is out
+	// of scope; attribute subsets suffice).
+	common := members[0].Table.Schema()
+	for _, m := range members[1:] {
+		var keep []string
+		for _, a := range common.Names() {
+			if _, ok := m.Table.Schema().Index(a); ok {
+				keep = append(keep, a)
+			}
+		}
+		var err error
+		common, _, err = common.Project(keep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, len(members))
+	union := table.New("union", common)
+	for i, m := range members {
+		names[i] = m.Name
+		_, idxs, err := m.Table.Schema().Project(common.Names())
+		if err != nil {
+			return nil, err
+		}
+		seed := m.SeedWeights()
+		var appErr error
+		j := 0
+		m.Table.Scan(func(row []value.Value, _ float64) bool {
+			proj := make([]value.Value, len(idxs))
+			for pi, src := range idxs {
+				proj[pi] = row[src]
+			}
+			if err := union.AppendWeighted(proj, seed[j]); err != nil {
+				appErr = err
+				return false
+			}
+			j++
+			return true
+		})
+		if appErr != nil {
+			return nil, appErr
+		}
+	}
+	su := &catalog.Sample{
+		Name:  "union(" + strings.Join(names, "+") + ")",
+		Table: union,
+		From:  gp.Name,
+	}
+	su.InitialWeights = union.Weights()
+	return su, nil
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mosaic/internal/catalog"
+	"mosaic/internal/exec"
+	"mosaic/internal/expr"
+	"mosaic/internal/ipf"
+	"mosaic/internal/marginal"
+	"mosaic/internal/mechanism"
+	"mosaic/internal/sql"
+	"mosaic/internal/swg"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Query answers a SELECT. Auxiliary tables and samples answer directly;
+// population queries route through the visibility machinery (paper Sec 4).
+func (e *Engine) Query(sel *sql.Select) (*exec.Result, error) {
+	switch e.cat.Resolve(sel.From) {
+	case "table":
+		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
+			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", sel.Visibility, sel.From)
+		}
+		t, _ := e.cat.Table(sel.From)
+		return exec.Run(t, sel, exec.Options{Weighted: false})
+	case "sample":
+		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
+			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", sel.Visibility, sel.From)
+		}
+		s, _ := e.cat.Sample(sel.From)
+		// Direct sample queries honor the stored (user-initialized) weights.
+		return exec.Run(s.Table, sel, exec.Options{Weighted: true})
+	case "population":
+		pop, _ := e.cat.Population(sel.From)
+		return e.queryPopulation(pop, sel)
+	default:
+		return nil, fmt.Errorf("core: unknown relation %q", sel.From)
+	}
+}
+
+// planContext is everything resolved before executing a population query.
+type planContext struct {
+	pop      *catalog.Population
+	gp       *catalog.Population
+	sample   *catalog.Sample
+	viewPred expr.Expr            // non-nil for non-global populations
+	margs    []*marginal.Marginal // chosen marginal set
+	scope    string               // "query" or "global" (Fig 3's two paths)
+}
+
+func (e *Engine) queryPopulation(pop *catalog.Population, sel *sql.Select) (*exec.Result, error) {
+	ctx, err := e.plan(pop, sel)
+	if err != nil {
+		return nil, err
+	}
+	vis := sel.Visibility
+	if vis == sql.VisibilityDefault {
+		vis = sql.VisibilitySemiOpen
+	}
+	switch vis {
+	case sql.VisibilityClosed:
+		return e.runClosed(ctx, sel)
+	case sql.VisibilitySemiOpen:
+		return e.runSemiOpen(ctx, sel)
+	case sql.VisibilityOpen:
+		return e.runOpen(ctx, sel)
+	default:
+		return nil, fmt.Errorf("core: unsupported visibility %v", vis)
+	}
+}
+
+// plan resolves the GP, picks the sample (paper Sec 4 assumption 2: "the
+// query engine receives a single, optimal sample"; the engine picks the
+// largest schema-compatible one), and selects the marginal scope: the query
+// population's own marginals when present, otherwise the global
+// population's (Fig 3's bottom vs. left dashed paths).
+func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, error) {
+	ctx := &planContext{pop: pop}
+	if pop.Global {
+		ctx.gp = pop
+	} else {
+		gp, ok := e.cat.Population(pop.From)
+		if !ok {
+			return nil, fmt.Errorf("core: population %q references missing global population %q", pop.Name, pop.From)
+		}
+		ctx.gp = gp
+		ctx.viewPred = pop.Where
+	}
+
+	// Required attributes: everything the query and the view predicate
+	// reference (assumption 1: population attrs ⊆ sample attrs).
+	need := map[string]bool{}
+	collect := func(ex expr.Expr) {
+		if ex == nil {
+			return
+		}
+		for _, c := range ex.Columns(nil) {
+			need[strings.ToLower(c)] = true
+		}
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			collect(it.Expr)
+		}
+		if it.Star && !pop.Global {
+			for _, n := range pop.Schema.Names() {
+				need[strings.ToLower(n)] = true
+			}
+		}
+	}
+	collect(sel.Where)
+	collect(ctx.viewPred)
+	for _, g := range sel.GroupBy {
+		need[strings.ToLower(g)] = true
+	}
+	delete(need, "weight") // pseudo-column
+
+	if e.opts.UnionSamples {
+		union, err := e.unionCoveringSamples(ctx.gp, need)
+		if err != nil {
+			return nil, err
+		}
+		ctx.sample = union
+	} else {
+		var best *catalog.Sample
+		for _, s := range e.cat.SamplesOf(ctx.gp.Name) {
+			ok := true
+			for a := range need {
+				if _, has := s.Table.Schema().Index(a); !has {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if best == nil || s.Table.Len() > best.Table.Len() {
+				best = s
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("core: no sample of population %q covers the query attributes", ctx.gp.Name)
+		}
+		ctx.sample = best
+	}
+
+	switch {
+	case len(pop.Marginals) > 0:
+		ctx.margs = pop.MarginalList()
+		ctx.scope = "query"
+	case len(ctx.gp.Marginals) > 0:
+		ctx.margs = ctx.gp.MarginalList()
+		ctx.scope = "global"
+	}
+	// Keep only marginals whose attributes the sample stores.
+	kept := ctx.margs[:0:0]
+	for _, m := range ctx.margs {
+		ok := true
+		for _, a := range m.Attrs {
+			if _, has := ctx.sample.Table.Schema().Index(a); !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, m)
+		}
+	}
+	ctx.margs = kept
+	return ctx, nil
+}
+
+// runClosed answers with the sample as-is (standard LAV-style view
+// answering): user-initialized weights, no debiasing.
+func (e *Engine) runClosed(ctx *planContext, sel *sql.Select) (*exec.Result, error) {
+	q := *sel
+	q.Where = andExpr(sel.Where, ctx.viewPred)
+	return exec.Run(ctx.sample.Table, &q, exec.Options{
+		Weighted:       true,
+		WeightOverride: ctx.sample.SeedWeights(),
+	})
+}
+
+// runSemiOpen reweights the sample: inverse inclusion probability when the
+// mechanism is known, IPF against the marginal scope otherwise (Sec 4.1).
+func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error) {
+	if w, ok, err := e.knownMechanismWeights(ctx.sample); err != nil {
+		return nil, err
+	} else if ok {
+		q := *sel
+		q.Where = andExpr(sel.Where, ctx.viewPred)
+		return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w})
+	}
+
+	if len(ctx.margs) == 0 {
+		return nil, fmt.Errorf("core: SEMI-OPEN query on %q needs a known mechanism or population marginals", ctx.pop.Name)
+	}
+
+	if ctx.scope == "query" && ctx.viewPred != nil {
+		// Fit the view-restricted sub-sample directly to the query
+		// population's marginals (Fig 3, bottom dashed path).
+		sub, err := filterTable(ctx.sample.Table, ctx.viewPred, ctx.sample.SeedWeights())
+		if err != nil {
+			return nil, err
+		}
+		if sub.Len() == 0 {
+			return nil, fmt.Errorf("core: sample %q has no tuples in population %q", ctx.sample.Name, ctx.pop.Name)
+		}
+		if _, err := ipf.Apply(sub, ctx.margs, e.opts.IPF); err != nil {
+			return nil, err
+		}
+		q := *sel
+		return exec.Run(sub, &q, exec.Options{Weighted: true})
+	}
+
+	// Global scope: fit the whole sample to the GP marginals, then answer
+	// through the view (Fig 3, left dashed path).
+	w, _, err := ipf.Fit(ctx.sample.Table, ctx.margs, e.opts.IPF)
+	if err != nil {
+		return nil, err
+	}
+	q := *sel
+	q.Where = andExpr(sel.Where, ctx.viewPred)
+	return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w})
+}
+
+// knownMechanismWeights returns inverse-probability weights when the
+// sample's mechanism is usable (a stratified design without computed
+// probabilities is treated as unknown).
+func (e *Engine) knownMechanismWeights(s *catalog.Sample) ([]float64, bool, error) {
+	if s.Mechanism == nil {
+		return nil, false, nil
+	}
+	if st, ok := s.Mechanism.(mechanism.Stratified); ok && st.Probs == nil {
+		return nil, false, nil
+	}
+	w, err := mechanism.InverseWeights(s.Table, s.Mechanism)
+	if err != nil {
+		return nil, false, err
+	}
+	return w, true, nil
+}
+
+// runOpen trains (or reuses) the M-SWG for this sample/population pair,
+// generates OpenSamples samples, uniformly reweights each to the population
+// size, answers the query on each, and combines per the paper's protocol:
+// groups appearing in all answers are returned with averaged aggregates
+// (Sec 5.3).
+func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error) {
+	if len(ctx.margs) == 0 {
+		return nil, fmt.Errorf("core: OPEN query on %q needs population marginals to train a generator", ctx.pop.Name)
+	}
+	scopePop := ctx.pop
+	viewPred := expr.Expr(nil)
+	if ctx.scope == "global" {
+		scopePop = ctx.gp
+		viewPred = ctx.viewPred
+	}
+	model, err := e.openModel(ctx.sample, scopePop, ctx.margs)
+	if err != nil {
+		return nil, err
+	}
+	popTotal := ctx.margs[0].Total()
+	n := e.opts.GeneratedRows
+	if n <= 0 {
+		n = ctx.sample.Table.Len()
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: sample %q is empty", ctx.sample.Name)
+	}
+	results := make([]*exec.Result, 0, e.opts.OpenSamples)
+	q := *sel
+	q.Where = andExpr(sel.Where, viewPred)
+	for r := 0; r < e.opts.OpenSamples; r++ {
+		gen, err := model.Generate(fmt.Sprintf("%s_gen%d", ctx.sample.Name, r), n)
+		if err != nil {
+			return nil, err
+		}
+		// Uniform reweighting of the generated sample to the population
+		// size ("uniformly reweight the generated sample to match the size
+		// of the population").
+		if err := gen.ResetWeights(popTotal / float64(n)); err != nil {
+			return nil, err
+		}
+		res, err := exec.Run(gen, &q, exec.Options{Weighted: true})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
+			// Non-aggregate OPEN query: return one generated sample's
+			// qualifying tuples (materializing missing tuples).
+			return res, nil
+		}
+	}
+	return combineOpenResults(results, sel)
+}
+
+// openModel returns a cached or freshly trained M-SWG for the pair.
+func (e *Engine) openModel(s *catalog.Sample, pop *catalog.Population, margs []*marginal.Marginal) (*swg.Model, error) {
+	key := modelKey(s.Name, pop.Name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.models[key]; ok {
+		return m, nil
+	}
+	full, err := AugmentMarginals(s.Table, margs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.opts.SWG
+	if cfg.Seed == 0 {
+		cfg.Seed = e.opts.Seed
+	}
+	model, err := swg.New(s.Table, full, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Train(); err != nil {
+		return nil, err
+	}
+	e.models[key] = model
+	return model, nil
+}
+
+// AugmentMarginals implements Sec 5.2's coverage rule: "if the population
+// marginals do not cover all d attributes … we add marginals from the sample
+// into the set of population marginals for those uncovered attributes",
+// scaled to the population total so the marginal set stays consistent.
+func AugmentMarginals(sample *table.Table, margs []*marginal.Marginal) ([]*marginal.Marginal, error) {
+	covered := map[string]bool{}
+	for _, a := range marginal.CoveredAttrs(margs) {
+		covered[strings.ToLower(a)] = true
+	}
+	out := append([]*marginal.Marginal(nil), margs...)
+	if len(margs) == 0 {
+		return nil, fmt.Errorf("core: cannot augment an empty marginal set")
+	}
+	popTotal := margs[0].Total()
+	sc := sample.Schema()
+	for i := 0; i < sc.Len(); i++ {
+		name := sc.At(i).Name
+		if covered[strings.ToLower(name)] {
+			continue
+		}
+		m, err := marginal.FromTable(sample.Name()+"_sample_"+name, sample, []string{name})
+		if err != nil {
+			return nil, err
+		}
+		tot := m.Total()
+		if tot <= 0 {
+			return nil, fmt.Errorf("core: sample marginal over %q has zero mass", name)
+		}
+		if err := m.Scale(popTotal / tot); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// combineOpenResults merges replicate answers: group keys must appear in
+// every replicate; numeric (aggregate) columns are averaged.
+func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("core: no OPEN replicates")
+	}
+	first := results[0]
+	// Identify which output columns are group keys vs aggregates.
+	isAgg := make([]bool, len(sel.Items))
+	for i, it := range sel.Items {
+		isAgg[i] = it.Agg != sql.AggNone
+	}
+	type acc struct {
+		keys  []value.Value
+		sums  []float64
+		nulls []bool
+		seen  int
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for ri, res := range results {
+		seenThis := map[string]bool{}
+		for _, row := range res.Rows {
+			var kb strings.Builder
+			for ci := range row {
+				if !isAgg[ci] {
+					kb.WriteString(row[ci].HashKey())
+					kb.WriteByte('\x1f')
+				}
+			}
+			k := kb.String()
+			if seenThis[k] {
+				continue
+			}
+			seenThis[k] = true
+			a, ok := accs[k]
+			if !ok {
+				if ri != 0 {
+					continue // group absent from replicate 0: cannot appear in all
+				}
+				a = &acc{
+					keys:  append([]value.Value(nil), row...),
+					sums:  make([]float64, len(row)),
+					nulls: make([]bool, len(row)),
+				}
+				accs[k] = a
+				order = append(order, k)
+			}
+			if a.seen != ri {
+				continue // missed an earlier replicate
+			}
+			for ci := range row {
+				if !isAgg[ci] {
+					continue
+				}
+				if row[ci].IsNull() {
+					a.nulls[ci] = true
+					continue
+				}
+				f, err := row[ci].Float64()
+				if err != nil {
+					return nil, fmt.Errorf("core: non-numeric aggregate in OPEN combine: %v", err)
+				}
+				a.sums[ci] += f
+			}
+			a.seen = ri + 1
+		}
+	}
+	out := &exec.Result{Columns: first.Columns}
+	for _, k := range order {
+		a := accs[k]
+		if a.seen != len(results) {
+			continue // not in every replicate
+		}
+		row := make([]value.Value, len(a.keys))
+		for ci := range row {
+			switch {
+			case !isAgg[ci]:
+				row[ci] = a.keys[ci]
+			case a.nulls[ci]:
+				row[ci] = value.Null()
+			default:
+				row[ci] = value.Float(a.sums[ci] / float64(len(results)))
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// filterTable copies rows satisfying pred into a new table, carrying the
+// supplied per-row weights.
+func filterTable(t *table.Table, pred expr.Expr, weights []float64) (*table.Table, error) {
+	out := table.New(t.Name()+"_view", t.Schema())
+	sc := t.Schema()
+	i := 0
+	var scanErr error
+	t.Scan(func(row []value.Value, _ float64) bool {
+		w := weights[i]
+		i++
+		if pred != nil {
+			ok, err := expr.Truthy(pred, &expr.Binding{Schema: sc, Row: row})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		if err := out.AppendWeighted(row, w); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}

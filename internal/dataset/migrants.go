@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// MigrantsSchema models the paper's Sec 2 motivating example: European
+// migrants with a country of residence and an email provider.
+var MigrantsSchema = schema.MustNew(
+	schema.Attribute{Name: "country", Kind: value.KindText},
+	schema.Attribute{Name: "email", Kind: value.KindText},
+	schema.Attribute{Name: "age", Kind: value.KindInt},
+)
+
+// MigrantCountries are the countries in the synthetic Eurostat reports.
+var MigrantCountries = []string{"UK", "FR", "DE", "ES", "IT", "NL"}
+
+// EmailProviders are the providers; Yahoo is the sampled one.
+var EmailProviders = []string{"Yahoo", "Gmail", "AOL", "Outlook"}
+
+// MigrantsConfig tunes the migrants generator.
+type MigrantsConfig struct {
+	N    int // population size (default 40000)
+	Seed int64
+}
+
+func (c MigrantsConfig) withDefaults() MigrantsConfig {
+	if c.N <= 0 {
+		c.N = 40000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Migrants generates a population where provider share varies by country
+// (the Internet-usage bias the example's data scientist must correct for):
+// Yahoo is popular in the UK and FR, Gmail elsewhere, AOL is a light hitter
+// everywhere.
+func Migrants(cfg MigrantsConfig) *table.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := table.New("europe_migrants", MigrantsSchema)
+
+	countryShare := []float64{0.28, 0.22, 0.20, 0.12, 0.10, 0.08}
+	// providerShare[country][provider]
+	providerShare := [][]float64{
+		{0.45, 0.35, 0.05, 0.15}, // UK: Yahoo-heavy
+		{0.40, 0.40, 0.04, 0.16}, // FR
+		{0.20, 0.55, 0.05, 0.20}, // DE: Gmail-heavy
+		{0.25, 0.50, 0.05, 0.20}, // ES
+		{0.30, 0.45, 0.06, 0.19}, // IT
+		{0.22, 0.52, 0.06, 0.20}, // NL
+	}
+	pick := func(shares []float64) int {
+		u := rng.Float64()
+		var acc float64
+		for i, s := range shares {
+			acc += s
+			if u <= acc {
+				return i
+			}
+		}
+		return len(shares) - 1
+	}
+	for i := 0; i < cfg.N; i++ {
+		ci := pick(countryShare)
+		pi := pick(providerShare[ci])
+		age := 18 + rng.Intn(60)
+		_ = t.Append([]value.Value{
+			value.Text(MigrantCountries[ci]),
+			value.Text(EmailProviders[pi]),
+			value.Int(int64(age)),
+		})
+	}
+	return t
+}

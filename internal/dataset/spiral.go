@@ -1,0 +1,127 @@
+// Package dataset generates the paper's evaluation workloads: the synthetic
+// 2-D spiral population (Sec 5.3 "Synthetic Data", following the paper's
+// citation [9]), an IDEBench-style flights dataset (Sec 5.3 "Flights Data"),
+// the migrants population of the motivating example (Sec 2), and the biased
+// samplers that produce the experiments' skewed samples.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// SpiralSchema is the two-attribute schema of the synthetic population.
+var SpiralSchema = schema.MustNew(
+	schema.Attribute{Name: "x", Kind: value.KindFloat},
+	schema.Attribute{Name: "y", Kind: value.KindFloat},
+)
+
+// SpiralConfig tunes the spiral population generator.
+type SpiralConfig struct {
+	N     int     // population size (default 50000)
+	Turns float64 // spiral turns (default 2)
+	Noise float64 // Gaussian noise on each coordinate (default 0.01)
+	Seed  int64
+}
+
+func (c SpiralConfig) withDefaults() SpiralConfig {
+	if c.N <= 0 {
+		c.N = 50000
+	}
+	if c.Turns <= 0 {
+		c.Turns = 2
+	}
+	if c.Noise <= 0 {
+		c.Noise = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Spiral generates an Archimedean-spiral population scaled into roughly the
+// unit square (matching Fig 5's axes), with Gaussian coordinate noise.
+func Spiral(cfg SpiralConfig) *table.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := table.New("spiral_population", SpiralSchema)
+	for i := 0; i < cfg.N; i++ {
+		// u in [0,1): position along the spiral.
+		u := rng.Float64()
+		theta := cfg.Turns * 2 * math.Pi * u
+		r := 0.05 + 0.45*u
+		x := 0.5 + r*math.Cos(theta) + rng.NormFloat64()*cfg.Noise
+		y := 0.4 + r*math.Sin(theta) + rng.NormFloat64()*cfg.Noise
+		// Appending to a fresh table with a matching schema cannot fail.
+		_ = t.Append([]value.Value{value.Float(x), value.Float(y)})
+	}
+	return t
+}
+
+// BiasedSpiralSample draws n rows from the spiral population with spatial
+// selection bias: tuples in the right half-plane (x > 0.5) are
+// overrepresented by the odds factor bias (Fig 5a's sample concentrates on
+// part of the spiral). bias = 1 is unbiased.
+func BiasedSpiralSample(pop *table.Table, n int, bias float64, seed int64) (*table.Table, error) {
+	if bias <= 0 {
+		return nil, fmt.Errorf("dataset: bias factor must be positive, got %g", bias)
+	}
+	xi, ok := pop.Schema().Index("x")
+	if !ok {
+		return nil, fmt.Errorf("dataset: population lacks attribute x")
+	}
+	weight := func(row []value.Value) float64 {
+		if row[xi].AsFloat() > 0.5 {
+			return bias
+		}
+		return 1
+	}
+	return weightedSampleWithoutReplacement(pop, n, weight, "spiral_sample", seed)
+}
+
+// weightedSampleWithoutReplacement draws n rows without replacement with
+// probability proportional to weight(row), using exponential-sort sampling
+// (Efraimidis–Spirakis keys).
+func weightedSampleWithoutReplacement(pop *table.Table, n int, weight func([]value.Value) float64, name string, seed int64) (*table.Table, error) {
+	if n <= 0 || n > pop.Len() {
+		return nil, fmt.Errorf("dataset: sample size %d out of range (population %d)", n, pop.Len())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type keyed struct {
+		idx int
+		key float64
+	}
+	keys := make([]keyed, pop.Len())
+	i := 0
+	var werr error
+	pop.Scan(func(row []value.Value, _ float64) bool {
+		w := weight(row)
+		if w <= 0 {
+			werr = fmt.Errorf("dataset: non-positive sampling weight %g", w)
+			return false
+		}
+		// key = -Exp(1)/w; taking the n largest keys realizes PPS sampling
+		// without replacement.
+		keys[i] = keyed{idx: i, key: -rng.ExpFloat64() / w}
+		i++
+		return true
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key > keys[b].key })
+	out := table.New(name, pop.Schema())
+	for _, k := range keys[:n] {
+		if err := out.Append(pop.Row(k.idx)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+func benchTable(n int) *table.Table {
+	rng := rand.New(rand.NewSource(1))
+	tbl := table.New("t", sc)
+	for i := 0; i < n; i++ {
+		_ = tbl.AppendWeighted([]value.Value{
+			value.Text(fmt.Sprintf("g%d", rng.Intn(20))),
+			value.Int(int64(rng.Intn(1000))),
+			value.Float(rng.Float64() * 100),
+		}, rng.Float64()+0.5)
+	}
+	return tbl
+}
+
+func benchQuery(b *testing.B, src string) *sql.Select {
+	b.Helper()
+	sel, err := sql.ParseQuery(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sel
+}
+
+func BenchmarkFilterProject100k(b *testing.B) {
+	tbl := benchTable(100000)
+	sel := benchQuery(b, "SELECT x, y FROM t WHERE x > 500")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tbl, sel, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedGroupBy100k(b *testing.B) {
+	tbl := benchTable(100000)
+	sel := benchQuery(b, "SELECT c, COUNT(*), AVG(y) FROM t GROUP BY c")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tbl, sel, Options{Weighted: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlobalAggregate100k(b *testing.B) {
+	tbl := benchTable(100000)
+	sel := benchQuery(b, "SELECT COUNT(*), SUM(x), AVG(y), MIN(x), MAX(y) FROM t")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tbl, sel, Options{Weighted: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,584 @@
+// Package exec evaluates SELECT statements over weighted tables. It is the
+// shared physical layer for all three visibilities: CLOSED runs over
+// user-initialized weights, SEMI-OPEN over mechanism/IPF weights, and OPEN
+// over generated samples — the operators are identical, only the weights and
+// the backing rows differ.
+//
+// Weighted aggregate rewriting (paper Sec 5.3: "we simply modify the
+// aggregate to be over a weight attribute, e.g. COUNT(*) becomes
+// SUM(weight)"): COUNT(*) sums weights, SUM(x) computes Σ w·x, AVG(x)
+// computes Σ w·x / Σ w; MIN and MAX are weight-invariant.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/schema"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Result is a materialized query answer.
+type Result struct {
+	Columns []string
+	Rows    [][]value.Value
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := renderValue(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	for _, row := range cells {
+		b.WriteByte('\n')
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+	}
+	return b.String()
+}
+
+func renderValue(v value.Value) string {
+	if v.Kind() == value.KindText {
+		return v.AsText()
+	}
+	if v.Kind() == value.KindFloat {
+		return fmt.Sprintf("%.6g", v.AsFloat())
+	}
+	return v.String()
+}
+
+// Options controls execution.
+type Options struct {
+	// Weighted enables the weighted-aggregate rewriting. When false every
+	// tuple counts exactly once regardless of stored weight.
+	Weighted bool
+	// WeightOverride supplies per-row weights to use instead of the table's
+	// stored weights (len must equal table length). Ignored when nil.
+	WeightOverride []float64
+}
+
+// Run evaluates sel over t.
+func Run(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
+	if opts.WeightOverride != nil && len(opts.WeightOverride) != t.Len() {
+		return nil, fmt.Errorf("exec: weight override has %d entries for %d rows", len(opts.WeightOverride), t.Len())
+	}
+	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
+		return runAggregate(t, sel, opts)
+	}
+	return runProjection(t, sel, opts)
+}
+
+// bindingSchema exposes WEIGHT as a pseudo-column so predicates and
+// projections can reference it.
+type rowEnv struct {
+	sc   *schema.Schema
+	wIdx int // index of injected WEIGHT column, -1 when the schema has one
+}
+
+func makeEnv(sc *schema.Schema) (*rowEnv, *schema.Schema) {
+	if _, ok := sc.Index("WEIGHT"); ok {
+		return &rowEnv{sc: sc, wIdx: -1}, sc
+	}
+	attrs := append(sc.Attributes(), schema.Attribute{Name: "WEIGHT", Kind: value.KindFloat})
+	ext, err := schema.New(attrs...)
+	if err != nil {
+		// A schema that already validated cannot fail here except via the
+		// WEIGHT duplicate, which the branch above handles.
+		return &rowEnv{sc: sc, wIdx: -1}, sc
+	}
+	return &rowEnv{sc: ext, wIdx: sc.Len()}, ext
+}
+
+func (e *rowEnv) bind(row []value.Value, w float64) *expr.Binding {
+	if e.wIdx < 0 {
+		return &expr.Binding{Schema: e.sc, Row: row}
+	}
+	ext := make([]value.Value, len(row)+1)
+	copy(ext, row)
+	ext[e.wIdx] = value.Float(w)
+	return &expr.Binding{Schema: e.sc, Row: ext}
+}
+
+func runProjection(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
+	env, _ := makeEnv(t.Schema())
+	res := &Result{}
+	for _, it := range sel.Items {
+		if it.Star {
+			res.Columns = append(res.Columns, t.Schema().Names()...)
+		} else {
+			res.Columns = append(res.Columns, it.Name())
+		}
+	}
+	var scanErr error
+	rowIdx := -1
+	t.Scan(func(row []value.Value, w float64) bool {
+		rowIdx++
+		if opts.WeightOverride != nil {
+			w = opts.WeightOverride[rowIdx]
+		}
+		b := env.bind(row, w)
+		if sel.Where != nil {
+			ok, err := expr.Truthy(sel.Where, b)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		var out []value.Value
+		for _, it := range sel.Items {
+			if it.Star {
+				out = append(out, row...)
+				continue
+			}
+			v, err := it.Expr.Eval(b)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if sel.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	if err := orderAndLimit(res, sel, t.Schema()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// dedupRows keeps the first occurrence of each distinct row (SQL DISTINCT),
+// preserving input order.
+func dedupRows(rows [][]value.Value) [][]value.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, row := range rows {
+		var kb strings.Builder
+		for _, v := range row {
+			kb.WriteString(v.HashKey())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// agg accumulates one aggregate.
+type agg struct {
+	kind     sql.AggKind
+	star     bool
+	e        expr.Expr
+	sumW     float64 // Σ w over contributing rows
+	sumWX    float64 // Σ w·x
+	count    float64 // weighted count of non-null inputs
+	min, max value.Value
+	seen     bool
+}
+
+func (a *agg) add(b *expr.Binding, w float64, weighted bool) error {
+	if !weighted {
+		w = 1
+	}
+	if a.kind == sql.AggCount && a.star {
+		a.count += w
+		return nil
+	}
+	v, err := a.e.Eval(b)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	switch a.kind {
+	case sql.AggCount:
+		a.count += w
+	case sql.AggSum, sql.AggAvg:
+		f, err := v.Float64()
+		if err != nil {
+			return fmt.Errorf("exec: %s over non-numeric value %s", a.kind, v)
+		}
+		a.sumW += w
+		a.sumWX += w * f
+	case sql.AggMin:
+		if !a.seen || value.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case sql.AggMax:
+		if !a.seen || value.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.seen = true
+	return nil
+}
+
+func (a *agg) result() value.Value {
+	switch a.kind {
+	case sql.AggCount:
+		return value.Float(a.count)
+	case sql.AggSum:
+		if !a.seen {
+			return value.Null()
+		}
+		return value.Float(a.sumWX)
+	case sql.AggAvg:
+		if !a.seen || a.sumW == 0 {
+			return value.Null()
+		}
+		return value.Float(a.sumWX / a.sumW)
+	case sql.AggMin:
+		if !a.seen {
+			return value.Null()
+		}
+		return a.min
+	case sql.AggMax:
+		if !a.seen {
+			return value.Null()
+		}
+		return a.max
+	default:
+		return value.Null()
+	}
+}
+
+type group struct {
+	keys []value.Value
+	aggs []*agg
+}
+
+func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
+	sc := t.Schema()
+	env, _ := makeEnv(sc)
+
+	// Resolve group-by key positions and validate plain select items.
+	keyIdx := make([]int, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		j, ok := sc.Index(g)
+		if !ok {
+			return nil, fmt.Errorf("exec: GROUP BY column %q not in %s", g, t.Name())
+		}
+		keyIdx[i] = j
+	}
+	isGroupKey := func(name string) bool {
+		for _, g := range sel.GroupBy {
+			if strings.EqualFold(g, name) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, it := range sel.Items {
+		if it.Agg != sql.AggNone {
+			continue
+		}
+		if it.Star {
+			return nil, fmt.Errorf("exec: * is not allowed with GROUP BY or aggregates")
+		}
+		col, ok := it.Expr.(*expr.Column)
+		if !ok || !isGroupKey(col.Name) {
+			return nil, fmt.Errorf("exec: select item %q must be a GROUP BY column or an aggregate", it.Name())
+		}
+	}
+
+	newAggs := func() []*agg {
+		out := make([]*agg, 0, len(sel.Items))
+		for _, it := range sel.Items {
+			if it.Agg == sql.AggNone {
+				continue
+			}
+			out = append(out, &agg{kind: it.Agg, star: it.Star, e: it.Expr})
+		}
+		return out
+	}
+
+	groups := map[string]*group{}
+	var order []string
+	var scanErr error
+	rowIdx := -1
+	t.Scan(func(row []value.Value, w float64) bool {
+		rowIdx++
+		if opts.WeightOverride != nil {
+			w = opts.WeightOverride[rowIdx]
+		}
+		b := env.bind(row, w)
+		if sel.Where != nil {
+			ok, err := expr.Truthy(sel.Where, b)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		var kb strings.Builder
+		keys := make([]value.Value, len(keyIdx))
+		for i, j := range keyIdx {
+			keys[i] = row[j]
+			kb.WriteString(row[j].HashKey())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keys: keys, aggs: newAggs()}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for _, a := range g.aggs {
+			if err := a.add(b, w, opts.Weighted); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	// Global aggregate with no rows still yields one row of empty aggregates.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{aggs: newAggs()}
+		order = append(order, "")
+	}
+
+	res := &Result{}
+	for _, it := range sel.Items {
+		res.Columns = append(res.Columns, it.Name())
+	}
+	// Output schema for HAVING / ORDER BY references output columns.
+	outAttrs := make([]schema.Attribute, len(sel.Items))
+	for i, it := range sel.Items {
+		k := value.KindFloat
+		if it.Agg == sql.AggNone {
+			if col, ok := it.Expr.(*expr.Column); ok {
+				if kk, err := sc.Kind(col.Name); err == nil {
+					k = kk
+				}
+			}
+		}
+		outAttrs[i] = schema.Attribute{Name: res.Columns[i], Kind: k}
+	}
+	outSchema, err := schema.New(outAttrs...)
+	if err != nil {
+		// Duplicate output names (e.g. two COUNT(*)): fall back to positional
+		// names so HAVING/ORDER BY by name are unavailable but execution
+		// still succeeds.
+		for i := range outAttrs {
+			outAttrs[i].Name = fmt.Sprintf("_col%d", i)
+		}
+		outSchema = schema.MustNew(outAttrs...)
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		row := make([]value.Value, 0, len(sel.Items))
+		ai := 0
+		ki := 0
+		for _, it := range sel.Items {
+			if it.Agg == sql.AggNone {
+				col := it.Expr.(*expr.Column)
+				// Find the key position of this column.
+				for i, gname := range sel.GroupBy {
+					if strings.EqualFold(gname, col.Name) {
+						ki = i
+						break
+					}
+				}
+				row = append(row, g.keys[ki])
+			} else {
+				row = append(row, g.aggs[ai].result())
+				ai++
+			}
+		}
+		if sel.Having != nil {
+			ok, err := expr.Truthy(sel.Having, &expr.Binding{Schema: outSchema, Row: row})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := orderAndLimit(res, sel, outSchema); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func orderAndLimit(res *Result, sel *sql.Select, sc *schema.Schema) error {
+	if len(sel.OrderBy) > 0 {
+		// Build an output-column schema for ORDER BY name resolution; fall
+		// back to the input schema for projection queries.
+		attrs := make([]schema.Attribute, len(res.Columns))
+		for i, c := range res.Columns {
+			attrs[i] = schema.Attribute{Name: c, Kind: value.KindFloat}
+		}
+		outSchema, err := schema.New(attrs...)
+		if err != nil {
+			outSchema = nil
+		}
+		var sortErr error
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			for _, o := range sel.OrderBy {
+				vi, vj, err := orderKey(o.Expr, res, sc, outSchema, i, j)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				c := value.Compare(vi, vj)
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+	}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	return nil
+}
+
+// orderKey evaluates an ORDER BY expression against output row i and j,
+// trying output-column names first.
+func orderKey(e expr.Expr, res *Result, in, out *schema.Schema, i, j int) (value.Value, value.Value, error) {
+	if col, ok := e.(*expr.Column); ok {
+		for ci, name := range res.Columns {
+			if strings.EqualFold(name, col.Name) {
+				return res.Rows[i][ci], res.Rows[j][ci], nil
+			}
+		}
+	}
+	if out != nil {
+		vi, erri := e.Eval(&expr.Binding{Schema: out, Row: res.Rows[i]})
+		vj, errj := e.Eval(&expr.Binding{Schema: out, Row: res.Rows[j]})
+		if erri == nil && errj == nil {
+			return vi, vj, nil
+		}
+	}
+	return value.Null(), value.Null(), fmt.Errorf("exec: cannot resolve ORDER BY expression %s against output columns", e)
+}
+
+// Materialize runs a projection-style select and stores the answer in a new
+// table with the given name. Aggregate selects are materialized with FLOAT
+// columns for aggregates.
+func Materialize(t *table.Table, sel *sql.Select, opts Options, name string) (*table.Table, error) {
+	res, err := Run(t, sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]schema.Attribute, len(res.Columns))
+	for i, c := range res.Columns {
+		k := value.KindFloat
+		if j, ok := t.Schema().Index(c); ok {
+			k = t.Schema().At(j).Kind
+		} else if len(res.Rows) > 0 {
+			switch res.Rows[0][i].Kind() {
+			case value.KindNull:
+				k = value.KindFloat
+			default:
+				k = res.Rows[0][i].Kind()
+			}
+		}
+		attrs[i] = schema.Attribute{Name: c, Kind: k}
+	}
+	sc, err := schema.New(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(name, sc)
+	for _, r := range res.Rows {
+		if err := out.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SumWeights returns Σ w over rows matching the predicate (nil matches all).
+func SumWeights(t *table.Table, where expr.Expr) (float64, error) {
+	env, _ := makeEnv(t.Schema())
+	var total float64
+	var scanErr error
+	t.Scan(func(row []value.Value, w float64) bool {
+		if where != nil {
+			ok, err := expr.Truthy(where, env.bind(row, w))
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		total += w
+		return true
+	})
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	if math.IsNaN(total) {
+		return 0, fmt.Errorf("exec: NaN weight sum in %s", t.Name())
+	}
+	return total, nil
+}

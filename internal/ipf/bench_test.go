@@ -1,0 +1,61 @@
+package ipf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/marginal"
+	"mosaic/internal/schema"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// benchWorld builds an n-row sample over two categorical attributes with a
+// 1-D marginal on each.
+func benchWorld(n, cardA, cardB int) (*table.Table, []*marginal.Marginal) {
+	sc := schema.MustNew(
+		schema.Attribute{Name: "a", Kind: value.KindText},
+		schema.Attribute{Name: "b", Kind: value.KindText},
+	)
+	rng := rand.New(rand.NewSource(1))
+	tbl := table.New("s", sc)
+	for i := 0; i < n; i++ {
+		_ = tbl.Append([]value.Value{
+			value.Text(fmt.Sprintf("a%d", rng.Intn(cardA))),
+			value.Text(fmt.Sprintf("b%d", rng.Intn(cardB))),
+		})
+	}
+	ma, _ := marginal.New("ma", []string{"a"})
+	for i := 0; i < cardA; i++ {
+		_ = ma.Add([]value.Value{value.Text(fmt.Sprintf("a%d", i))}, float64(100+rng.Intn(900)))
+	}
+	mb, _ := marginal.New("mb", []string{"b"})
+	perB := ma.Total() / float64(cardB)
+	for i := 0; i < cardB; i++ {
+		_ = mb.Add([]value.Value{value.Text(fmt.Sprintf("b%d", i))}, perB)
+	}
+	return tbl, []*marginal.Marginal{ma, mb}
+}
+
+func BenchmarkFit10k(b *testing.B) {
+	tbl, ms := benchWorld(10000, 20, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(tbl, ms, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFit1k(b *testing.B) {
+	tbl, ms := benchWorld(1000, 10, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(tbl, ms, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

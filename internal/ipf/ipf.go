@@ -1,0 +1,233 @@
+// Package ipf implements Iterative Proportional Fitting (Deming–Stephan
+// raking, the paper's citation [13]; see also Sinkhorn scaling [27]). Given a
+// weighted sample and a set of 1-/2-dimensional population marginals, IPF
+// rescales tuple weights cell-by-cell until every marginal of the weighted
+// sample matches the population marginal. This is Mosaic's SEMI-OPEN query
+// evaluation technique when the sampling mechanism is unknown (Sec 4.1).
+//
+// IPF can only reweight tuples that exist: a marginal cell with positive
+// target but no sample tuples is unreachable mass (those are exactly the
+// false negatives SEMI-OPEN accepts, Sec 3.3). The Result reports it.
+package ipf
+
+import (
+	"fmt"
+	"math"
+
+	"mosaic/internal/marginal"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Options tunes the fit.
+type Options struct {
+	MaxIters int     // maximum raking sweeps (default 200)
+	Tol      float64 // max relative marginal error to declare convergence (default 1e-6)
+	// KeepUnreachableTargets disables the renormalization of reachable cell
+	// targets. By default, when a marginal has cells no sample tuple falls
+	// into (e.g. the Gmail cells of a Yahoo-only sample), the reachable
+	// cells' targets are scaled up so each marginal's reachable mass equals
+	// the full population total. This matches the paper's Sec 2 semantics —
+	// the reweighted Yahoo sample represents *all* UK migrants (UK, Yahoo,
+	// 20000) — and keeps the marginal system consistent so raking
+	// converges. With this flag set the raw targets are used and IPF may
+	// oscillate between inconsistent marginals.
+	KeepUnreachableTargets bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// Result describes a completed fit.
+type Result struct {
+	Iterations      int     // sweeps performed
+	MaxRelErr       float64 // final max relative error over reachable cells
+	Converged       bool
+	UnreachableMass float64 // total target count in cells with no sample tuples
+	ReachableTotal  float64 // total target count in reachable cells
+}
+
+// cellGroup is the tuple indices belonging to one marginal cell, with its
+// target count.
+type cellGroup struct {
+	target float64
+	rows   []int
+}
+
+// Fit computes IPF weights for the sample against the marginals. The input
+// weights seed the iteration (the user's initial weights, Sec 3.2); they must
+// be non-negative and not all zero. Fit does not modify the table; use Apply
+// or Table.SetWeights with the returned weights.
+func Fit(sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]float64, Result, error) {
+	opts = opts.withDefaults()
+	if len(marginals) == 0 {
+		return nil, Result{}, fmt.Errorf("ipf: no marginals")
+	}
+	n := sample.Len()
+	if n == 0 {
+		return nil, Result{}, fmt.Errorf("ipf: empty sample %s", sample.Name())
+	}
+
+	// Pre-bucket tuple indices by marginal cell.
+	groups := make([][]cellGroup, len(marginals))
+	var unreachable, reachableTotal float64
+	totals := make([]float64, len(marginals))
+	for mi, m := range marginals {
+		totals[mi] = m.Total()
+		idxs := make([]int, len(m.Attrs))
+		for ai, a := range m.Attrs {
+			j, ok := sample.Schema().Index(a)
+			if !ok {
+				return nil, Result{}, fmt.Errorf("ipf: sample %s has no attribute %q required by marginal %s", sample.Name(), a, m.Name)
+			}
+			idxs[ai] = j
+		}
+		byKey := map[string]*cellGroup{}
+		cellList := m.Cells()
+		order := m.CellKeys()
+		for ci, k := range order {
+			byKey[k] = &cellGroup{target: cellList[ci].Count}
+		}
+		row := 0
+		var missed bool
+		var keyErr error
+		sample.Scan(func(r []value.Value, _ float64) bool {
+			vals := make([]value.Value, len(idxs))
+			for ai, j := range idxs {
+				vals[ai] = r[j]
+			}
+			k, err := m.KeyFor(vals)
+			if err != nil {
+				keyErr = err
+				return false
+			}
+			g, ok := byKey[k]
+			if !ok {
+				// Tuple outside every marginal cell: it gets zero target,
+				// i.e. IPF drives its weight to 0. Record as its own cell.
+				g = &cellGroup{target: 0}
+				byKey[k] = g
+				order = append(order, k)
+				missed = true
+			}
+			g.rows = append(g.rows, row)
+			row++
+			return true
+		})
+		if keyErr != nil {
+			return nil, Result{}, keyErr
+		}
+		_ = missed
+		gl := make([]cellGroup, 0, len(order))
+		var reach float64
+		for _, k := range order {
+			g := byKey[k]
+			if len(g.rows) == 0 {
+				unreachable += g.target
+				continue
+			}
+			reach += g.target
+			gl = append(gl, *g)
+		}
+		reachableTotal += reach
+		// Renormalize reachable targets to the marginal total so the
+		// marginal system stays consistent over the sample's support.
+		if !opts.KeepUnreachableTargets && reach > 0 && reach < totals[mi] {
+			f := totals[mi] / reach
+			for i := range gl {
+				gl[i].target *= f
+			}
+		}
+		groups[mi] = gl
+	}
+
+	w := sample.Weights()
+	var seed float64
+	for _, x := range w {
+		if x < 0 {
+			return nil, Result{}, fmt.Errorf("ipf: negative seed weight")
+		}
+		seed += x
+	}
+	if seed == 0 {
+		return nil, Result{}, fmt.Errorf("ipf: all seed weights are zero")
+	}
+
+	res := Result{UnreachableMass: unreachable, ReachableTotal: reachableTotal / float64(len(marginals))}
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		// One sweep: rake every marginal in turn.
+		for _, gl := range groups {
+			for _, g := range gl {
+				var cur float64
+				for _, r := range g.rows {
+					cur += w[r]
+				}
+				switch {
+				case cur == 0 && g.target == 0:
+					// nothing to do
+				case cur == 0:
+					// All tuples in the cell have zero weight (seed was zero
+					// or a previous zero-target cell overlapped). Restart
+					// them uniformly at the target.
+					per := g.target / float64(len(g.rows))
+					for _, r := range g.rows {
+						w[r] = per
+					}
+				default:
+					f := g.target / cur
+					for _, r := range g.rows {
+						w[r] *= f
+					}
+				}
+			}
+		}
+		res.Iterations = iter
+		res.MaxRelErr = maxRelErr(groups, w)
+		if res.MaxRelErr < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return w, res, nil
+}
+
+// Apply runs Fit and installs the weights on the sample.
+func Apply(sample *table.Table, marginals []*marginal.Marginal, opts Options) (Result, error) {
+	w, res, err := Fit(sample, marginals, opts)
+	if err != nil {
+		return res, err
+	}
+	if err := sample.SetWeights(w); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func maxRelErr(groups [][]cellGroup, w []float64) float64 {
+	var worst float64
+	for _, gl := range groups {
+		for _, g := range gl {
+			var cur float64
+			for _, r := range g.rows {
+				cur += w[r]
+			}
+			var e float64
+			if g.target == 0 {
+				e = cur // absolute residual for zero-target cells
+			} else {
+				e = math.Abs(cur-g.target) / g.target
+			}
+			if e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}

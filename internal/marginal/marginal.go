@@ -1,0 +1,333 @@
+// Package marginal implements Mosaic's population metadata: 1- and
+// 2-dimensional marginal histograms (paper Sec 3.2). A marginal records, for
+// each observed combination of one or two attribute values, the ground-truth
+// population count. Marginals drive both IPF reweighting (SEMI-OPEN) and
+// M-SWG training (OPEN).
+package marginal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Cell is one histogram bucket: a value combination and its count.
+type Cell struct {
+	Vals  []value.Value
+	Count float64
+}
+
+// Marginal is a named histogram over one or two attributes of a population.
+//
+// Numeric attributes may be binned: with a bin width w, values snap to bin
+// midpoints (⌊v/w⌋+0.5)·w before keying, so a marginal over continuous data
+// is a proper histogram (the "1- or 2-dimensional histograms … commonly
+// released by corporations or governments" of Sec 3.2) rather than a set of
+// exact-value singletons.
+type Marginal struct {
+	Name  string
+	Attrs []string  // 1 or 2 attribute names
+	bins  []float64 // bin width per attribute; 0 = exact values
+	cells map[string]*Cell
+	order []string // cell keys in insertion order for deterministic iteration
+}
+
+// New creates an empty marginal over the given attributes.
+func New(name string, attrs []string) (*Marginal, error) {
+	if len(attrs) < 1 || len(attrs) > 2 {
+		return nil, fmt.Errorf("marginal %s: %d attributes; only 1- and 2-dimensional marginals are supported", name, len(attrs))
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		la := strings.ToLower(a)
+		if seen[la] {
+			return nil, fmt.Errorf("marginal %s: duplicate attribute %q", name, a)
+		}
+		seen[la] = true
+	}
+	return &Marginal{
+		Name:  name,
+		Attrs: append([]string(nil), attrs...),
+		bins:  make([]float64, len(attrs)),
+		cells: make(map[string]*Cell),
+	}, nil
+}
+
+// SetBinWidth enables binning for the named numeric attribute. It must be
+// called before any cells are added.
+func (m *Marginal) SetBinWidth(attr string, width float64) error {
+	if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+		return fmt.Errorf("marginal %s: invalid bin width %g", m.Name, width)
+	}
+	if len(m.cells) > 0 {
+		return fmt.Errorf("marginal %s: SetBinWidth after cells were added", m.Name)
+	}
+	for i, a := range m.Attrs {
+		if strings.EqualFold(a, attr) {
+			m.bins[i] = width
+			return nil
+		}
+	}
+	return fmt.Errorf("marginal %s: no attribute %q", m.Name, attr)
+}
+
+// BinWidth returns the bin width for attribute position i (0 = exact).
+func (m *Marginal) BinWidth(i int) float64 { return m.bins[i] }
+
+// SnapVals maps a value tuple onto the marginal's bin grid: numeric values
+// of binned attributes become their bin midpoint; everything else passes
+// through. The result indexes the same cell that Add would have used.
+func (m *Marginal) SnapVals(vals []value.Value) ([]value.Value, error) {
+	if len(vals) != len(m.Attrs) {
+		return nil, fmt.Errorf("marginal %s: %d values for %d attributes", m.Name, len(vals), len(m.Attrs))
+	}
+	out := make([]value.Value, len(vals))
+	for i, v := range vals {
+		w := m.bins[i]
+		if w == 0 || v.IsNull() || !v.Numeric() {
+			out[i] = v
+			continue
+		}
+		f, err := v.Float64()
+		if err != nil {
+			return nil, err
+		}
+		mid := (math.Floor(f/w) + 0.5) * w
+		out[i] = value.Float(mid)
+	}
+	return out, nil
+}
+
+// Dim returns 1 or 2.
+func (m *Marginal) Dim() int { return len(m.Attrs) }
+
+func cellKey(vals []value.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v.HashKey())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// Add accumulates count into the cell for vals (snapped to the bin grid).
+func (m *Marginal) Add(vals []value.Value, count float64) error {
+	if count < 0 {
+		return fmt.Errorf("marginal %s: negative count %g", m.Name, count)
+	}
+	snapped, err := m.SnapVals(vals)
+	if err != nil {
+		return err
+	}
+	k := cellKey(snapped)
+	if c, ok := m.cells[k]; ok {
+		c.Count += count
+		return nil
+	}
+	m.cells[k] = &Cell{Vals: snapped, Count: count}
+	m.order = append(m.order, k)
+	return nil
+}
+
+// Count returns the cell count for vals (0 when absent).
+func (m *Marginal) Count(vals []value.Value) float64 {
+	snapped, err := m.SnapVals(vals)
+	if err != nil {
+		return 0
+	}
+	if c, ok := m.cells[cellKey(snapped)]; ok {
+		return c.Count
+	}
+	return 0
+}
+
+// KeyFor returns the internal cell key a tuple maps to; IPF uses it to
+// bucket sample tuples consistently with the marginal's binning.
+func (m *Marginal) KeyFor(vals []value.Value) (string, error) {
+	snapped, err := m.SnapVals(vals)
+	if err != nil {
+		return "", err
+	}
+	return cellKey(snapped), nil
+}
+
+// CellKeys returns the internal keys of all cells in insertion order,
+// parallel to Cells().
+func (m *Marginal) CellKeys() []string {
+	return append([]string(nil), m.order...)
+}
+
+// Total returns the sum of all cell counts — the represented population size.
+func (m *Marginal) Total() float64 {
+	var s float64
+	for _, k := range m.order {
+		s += m.cells[k].Count
+	}
+	return s
+}
+
+// Len returns the number of non-empty cells.
+func (m *Marginal) Len() int { return len(m.order) }
+
+// Cells returns all cells in insertion order. The returned cells must not be
+// modified.
+func (m *Marginal) Cells() []Cell {
+	out := make([]Cell, 0, len(m.order))
+	for _, k := range m.order {
+		out = append(out, *m.cells[k])
+	}
+	return out
+}
+
+// SortedCells returns the cells ordered by value (for stable display).
+func (m *Marginal) SortedCells() []Cell {
+	out := m.Cells()
+	sort.Slice(out, func(i, j int) bool {
+		for d := range out[i].Vals {
+			c := value.Compare(out[i].Vals[d], out[j].Vals[d])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Project reduces a 2-D marginal to the 1-D marginal of attribute attr.
+func (m *Marginal) Project(attr string) (*Marginal, error) {
+	idx := -1
+	for i, a := range m.Attrs {
+		if strings.EqualFold(a, attr) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("marginal %s: no attribute %q", m.Name, attr)
+	}
+	out, err := New(m.Name+"_proj_"+attr, []string{m.Attrs[idx]})
+	if err != nil {
+		return nil, err
+	}
+	if m.bins[idx] > 0 {
+		if err := out.SetBinWidth(m.Attrs[idx], m.bins[idx]); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range m.order {
+		c := m.cells[k]
+		if err := out.Add([]value.Value{c.Vals[idx]}, c.Count); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Scale multiplies every cell count by f (>0); used to renormalize marginals
+// from a query population against global-population marginals.
+func (m *Marginal) Scale(f float64) error {
+	if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("marginal %s: invalid scale factor %g", m.Name, f)
+	}
+	for _, k := range m.order {
+		m.cells[k].Count *= f
+	}
+	return nil
+}
+
+// Clone deep-copies the marginal, including bin widths.
+func (m *Marginal) Clone() *Marginal {
+	out, _ := New(m.Name, m.Attrs)
+	copy(out.bins, m.bins)
+	for _, k := range m.order {
+		c := m.cells[k]
+		_ = out.Add(c.Vals, c.Count)
+	}
+	return out
+}
+
+// FromTable builds a marginal by grouping a relation on attrs and summing
+// tuple weights (weight 1 rows give plain counts).
+func FromTable(name string, t *table.Table, attrs []string) (*Marginal, error) {
+	return FromTableBinned(name, t, attrs, nil)
+}
+
+// FromTableBinned is FromTable with per-attribute bin widths (attribute name
+// → width; attributes absent from the map use exact values).
+func FromTableBinned(name string, t *table.Table, attrs []string, widths map[string]float64) (*Marginal, error) {
+	m, err := New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	for a, w := range widths {
+		if err := m.SetBinWidth(a, w); err != nil {
+			return nil, err
+		}
+	}
+	idxs := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := t.Schema().Index(a)
+		if !ok {
+			return nil, fmt.Errorf("marginal %s: relation %s has no attribute %q", name, t.Name(), a)
+		}
+		idxs[i] = j
+	}
+	var addErr error
+	t.Scan(func(row []value.Value, w float64) bool {
+		vals := make([]value.Value, len(idxs))
+		for i, j := range idxs {
+			vals[i] = row[j]
+		}
+		if err := m.Add(vals, w); err != nil {
+			addErr = err
+			return false
+		}
+		return true
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return m, nil
+}
+
+// ConsistentTotals checks that all marginals agree on the population size to
+// within relative tolerance tol; IPF requires consistent totals to converge.
+func ConsistentTotals(ms []*Marginal, tol float64) error {
+	if len(ms) < 2 {
+		return nil
+	}
+	t0 := ms[0].Total()
+	for _, m := range ms[1:] {
+		t := m.Total()
+		ref := math.Max(math.Abs(t0), math.Abs(t))
+		if ref == 0 {
+			continue
+		}
+		if math.Abs(t-t0)/ref > tol {
+			return fmt.Errorf("marginal: inconsistent totals %s=%.6g vs %s=%.6g", ms[0].Name, t0, m.Name, t)
+		}
+	}
+	return nil
+}
+
+// CoveredAttrs returns the distinct (lower-cased) attribute names covered by
+// the marginal set, in first-seen order.
+func CoveredAttrs(ms []*Marginal) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range ms {
+		for _, a := range m.Attrs {
+			la := strings.ToLower(a)
+			if !seen[la] {
+				seen[la] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package mechanism implements sampling mechanisms (paper Sec 3): the
+// probability Pr_S(t) that a global-population tuple enters a sample. A
+// known mechanism lets SEMI-OPEN queries reweight tuples by 1/Pr_S(t)
+// (Horvitz–Thompson weighting, the paper's standard approach, Sec 4.1).
+//
+// The package also provides samplers that draw biased samples from a known
+// population table — used by the experiment harness to construct the paper's
+// workloads (e.g. the 95 %-biased flights sample of Sec 5.3).
+package mechanism
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/schema"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Mechanism yields the inclusion probability of a tuple.
+type Mechanism interface {
+	// Name identifies the mechanism for display and catalogs.
+	Name() string
+	// InclusionProb returns Pr_S(t) in (0,1] for the given row.
+	InclusionProb(row []value.Value, s *schema.Schema) (float64, error)
+}
+
+// Uniform includes every tuple with the same probability (paper:
+// "UNIFORM PERCENT 10" is a 10 percent uniform sample).
+type Uniform struct {
+	Percent float64 // in (0,100]
+}
+
+// Name implements Mechanism.
+func (u Uniform) Name() string { return fmt.Sprintf("UNIFORM PERCENT %g", u.Percent) }
+
+// InclusionProb implements Mechanism.
+func (u Uniform) InclusionProb([]value.Value, *schema.Schema) (float64, error) {
+	if u.Percent <= 0 || u.Percent > 100 {
+		return 0, fmt.Errorf("mechanism: uniform percent %g out of (0,100]", u.Percent)
+	}
+	return u.Percent / 100, nil
+}
+
+// Stratified samples each stratum (distinct value of Attr) with its own
+// probability so that the overall sample is Percent of the population and
+// strata are equally represented (paper: "STRATIFIED ON A1 PERCENT 20").
+// The per-stratum probabilities are fixed when the sample is drawn from a
+// known population (see SampleStratified) or supplied by the user.
+type Stratified struct {
+	Attr    string
+	Percent float64
+	// Probs maps stratum value (HashKey) to inclusion probability.
+	Probs map[string]float64
+}
+
+// Name implements Mechanism.
+func (s Stratified) Name() string {
+	return fmt.Sprintf("STRATIFIED ON %s PERCENT %g", s.Attr, s.Percent)
+}
+
+// InclusionProb implements Mechanism.
+func (s Stratified) InclusionProb(row []value.Value, sc *schema.Schema) (float64, error) {
+	i, ok := sc.Index(s.Attr)
+	if !ok {
+		return 0, fmt.Errorf("mechanism: stratified attribute %q not in schema", s.Attr)
+	}
+	p, ok := s.Probs[row[i].HashKey()]
+	if !ok {
+		return 0, fmt.Errorf("mechanism: no inclusion probability for stratum %s", row[i])
+	}
+	return p, nil
+}
+
+// Biased includes tuples satisfying Pred with probability PTrue and the rest
+// with PFalse. This models the paper's flights sample: "95 percent of the
+// tuples have a long flight time" is a biased mechanism on E > 200.
+type Biased struct {
+	Label  string
+	Pred   expr.Expr
+	PTrue  float64
+	PFalse float64
+}
+
+// Name implements Mechanism.
+func (b Biased) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return fmt.Sprintf("BIASED ON %s (p=%g else %g)", b.Pred, b.PTrue, b.PFalse)
+}
+
+// InclusionProb implements Mechanism.
+func (b Biased) InclusionProb(row []value.Value, sc *schema.Schema) (float64, error) {
+	ok, err := expr.Truthy(b.Pred, &expr.Binding{Schema: sc, Row: row})
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return b.PTrue, nil
+	}
+	return b.PFalse, nil
+}
+
+// InverseWeights computes Horvitz–Thompson weights 1/Pr_S(t) for every tuple
+// of the sample table.
+func InverseWeights(t *table.Table, m Mechanism) ([]float64, error) {
+	out := make([]float64, 0, t.Len())
+	var scanErr error
+	t.Scan(func(row []value.Value, _ float64) bool {
+		p, err := m.InclusionProb(row, t.Schema())
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if p <= 0 || p > 1 {
+			scanErr = fmt.Errorf("mechanism %s: inclusion probability %g out of (0,1]", m.Name(), p)
+			return false
+		}
+		out = append(out, 1/p)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// ApplyInverseWeights reweights the sample in place by 1/Pr_S(t).
+func ApplyInverseWeights(t *table.Table, m Mechanism) error {
+	w, err := InverseWeights(t, m)
+	if err != nil {
+		return err
+	}
+	return t.SetWeights(w)
+}
+
+// Sample draws a Bernoulli sample from pop: each tuple enters independently
+// with its mechanism probability. Weights in the result are 1.
+func Sample(pop *table.Table, m Mechanism, name string, rng *rand.Rand) (*table.Table, error) {
+	out := table.New(name, pop.Schema())
+	var scanErr error
+	pop.Scan(func(row []value.Value, _ float64) bool {
+		p, err := m.InclusionProb(row, pop.Schema())
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if rng.Float64() < p {
+			if err := out.Append(row); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// StratifiedFor builds a Stratified mechanism whose per-stratum probabilities
+// realize an equal-allocation stratified design over the given population:
+// with k strata and target sample fraction f, every stratum contributes
+// f·N/k expected tuples, so stratum h with N_h tuples has probability
+// min(1, f·N/(k·N_h)).
+func StratifiedFor(pop *table.Table, attr string, percent float64) (Stratified, error) {
+	if percent <= 0 || percent > 100 {
+		return Stratified{}, fmt.Errorf("mechanism: percent %g out of (0,100]", percent)
+	}
+	i, ok := pop.Schema().Index(attr)
+	if !ok {
+		return Stratified{}, fmt.Errorf("mechanism: population has no attribute %q", attr)
+	}
+	counts := map[string]float64{}
+	pop.Scan(func(row []value.Value, _ float64) bool {
+		counts[row[i].HashKey()]++
+		return true
+	})
+	if len(counts) == 0 {
+		return Stratified{}, fmt.Errorf("mechanism: empty population for stratification on %q", attr)
+	}
+	n := float64(pop.Len()) * percent / 100
+	per := n / float64(len(counts))
+	probs := make(map[string]float64, len(counts))
+	for k, nh := range counts {
+		p := per / nh
+		if p > 1 {
+			p = 1
+		}
+		probs[k] = p
+	}
+	return Stratified{Attr: attr, Percent: percent, Probs: probs}, nil
+}

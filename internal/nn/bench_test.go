@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchNet(b *testing.B) (*Network, [][]float64, *Adam) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	// The paper's flights generator topology: 5×50 hidden, 18-dim output.
+	net := NewMLP(18, []int{50, 50, 50, 50, 50}, 18, [][2]int{{0, 14}}, rng)
+	in := make([][]float64, 500)
+	for i := range in {
+		in[i] = make([]float64, 18)
+		for j := range in[i] {
+			in[i][j] = rng.NormFloat64()
+		}
+	}
+	return net, in, NewAdam(0.001)
+}
+
+func BenchmarkForwardEval(b *testing.B) {
+	net, in, _ := benchNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in, false)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	net, in, adam := benchNet(b)
+	grad := make([][]float64, len(in))
+	for i := range grad {
+		grad[i] = make([]float64, 18)
+		for j := range grad[i] {
+			grad[i][j] = 0.01
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in, true)
+		net.Backward(grad)
+		adam.Step(net.Params())
+	}
+}

@@ -1,0 +1,485 @@
+// Package nn is Mosaic's from-scratch neural-network substrate: dense
+// layers, ReLU, batch normalization, softmax heads, Xavier initialization,
+// and the Adam optimizer, all with hand-written backpropagation. It replaces
+// the PyTorch stack the paper's prototype used (Sec 5.3 footnote 3) — the
+// M-SWG's losses have closed-form subgradients, so a generic autodiff engine
+// is unnecessary; each layer implements Forward/Backward explicitly.
+//
+// Data layout: batches are [][]float64 with shape batch×dim. Layers cache
+// forward activations and consume them during Backward; a layer must see
+// Backward exactly once per Forward in training mode.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one trainable tensor with its gradient accumulator and Adam
+// moment buffers.
+type Param struct {
+	Data []float64
+	Grad []float64
+	m, v []float64
+}
+
+// NewParam allocates a parameter of size n initialized to zero.
+func NewParam(n int) *Param {
+	return &Param{
+		Data: make([]float64, n),
+		Grad: make([]float64, n),
+		m:    make([]float64, n),
+		v:    make([]float64, n),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward maps a batch through the layer. train selects training
+	// behaviour (batch statistics, activation caching).
+	Forward(x [][]float64, train bool) [][]float64
+	// Backward consumes ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients.
+	Backward(grad [][]float64) [][]float64
+	// Params returns the layer's trainable parameters.
+	Params() []*Param
+}
+
+func alloc(batch, dim int) [][]float64 {
+	flat := make([]float64, batch*dim)
+	out := make([][]float64, batch)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim]
+	}
+	return out
+}
+
+// Dense is a fully connected layer y = xW + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	lastX   [][]float64
+}
+
+// NewDense creates a Dense layer with Xavier/Glorot-uniform weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, W: NewParam(in * out), B: NewParam(out)}
+	bound := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W.Data {
+		d.W.Data[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		d.lastX = x
+	}
+	y := alloc(len(x), d.Out)
+	for r, row := range x {
+		yr := y[r]
+		copy(yr, d.B.Data)
+		for i, xi := range row {
+			if xi == 0 {
+				continue
+			}
+			wRow := d.W.Data[i*d.Out : (i+1)*d.Out]
+			for j, w := range wRow {
+				yr[j] += xi * w
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad [][]float64) [][]float64 {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward without training Forward")
+	}
+	gx := alloc(len(grad), d.In)
+	for r, g := range grad {
+		xr := d.lastX[r]
+		gxr := gx[r]
+		for j, gj := range g {
+			d.B.Grad[j] += gj
+		}
+		for i, xi := range xr {
+			wRow := d.W.Data[i*d.Out : (i+1)*d.Out]
+			gRow := d.W.Grad[i*d.Out : (i+1)*d.Out]
+			var s float64
+			for j, gj := range g {
+				gRow[j] += xi * gj
+				s += wRow[j] * gj
+			}
+			gxr[i] = s
+		}
+	}
+	d.lastX = nil
+	return gx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectifier activation.
+type ReLU struct {
+	mask [][]bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x [][]float64, train bool) [][]float64 {
+	y := alloc(len(x), dimOf(x))
+	if train {
+		r.mask = make([][]bool, len(x))
+	}
+	for i, row := range x {
+		var m []bool
+		if train {
+			m = make([]bool, len(row))
+			r.mask[i] = m
+		}
+		for j, v := range row {
+			if v > 0 {
+				y[i][j] = v
+				if train {
+					m[j] = true
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad [][]float64) [][]float64 {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward without training Forward")
+	}
+	gx := alloc(len(grad), dimOf(grad))
+	for i, g := range grad {
+		for j, v := range g {
+			if r.mask[i][j] {
+				gx[i][j] = v
+			}
+		}
+	}
+	r.mask = nil
+	return gx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// BatchNorm normalizes each feature over the batch, then applies a learned
+// affine transform (the paper applies batch normalization after each layer).
+type BatchNorm struct {
+	Dim         int
+	Gamma, Beta *Param
+	Momentum    float64
+	Eps         float64
+
+	runMean, runVar []float64
+	// training caches
+	xhat   [][]float64
+	std    []float64
+	center [][]float64
+}
+
+// NewBatchNorm creates a BatchNorm over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	bn := &BatchNorm{
+		Dim:      dim,
+		Gamma:    NewParam(dim),
+		Beta:     NewParam(dim),
+		Momentum: 0.9,
+		Eps:      1e-5,
+		runMean:  make([]float64, dim),
+		runVar:   make([]float64, dim),
+	}
+	for i := range bn.Gamma.Data {
+		bn.Gamma.Data[i] = 1
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x [][]float64, train bool) [][]float64 {
+	n := len(x)
+	y := alloc(n, b.Dim)
+	if !train || n == 1 {
+		for i, row := range x {
+			for j, v := range row {
+				xh := (v - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Eps)
+				y[i][j] = b.Gamma.Data[j]*xh + b.Beta.Data[j]
+			}
+		}
+		return y
+	}
+	mean := make([]float64, b.Dim)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	variance := make([]float64, b.Dim)
+	center := alloc(n, b.Dim)
+	for i, row := range x {
+		for j, v := range row {
+			c := v - mean[j]
+			center[i][j] = c
+			variance[j] += c * c
+		}
+	}
+	std := make([]float64, b.Dim)
+	for j := range variance {
+		variance[j] /= float64(n)
+		std[j] = math.Sqrt(variance[j] + b.Eps)
+		b.runMean[j] = b.Momentum*b.runMean[j] + (1-b.Momentum)*mean[j]
+		b.runVar[j] = b.Momentum*b.runVar[j] + (1-b.Momentum)*variance[j]
+	}
+	xhat := alloc(n, b.Dim)
+	for i := range x {
+		for j := 0; j < b.Dim; j++ {
+			xh := center[i][j] / std[j]
+			xhat[i][j] = xh
+			y[i][j] = b.Gamma.Data[j]*xh + b.Beta.Data[j]
+		}
+	}
+	b.xhat, b.std, b.center = xhat, std, center
+	return y
+}
+
+// Backward implements Layer.
+func (b *BatchNorm) Backward(grad [][]float64) [][]float64 {
+	if b.xhat == nil {
+		panic("nn: BatchNorm.Backward without training Forward")
+	}
+	n := len(grad)
+	fn := float64(n)
+	gx := alloc(n, b.Dim)
+	sumG := make([]float64, b.Dim)
+	sumGX := make([]float64, b.Dim)
+	for i, g := range grad {
+		for j, gj := range g {
+			b.Beta.Grad[j] += gj
+			b.Gamma.Grad[j] += gj * b.xhat[i][j]
+			sumG[j] += gj
+			sumGX[j] += gj * b.xhat[i][j]
+		}
+	}
+	for i, g := range grad {
+		for j, gj := range g {
+			// dL/dx = gamma/std * (g - mean(g) - xhat*mean(g*xhat))
+			gx[i][j] = b.Gamma.Data[j] / b.std[j] *
+				(gj - sumG[j]/fn - b.xhat[i][j]*sumGX[j]/fn)
+		}
+	}
+	b.xhat, b.std, b.center = nil, nil, nil
+	return gx
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// SoftmaxBlocks applies softmax independently over designated column ranges
+// and passes the remaining columns through unchanged. The M-SWG uses one
+// block per categorical attribute ("we add a softmax layer for the
+// categorical variable", Sec 5.3).
+type SoftmaxBlocks struct {
+	Blocks [][2]int // [start,end) column ranges
+	lastY  [][]float64
+}
+
+// NewSoftmaxBlocks creates the head; blocks must be disjoint and in range.
+func NewSoftmaxBlocks(blocks [][2]int) *SoftmaxBlocks {
+	return &SoftmaxBlocks{Blocks: blocks}
+}
+
+// Forward implements Layer.
+func (s *SoftmaxBlocks) Forward(x [][]float64, train bool) [][]float64 {
+	y := alloc(len(x), dimOf(x))
+	for i, row := range x {
+		copy(y[i], row)
+	}
+	for _, blk := range s.Blocks {
+		for i := range y {
+			softmaxInPlace(y[i][blk[0]:blk[1]])
+		}
+	}
+	if train {
+		s.lastY = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (s *SoftmaxBlocks) Backward(grad [][]float64) [][]float64 {
+	if s.lastY == nil {
+		panic("nn: SoftmaxBlocks.Backward without training Forward")
+	}
+	gx := alloc(len(grad), dimOf(grad))
+	for i, g := range grad {
+		copy(gx[i], g)
+	}
+	for _, blk := range s.Blocks {
+		for i := range grad {
+			y := s.lastY[i][blk[0]:blk[1]]
+			g := grad[i][blk[0]:blk[1]]
+			var dot float64
+			for j := range y {
+				dot += y[j] * g[j]
+			}
+			out := gx[i][blk[0]:blk[1]]
+			for j := range y {
+				out[j] = y[j] * (g[j] - dot)
+			}
+		}
+	}
+	s.lastY = nil
+	return gx
+}
+
+// Params implements Layer.
+func (s *SoftmaxBlocks) Params() []*Param { return nil }
+
+func softmaxInPlace(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(x - max)
+		v[i] = e
+		sum += e
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward implements Layer for the whole stack.
+func (n *Network) Forward(x [][]float64, train bool) [][]float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer for the whole stack.
+func (n *Network) Backward(grad [][]float64) [][]float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NewMLP builds the paper's generator topology: hidden Dense→BatchNorm→ReLU
+// blocks ("we use 3 ReLU FC layers … and apply batch normalization after
+// each layer"), then a final Dense to out dims, optionally followed by
+// softmax blocks for categorical attributes.
+func NewMLP(in int, hidden []int, out int, softmaxBlocks [][2]int, rng *rand.Rand) *Network {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h, rng), NewBatchNorm(h), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, out, rng))
+	if len(softmaxBlocks) > 0 {
+		layers = append(layers, NewSoftmaxBlocks(softmaxBlocks))
+	}
+	return &Network{Layers: layers}
+}
+
+// Adam is the Adam optimizer with PyTorch-default hyperparameters
+// (the paper uses "Pytorch's Adam optimizer with the default settings").
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+}
+
+// NewAdam creates an Adam optimizer with the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update to every parameter and clears gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mhat := p.m[i] / bc1
+			vhat := p.v[i] / bc2
+			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			p.Grad[i] = 0
+		}
+	}
+}
+
+func dimOf(x [][]float64) int {
+	if len(x) == 0 {
+		return 0
+	}
+	return len(x[0])
+}
+
+// CheckShapes validates that a batch is rectangular with the expected width.
+func CheckShapes(x [][]float64, dim int) error {
+	for i, row := range x {
+		if len(row) != dim {
+			return fmt.Errorf("nn: row %d has %d columns, want %d", i, len(row), dim)
+		}
+	}
+	return nil
+}

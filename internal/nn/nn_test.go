@@ -1,0 +1,306 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadLoss is L = Σ (y - target)² / batch, with gradient 2(y-target)/batch,
+// used to drive gradient checks end-to-end.
+func quadLoss(y [][]float64, target [][]float64) (float64, [][]float64) {
+	var loss float64
+	grad := make([][]float64, len(y))
+	inv := 1 / float64(len(y))
+	for i := range y {
+		grad[i] = make([]float64, len(y[i]))
+		for j := range y[i] {
+			d := y[i][j] - target[i][j]
+			loss += d * d * inv
+			grad[i][j] = 2 * d * inv
+		}
+	}
+	return loss, grad
+}
+
+func randBatch(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// gradCheck verifies parameter gradients of a network against central finite
+// differences for a fixed input and quadratic loss.
+func gradCheck(t *testing.T, net *Network, in, target [][]float64, tol float64) {
+	t.Helper()
+	run := func() float64 {
+		y := net.Forward(in, true)
+		loss, grad := quadLoss(y, target)
+		net.Backward(grad)
+		return loss
+	}
+	net.ZeroGrad()
+	_ = run()
+	// Snapshot analytic gradients.
+	var analytic []float64
+	for _, p := range net.Params() {
+		analytic = append(analytic, p.Grad...)
+	}
+	// Finite differences.
+	const h = 1e-5
+	k := 0
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			old := p.Data[i]
+			p.Data[i] = old + h
+			net.ZeroGrad()
+			lp := lossOnly(net, in, target)
+			p.Data[i] = old - h
+			lm := lossOnly(net, in, target)
+			p.Data[i] = old
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-analytic[k]) > tol*math.Max(1, math.Abs(num)) {
+				t.Errorf("param grad %d: analytic %g vs numeric %g", k, analytic[k], num)
+			}
+			k++
+		}
+	}
+}
+
+func lossOnly(net *Network, in, target [][]float64) float64 {
+	y := net.Forward(in, true)
+	loss, grad := quadLoss(y, target)
+	net.Backward(grad) // consume caches; grads ignored
+	net.ZeroGrad()
+	return loss
+}
+
+func TestDenseForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, rng)
+	y := d.Forward(randBatch(rng, 5, 3), false)
+	if len(y) != 5 || len(y[0]) != 2 {
+		t.Fatalf("shape = %dx%d", len(y), len(y[0]))
+	}
+}
+
+func TestDenseIsAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(2, 2, rng)
+	x0 := [][]float64{{0, 0}}
+	b := d.Forward(x0, false)[0]
+	// y(e1) - y(0) gives the first weight row.
+	e1 := [][]float64{{1, 0}}
+	y1 := d.Forward(e1, false)[0]
+	for j := 0; j < 2; j++ {
+		if math.Abs(y1[j]-b[j]-d.W.Data[0*2+j]) > 1e-12 {
+			t.Errorf("column %d: affine identity broken", j)
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := &Network{Layers: []Layer{NewDense(3, 2, rng)}}
+	in := randBatch(rng, 4, 3)
+	target := randBatch(rng, 4, 2)
+	gradCheck(t, net, in, target, 1e-4)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	y := r.Forward([][]float64{{-1, 2, 0}}, true)
+	if y[0][0] != 0 || y[0][1] != 2 || y[0][2] != 0 {
+		t.Errorf("ReLU forward = %v", y[0])
+	}
+	g := r.Backward([][]float64{{5, 5, 5}})
+	if g[0][0] != 0 || g[0][1] != 5 || g[0][2] != 0 {
+		t.Errorf("ReLU backward = %v", g[0])
+	}
+}
+
+func TestMLPGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewMLP(3, []int{5}, 2, nil, rng)
+	in := randBatch(rng, 6, 3)
+	target := randBatch(rng, 6, 2)
+	// ReLU kinks make exact finite differences noisy; nudge inputs away
+	// from zero activations by using a generous tolerance.
+	gradCheck(t, net, in, target, 5e-3)
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	bn := NewBatchNorm(2)
+	rng := rand.New(rand.NewSource(5))
+	x := randBatch(rng, 64, 2)
+	for i := range x {
+		x[i][0] = x[i][0]*3 + 10 // mean 10, sd 3
+	}
+	y := bn.Forward(x, true)
+	var mean, sq float64
+	for i := range y {
+		mean += y[i][0]
+	}
+	mean /= float64(len(y))
+	for i := range y {
+		d := y[i][0] - mean
+		sq += d * d
+	}
+	sd := math.Sqrt(sq / float64(len(y)))
+	if math.Abs(mean) > 1e-9 || math.Abs(sd-1) > 1e-2 {
+		t.Errorf("batchnorm output mean=%g sd=%g", mean, sd)
+	}
+	bn.Backward(y) // release caches
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := &Network{Layers: []Layer{NewDense(2, 3, rng), NewBatchNorm(3)}}
+	in := randBatch(rng, 8, 2)
+	target := randBatch(rng, 8, 3)
+	gradCheck(t, net, in, target, 1e-3)
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm(1)
+	rng := rand.New(rand.NewSource(7))
+	// Train on shifted data to move the running mean.
+	for step := 0; step < 200; step++ {
+		x := randBatch(rng, 32, 1)
+		for i := range x {
+			x[i][0] += 5
+		}
+		y := bn.Forward(x, true)
+		bn.Backward(y)
+		bn.Gamma.ZeroGrad()
+		bn.Beta.ZeroGrad()
+	}
+	// Eval on a single centered input: running mean ≈ 5 should subtract.
+	y := bn.Forward([][]float64{{5}}, false)
+	if math.Abs(y[0][0]) > 0.2 {
+		t.Errorf("eval-mode output %g, want ≈0 (running mean)", y[0][0])
+	}
+}
+
+func TestSoftmaxBlocks(t *testing.T) {
+	s := NewSoftmaxBlocks([][2]int{{0, 3}})
+	y := s.Forward([][]float64{{1, 1, 1, 42}}, false)
+	for j := 0; j < 3; j++ {
+		if math.Abs(y[0][j]-1.0/3) > 1e-12 {
+			t.Errorf("softmax uniform = %v", y[0])
+		}
+	}
+	if y[0][3] != 42 {
+		t.Errorf("pass-through column modified: %g", y[0][3])
+	}
+	// Probabilities sum to 1 even with extreme inputs (stability shift).
+	y = s.Forward([][]float64{{1000, -1000, 0, 0}}, false)
+	var sum float64
+	for j := 0; j < 3; j++ {
+		sum += y[0][j]
+	}
+	if math.Abs(sum-1) > 1e-9 || math.IsNaN(sum) {
+		t.Errorf("softmax extreme sum = %g", sum)
+	}
+}
+
+func TestSoftmaxGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := &Network{Layers: []Layer{
+		NewDense(2, 4, rng),
+		NewSoftmaxBlocks([][2]int{{0, 3}}),
+	}}
+	in := randBatch(rng, 5, 2)
+	target := randBatch(rng, 5, 4)
+	gradCheck(t, net, in, target, 1e-3)
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)² with Adam: w must approach 3.
+	p := NewParam(1)
+	adam := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad[0] = 2 * (p.Data[0] - 3)
+		adam.Step([]*Param{p})
+	}
+	if math.Abs(p.Data[0]-3) > 1e-2 {
+		t.Errorf("Adam converged to %g, want 3", p.Data[0])
+	}
+}
+
+func TestAdamStepClearsGradients(t *testing.T) {
+	p := NewParam(2)
+	p.Grad[0], p.Grad[1] = 1, -1
+	NewAdam(0.01).Step([]*Param{p})
+	if p.Grad[0] != 0 || p.Grad[1] != 0 {
+		t.Error("Step must clear gradients")
+	}
+}
+
+func TestNetworkTrainingReducesLoss(t *testing.T) {
+	// End-to-end: a small MLP learns a fixed target mapping.
+	rng := rand.New(rand.NewSource(9))
+	net := NewMLP(2, []int{16}, 1, nil, rng)
+	adam := NewAdam(0.01)
+	in := randBatch(rng, 32, 2)
+	target := make([][]float64, 32)
+	for i := range target {
+		target[i] = []float64{in[i][0]*2 - in[i][1]}
+	}
+	first := -1.0
+	var last float64
+	for step := 0; step < 300; step++ {
+		y := net.Forward(in, true)
+		loss, grad := quadLoss(y, target)
+		if first < 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(grad)
+		adam.Step(net.Params())
+	}
+	if last > first/10 {
+		t.Errorf("loss %g -> %g; training failed to reduce by 10x", first, last)
+	}
+}
+
+func TestBackwardWithoutForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDense(2, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("Backward without Forward should panic")
+		}
+	}()
+	d.Backward([][]float64{{1, 1}})
+}
+
+func TestCheckShapes(t *testing.T) {
+	if err := CheckShapes([][]float64{{1, 2}, {3, 4}}, 2); err != nil {
+		t.Errorf("valid shapes rejected: %v", err)
+	}
+	if err := CheckShapes([][]float64{{1, 2}, {3}}, 2); err == nil {
+		t.Error("ragged batch should fail")
+	}
+}
+
+func TestXavierInitBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := NewDense(100, 100, rng)
+	bound := math.Sqrt(6.0 / 200)
+	for _, w := range d.W.Data {
+		if math.Abs(w) > bound {
+			t.Fatalf("weight %g exceeds Xavier bound %g", w, bound)
+		}
+	}
+	for _, b := range d.B.Data {
+		if b != 0 {
+			t.Fatal("biases must start at zero")
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package sql implements Mosaic's SQL dialect: a hand-written lexer and
+// recursive-descent parser for standard SELECT/INSERT/CREATE TABLE plus the
+// paper's extensions — CREATE [GLOBAL] POPULATION, CREATE SAMPLE ... USING
+// MECHANISM, CREATE METADATA, and the SELECT visibility keyword
+// (CLOSED | SEMI-OPEN | OPEN).
+package sql
+
+import (
+	"strings"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/schema"
+)
+
+// Visibility is the query openness level chosen by the user (paper Sec 3.3).
+type Visibility uint8
+
+// Visibility levels. VisibilityDefault means the user did not specify one;
+// the engine resolves it (CLOSED for auxiliary tables, SEMI-OPEN for
+// populations).
+const (
+	VisibilityDefault Visibility = iota
+	VisibilityClosed
+	VisibilitySemiOpen
+	VisibilityOpen
+)
+
+// String returns the SQL spelling.
+func (v Visibility) String() string {
+	switch v {
+	case VisibilityClosed:
+		return "CLOSED"
+	case VisibilitySemiOpen:
+		return "SEMI-OPEN"
+	case VisibilityOpen:
+		return "OPEN"
+	default:
+		return "DEFAULT"
+	}
+}
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregates. AggNone marks a plain (non-aggregate) select item.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return ""
+	}
+}
+
+// SelectItem is one output column of a SELECT.
+type SelectItem struct {
+	Agg   AggKind   // AggNone for plain expressions
+	Star  bool      // COUNT(*) or bare *
+	Expr  expr.Expr // nil when Star
+	Alias string    // optional AS alias
+}
+
+// Name returns the display name of the item.
+func (it SelectItem) Name() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != AggNone {
+		inner := "*"
+		if !it.Star && it.Expr != nil {
+			inner = it.Expr.String()
+		}
+		return it.Agg.String() + "(" + inner + ")"
+	}
+	if it.Star {
+		return "*"
+	}
+	return it.Expr.String()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Visibility Visibility
+	Distinct   bool
+	Items      []SelectItem
+	From       string
+	Where      expr.Expr
+	GroupBy    []string
+	Having     expr.Expr
+	OrderBy    []OrderItem
+	Limit      int // -1 when absent
+}
+
+func (*Select) stmt() {}
+
+// HasAggregates reports whether any select item is an aggregate.
+func (s *Select) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// MechanismSpec is the USING MECHANISM clause of CREATE SAMPLE.
+type MechanismSpec struct {
+	Kind    string  // "UNIFORM" or "STRATIFIED"
+	Attr    string  // stratification attribute (STRATIFIED only)
+	Percent float64 // sample size as percent of the global population
+}
+
+// CreateTable creates an auxiliary relation (ordinary SQL table).
+type CreateTable struct {
+	Name      string
+	Temporary bool
+	Schema    *schema.Schema // nil when created AS SELECT
+	AsSelect  *Select
+}
+
+func (*CreateTable) stmt() {}
+
+// CreatePopulation creates a population relation (paper Sec 3.1 (1)).
+type CreatePopulation struct {
+	Name     string
+	Global   bool
+	Schema   *schema.Schema // explicit attribute list; may be nil with AS
+	AsSelect *Select        // definition over the global population
+}
+
+func (*CreatePopulation) stmt() {}
+
+// CreateSample creates a sample relation (paper Sec 3.1 (2)).
+type CreateSample struct {
+	Name      string
+	Schema    *schema.Schema
+	From      string    // the global population sampled from
+	Where     expr.Expr // optional defining predicate
+	Columns   []string  // projected attributes from the SELECT
+	Star      bool      // SELECT *
+	Mechanism *MechanismSpec
+}
+
+func (*CreateSample) stmt() {}
+
+// CreateMetadata attaches a marginal to a population (paper Sec 3.2).
+// The marginal is a 1-D or 2-D GROUP BY COUNT(*) over an auxiliary relation.
+// The target population is the explicit FOR clause when present, else it is
+// inferred from the metadata name's prefix before the last underscore
+// (the paper's EuropeMigrants_M1 convention).
+type CreateMetadata struct {
+	Name       string
+	Population string // optional explicit FOR <population>
+	Attrs      []string
+	CountExpr  expr.Expr // optional SUM-style expression; nil means COUNT(*)
+	From       string
+	Where      expr.Expr
+	// Bins maps attribute name → histogram bin width (the optional
+	// WITH BINS (attr w [, attr w]) clause for continuous attributes).
+	Bins map[string]float64
+}
+
+func (*CreateMetadata) stmt() {}
+
+// TargetPopulation resolves the population the metadata applies to.
+func (c *CreateMetadata) TargetPopulation() string {
+	if c.Population != "" {
+		return c.Population
+	}
+	if i := strings.LastIndex(c.Name, "_"); i > 0 {
+		return c.Name[:i]
+	}
+	return c.Name
+}
+
+// Insert adds literal rows to a relation.
+type Insert struct {
+	Table   string
+	Columns []string // optional column list
+	Rows    [][]expr.Expr
+}
+
+func (*Insert) stmt() {}
+
+// UpdateWeights sets sample tuple weights (the paper's "update the initial
+// sample weights via a similar command"): UPDATE SAMPLE s SET WEIGHT = e
+// [WHERE p].
+type UpdateWeights struct {
+	Sample string
+	Weight expr.Expr
+	Where  expr.Expr
+}
+
+func (*UpdateWeights) stmt() {}
+
+// Drop removes a relation of any kind.
+type Drop struct {
+	Kind string // "TABLE", "POPULATION", "SAMPLE", "METADATA"
+	Name string
+}
+
+func (*Drop) stmt() {}
+
+// Explain wraps a SELECT and asks the engine to describe its plan (the
+// resolved visibility, chosen sample, marginal scope, and debiasing
+// technique) instead of executing it.
+type Explain struct {
+	Query *Select
+}
+
+func (*Explain) stmt() {}
+
+// Copy bulk-loads a CSV file into a table or sample:
+// COPY <relation> FROM '<path>' [WITH HEADER].
+type Copy struct {
+	Table  string
+	Path   string
+	Header bool
+}
+
+func (*Copy) stmt() {}

@@ -1,0 +1,32 @@
+package sql
+
+import "testing"
+
+func BenchmarkParseSelect(b *testing.B) {
+	src := `SELECT SEMI-OPEN carrier, AVG(distance) AS d, COUNT(*)
+		FROM Flights
+		WHERE elapsed_time > 200 AND carrier IN ('WN', 'AA') AND distance BETWEEN 100 AND 2500
+		GROUP BY carrier HAVING d > 10 ORDER BY d DESC LIMIT 5`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseStatement(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseScript(b *testing.B) {
+	src := `
+	CREATE TEMPORARY TABLE Eurostat (country TEXT, email TEXT, reported_count INT);
+	CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT, age INT);
+	CREATE METADATA EuropeMigrants_M1 AS (SELECT country, reported_count FROM Eurostat);
+	CREATE SAMPLE YahooMigrants AS (SELECT * FROM EuropeMigrants WHERE email = 'Yahoo');
+	SELECT OPEN country, email, COUNT(*) FROM EuropeMigrants GROUP BY country, email;
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

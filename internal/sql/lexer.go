@@ -1,0 +1,252 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexical token with its source position (1-based line/col).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords recognized by the dialect. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "AS": true,
+	"CREATE": true, "TABLE": true, "TEMPORARY": true, "TEMP": true,
+	"POPULATION": true, "GLOBAL": true, "SAMPLE": true, "METADATA": true,
+	"USING": true, "MECHANISM": true, "PERCENT": true, "ON": true,
+	"UNIFORM": true, "STRATIFIED": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "WEIGHT": true,
+	"DROP": true, "FOR": true,
+	"EXPLAIN": true, "COPY": true, "WITH": true, "HEADER": true, "BINS": true,
+	"CLOSED": true, "OPEN": true, "SEMI": true, "SEMIOPEN": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true,
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// lex tokenizes the whole input.
+func (l *lexer) lex() ([]token, error) {
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			start := l.line
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("sql: unterminated block comment starting at line %d", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	switch {
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) {
+			nr, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(nr) {
+				break
+			}
+			for i := 0; i < sz; i++ {
+				l.advance()
+			}
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: word, line: line, col: col}, nil
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber(line, col)
+	case c == '\'':
+		return l.lexString(line, col)
+	default:
+		return l.lexSymbol(line, col)
+	}
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case isDigit(c):
+			l.advance()
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.advance()
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.advance()
+			if l.pos < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+				l.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if text == "." {
+		return token{}, fmt.Errorf("sql: stray '.' at line %d col %d", line, col)
+	}
+	return token{kind: tokNumber, text: text, line: line, col: col}, nil
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '\'' {
+			// '' escapes a quote
+			if l.pos < len(l.src) && l.peekByte() == '\'' {
+				l.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+		}
+		b.WriteByte(c)
+	}
+	return token{}, fmt.Errorf("sql: unterminated string at line %d col %d", line, col)
+}
+
+func (l *lexer) lexSymbol(line, col int) (token, error) {
+	c := l.advance()
+	two := ""
+	if l.pos < len(l.src) {
+		two = string(c) + string(l.peekByte())
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.advance()
+		if two == "<>" {
+			two = "!="
+		}
+		return token{kind: tokSymbol, text: two, line: line, col: col}, nil
+	}
+	switch c {
+	case '(', ')', ',', ';', '*', '+', '-', '/', '=', '<', '>', '.', '%':
+		return token{kind: tokSymbol, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at line %d col %d", c, line, col)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,1146 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/schema"
+	"mosaic/internal/value"
+)
+
+// Parse tokenizes and parses a script of semicolon-separated statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Statement
+	for {
+		for p.acceptSymbol(";") {
+		}
+		if p.peek().kind == tokEOF {
+			return out, nil
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.acceptSymbol(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input, found %s", p.peek())
+		}
+	}
+}
+
+// ParseStatement parses exactly one statement.
+func ParseStatement(src string) (Statement, error) {
+	sts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(sts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(sts))
+	}
+	return sts[0], nil
+}
+
+// ParseQuery parses one SELECT statement.
+func ParseQuery(src string) (*Select, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: not a SELECT statement")
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by the Go API for
+// predicates).
+func ParseExpr(src string) (expr.Expr, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input after expression: %s", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("sql: line %d col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+// identifier accepts an identifier or a non-reserved keyword usable as a name
+// (e.g. a column literally named "count" is not supported, but WEIGHT is).
+func (p *parser) identifier() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.advance()
+		return t.text, nil
+	}
+	// Allow a few keywords in name position where unambiguous.
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "WEIGHT", "SAMPLE", "POPULATION", "COUNT", "MIN", "MAX", "SUM", "AVG":
+			p.advance()
+			return t.text, nil
+		}
+	}
+	return "", p.errf("expected identifier, found %s", t)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errf("expected statement, found %s", t)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdateWeights()
+	case "DROP":
+		return p.parseDrop()
+	case "EXPLAIN":
+		p.advance()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Query: sel}, nil
+	case "COPY":
+		return p.parseCopy()
+	default:
+		return nil, p.errf("unexpected keyword %s at statement start", t.text)
+	}
+}
+
+// parseCopy parses COPY <relation> FROM '<path>' [WITH HEADER].
+func (p *parser) parseCopy() (Statement, error) {
+	if err := p.expectKeyword("COPY"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errf("expected quoted file path, found %s", t)
+	}
+	p.advance()
+	c := &Copy{Table: name, Path: t.text}
+	if p.acceptKeyword("WITH") {
+		if err := p.expectKeyword("HEADER"); err != nil {
+			return nil, err
+		}
+		c.Header = true
+	}
+	return c, nil
+}
+
+// parseVisibility handles the optional CLOSED | SEMI-OPEN | OPEN keyword
+// following SELECT. SEMI-OPEN lexes as SEMI '-' OPEN; SEMIOPEN and
+// SEMI_OPEN (an identifier) are accepted as aliases.
+func (p *parser) parseVisibility() (Visibility, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && t.text == "CLOSED":
+		p.advance()
+		return VisibilityClosed, nil
+	case t.kind == tokKeyword && t.text == "OPEN":
+		p.advance()
+		return VisibilityOpen, nil
+	case t.kind == tokKeyword && t.text == "SEMIOPEN":
+		p.advance()
+		return VisibilitySemiOpen, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "SEMI_OPEN"):
+		p.advance()
+		return VisibilitySemiOpen, nil
+	case t.kind == tokKeyword && t.text == "SEMI":
+		p.advance()
+		if !p.acceptSymbol("-") {
+			return VisibilityDefault, p.errf("expected '-' after SEMI")
+		}
+		if err := p.expectKeyword("OPEN"); err != nil {
+			return VisibilityDefault, err
+		}
+		return VisibilitySemiOpen, nil
+	default:
+		return VisibilityDefault, nil
+	}
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	vis, err := p.parseVisibility()
+	if err != nil {
+		return nil, err
+	}
+	sel := &Select{Visibility: vis, Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	if p.acceptKeyword("WHERE") {
+		sel.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, name)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		sel.Having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected LIMIT count, found %s", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.text)
+		}
+		p.advance()
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	// Aggregate?
+	if t.kind == tokKeyword {
+		var agg AggKind
+		switch t.text {
+		case "COUNT":
+			agg = AggCount
+		case "SUM":
+			agg = AggSum
+		case "AVG":
+			agg = AggAvg
+		case "MIN":
+			agg = AggMin
+		case "MAX":
+			agg = AggMax
+		}
+		if agg != AggNone && p.peekAt(1).kind == tokSymbol && p.peekAt(1).text == "(" {
+			p.advance() // agg keyword
+			p.advance() // (
+			item := SelectItem{Agg: agg}
+			if p.acceptSymbol("*") {
+				if agg != AggCount {
+					return SelectItem{}, p.errf("%s(*) is not supported; only COUNT(*)", agg)
+				}
+				item.Star = true
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Expr = e
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			if p.acceptKeyword("AS") {
+				a, err := p.identifier()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Alias = a
+			}
+			return item, nil
+		}
+	}
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.identifier()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	}
+	return item, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("TEMPORARY"), p.acceptKeyword("TEMP"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateTable(true)
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable(false)
+	case p.acceptKeyword("GLOBAL"):
+		if err := p.expectKeyword("POPULATION"); err != nil {
+			return nil, err
+		}
+		return p.parseCreatePopulation(true)
+	case p.acceptKeyword("POPULATION"):
+		return p.parseCreatePopulation(false)
+	case p.acceptKeyword("SAMPLE"):
+		return p.parseCreateSample()
+	case p.acceptKeyword("METADATA"):
+		return p.parseCreateMetadata()
+	default:
+		return nil, p.errf("expected TABLE, POPULATION, SAMPLE, or METADATA after CREATE")
+	}
+}
+
+// parseAttrList parses "(a INT, b TEXT, ...)".
+func (p *parser) parseAttrList() (*schema.Schema, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var attrs []schema.Attribute
+	for {
+		name, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		tt := p.peek()
+		if tt.kind != tokIdent && tt.kind != tokKeyword {
+			return nil, p.errf("expected type name for attribute %q, found %s", name, tt)
+		}
+		p.advance()
+		k, err := value.ParseKind(strings.ToUpper(tt.text))
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		attrs = append(attrs, schema.Attribute{Name: name, Kind: k})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return schema.New(attrs...)
+}
+
+// looksLikeAttrList distinguishes "(a INT, ...)" from "(SELECT ...)".
+func (p *parser) looksLikeAttrList() bool {
+	if !(p.peek().kind == tokSymbol && p.peek().text == "(") {
+		return false
+	}
+	n := p.peekAt(1)
+	return n.kind == tokIdent || (n.kind == tokKeyword && n.text != "SELECT")
+}
+
+// parseParenSelect parses "(SELECT ...)" or a bare SELECT.
+func (p *parser) parseParenSelect() (*Select, error) {
+	paren := p.acceptSymbol("(")
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if paren {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseCreateTable(temp bool) (Statement, error) {
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name, Temporary: temp}
+	if p.looksLikeAttrList() {
+		ct.Schema, err = p.parseAttrList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("AS") {
+		ct.AsSelect, err = p.parseParenSelect()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ct.Schema == nil && ct.AsSelect == nil {
+		return nil, p.errf("CREATE TABLE %s needs an attribute list or AS SELECT", name)
+	}
+	return ct, nil
+}
+
+func (p *parser) parseCreatePopulation(global bool) (Statement, error) {
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	cp := &CreatePopulation{Name: name, Global: global}
+	if p.looksLikeAttrList() {
+		cp.Schema, err = p.parseAttrList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("AS") {
+		cp.AsSelect, err = p.parseParenSelect()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !global && cp.AsSelect == nil {
+		return nil, p.errf("non-global population %s must be defined AS (SELECT ... FROM <global population>)", name)
+	}
+	if global && cp.Schema == nil && cp.AsSelect == nil {
+		return nil, p.errf("global population %s needs an attribute list", name)
+	}
+	return cp, nil
+}
+
+// parseCreateSample parses
+//
+//	CREATE SAMPLE s [(attrs)] AS
+//	  (SELECT cols FROM gp [WHERE pred] [USING MECHANISM m PERCENT x]);
+func (p *parser) parseCreateSample() (Statement, error) {
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	cs := &CreateSample{Name: name}
+	if p.looksLikeAttrList() {
+		cs.Schema, err = p.parseAttrList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	paren := p.acceptSymbol("(")
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("*") {
+		cs.Star = true
+	} else {
+		for {
+			col, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			cs.Columns = append(cs.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	cs.From, err = p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		cs.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("USING") {
+		if err := p.expectKeyword("MECHANISM"); err != nil {
+			return nil, err
+		}
+		mech := &MechanismSpec{}
+		switch {
+		case p.acceptKeyword("UNIFORM"):
+			mech.Kind = "UNIFORM"
+		case p.acceptKeyword("STRATIFIED"):
+			mech.Kind = "STRATIFIED"
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			mech.Attr, err = p.identifier()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected UNIFORM or STRATIFIED mechanism, found %s", p.peek())
+		}
+		if err := p.expectKeyword("PERCENT"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected PERCENT value, found %s", t)
+		}
+		pct, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, p.errf("invalid PERCENT value %q", t.text)
+		}
+		p.advance()
+		mech.Percent = pct
+		cs.Mechanism = mech
+	}
+	if paren {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+// parseCreateMetadata parses
+//
+//	CREATE METADATA m [FOR pop] AS
+//	  (SELECT a [, b], COUNT(*) FROM aux [WHERE pred] GROUP BY a [, b]);
+//
+// The last select item may also be a plain column holding precomputed counts
+// (the Eurostat reported_count form from the paper's Sec 2), in which case no
+// GROUP BY is required.
+func (p *parser) parseCreateMetadata() (Statement, error) {
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	cm := &CreateMetadata{Name: name}
+	if p.acceptKeyword("FOR") {
+		cm.Population, err = p.identifier()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("WITH") {
+		if err := p.expectKeyword("BINS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		cm.Bins = map[string]float64{}
+		for {
+			attr, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, p.errf("expected bin width for %q, found %s", attr, t)
+			}
+			w, err := strconv.ParseFloat(t.text, 64)
+			if err != nil || w <= 0 {
+				return nil, p.errf("invalid bin width %q", t.text)
+			}
+			p.advance()
+			cm.Bins[attr] = w
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	paren := p.acceptSymbol("(")
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	// Parse items: leading group attributes, then COUNT(*) or a count column.
+	var items []SelectItem
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if len(items) < 2 || len(items) > 3 {
+		return nil, p.errf("CREATE METADATA select list must be (attr [, attr], count)")
+	}
+	last := items[len(items)-1]
+	for _, it := range items[:len(items)-1] {
+		col, ok := it.Expr.(*expr.Column)
+		if !ok || it.Agg != AggNone {
+			return nil, p.errf("CREATE METADATA group attributes must be plain columns")
+		}
+		cm.Attrs = append(cm.Attrs, col.Name)
+	}
+	switch {
+	case last.Agg == AggCount && last.Star:
+		cm.CountExpr = nil // COUNT(*)
+	case last.Agg == AggSum && last.Expr != nil:
+		cm.CountExpr = last.Expr // SUM(weight-like column)
+	case last.Agg == AggNone && last.Expr != nil:
+		cm.CountExpr = last.Expr // precomputed count column
+	default:
+		return nil, p.errf("CREATE METADATA last item must be COUNT(*), SUM(col), or a count column")
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	cm.From, err = p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		cm.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		var groups []string
+		for {
+			g, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if len(groups) != len(cm.Attrs) {
+			return nil, p.errf("GROUP BY must list the same attributes as the select list")
+		}
+		for i, g := range groups {
+			if !strings.EqualFold(g, cm.Attrs[i]) {
+				return nil, p.errf("GROUP BY attribute %q does not match select attribute %q", g, cm.Attrs[i])
+			}
+		}
+	}
+	if paren {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	return cm, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.advance()
+		for {
+			col, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdateWeights() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SAMPLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WEIGHT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	uw := &UpdateWeights{Sample: name}
+	uw.Weight, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		uw.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return uw, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	var kind string
+	switch {
+	case p.acceptKeyword("TABLE"):
+		kind = "TABLE"
+	case p.acceptKeyword("POPULATION"):
+		kind = "POPULATION"
+	case p.acceptKeyword("SAMPLE"):
+		kind = "SAMPLE"
+	case p.acceptKeyword("METADATA"):
+		kind = "METADATA"
+	default:
+		return nil, p.errf("expected TABLE, POPULATION, SAMPLE, or METADATA after DROP")
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	return &Drop{Kind: kind, Name: name}, nil
+}
+
+// ---- expression parsing (precedence climbing) ----
+
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin(expr.OpOr, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// AND binds predicates, but inside BETWEEN the AND belongs to the
+		// range; parseNot/parsePredicate consume that form before returning.
+		if t := p.peek(); t.kind == tokKeyword && t.text == "AND" {
+			p.advance()
+			right, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Bin(expr.OpAnd, left, right)
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Neg: false, Child: child}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (expr.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if t := p.peek(); t.kind == tokKeyword && t.text == "NOT" {
+		// Lookahead for NOT IN / NOT BETWEEN.
+		n := p.peekAt(1)
+		if n.kind == tokKeyword && (n.text == "IN" || n.text == "BETWEEN") {
+			p.advance()
+			negate = true
+		}
+	}
+	switch t := p.peek(); {
+	case t.kind == tokKeyword && t.text == "IN":
+		p.advance()
+		// Accept both IN ('a','b') and the paper's IN ['a','b'] rendering is
+		// not lexable (no brackets); parens only.
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &expr.In{Child: left, List: list, Negate: negate}, nil
+	case t.kind == tokKeyword && t.text == "BETWEEN":
+		p.advance()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Between{Child: left, Lo: lo, Hi: hi, Negate: negate}, nil
+	case t.kind == tokKeyword && t.text == "IS":
+		p.advance()
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{Child: left, Negate: neg}, nil
+	case t.kind == tokSymbol:
+		var op expr.BinOp
+		ok := true
+		switch t.text {
+		case "=":
+			op = expr.OpEq
+		case "!=":
+			op = expr.OpNe
+		case "<":
+			op = expr.OpLt
+		case "<=":
+			op = expr.OpLe
+		case ">":
+			op = expr.OpGt
+		case ">=":
+			op = expr.OpGe
+		default:
+			ok = false
+		}
+		if ok {
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Bin(op, left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		op := expr.OpAdd
+		if t.text == "-" {
+			op = expr.OpSub
+		}
+		left = expr.Bin(op, left, right)
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := expr.OpMul
+		if t.text == "/" {
+			op = expr.OpDiv
+		}
+		left = expr.Bin(op, left, right)
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.acceptSymbol("-") {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals for cleaner ASTs.
+		if lit, ok := child.(*expr.Literal); ok {
+			switch lit.Val.Kind() {
+			case value.KindInt:
+				return expr.Lit(value.Int(-lit.Val.AsInt())), nil
+			case value.KindFloat:
+				return expr.Lit(value.Float(-lit.Val.AsFloat())), nil
+			}
+		}
+		return &expr.Unary{Neg: true, Child: child}, nil
+	}
+	p.acceptSymbol("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return expr.Lit(value.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			// Integer overflow: fall back to float.
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return expr.Lit(value.Float(f)), nil
+		}
+		return expr.Lit(value.Int(i)), nil
+	case tokString:
+		p.advance()
+		return expr.Lit(value.Text(t.text)), nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return expr.Lit(value.Null()), nil
+		case "TRUE":
+			p.advance()
+			return expr.Lit(value.Bool(true)), nil
+		case "FALSE":
+			p.advance()
+			return expr.Lit(value.Bool(false)), nil
+		case "WEIGHT":
+			// WEIGHT is addressable as a pseudo-column in predicates.
+			p.advance()
+			return expr.Col("WEIGHT"), nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.text)
+	case tokIdent:
+		p.advance()
+		return expr.Col(t.text), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,470 @@
+package swg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"mosaic/internal/marginal"
+	"mosaic/internal/nn"
+	"mosaic/internal/table"
+	"mosaic/internal/wasserstein"
+)
+
+// Config tunes an M-SWG. Zero fields take the paper's defaults where the
+// paper gives one.
+type Config struct {
+	// Hidden layer widths. Default: three layers of 100 (the paper's
+	// synthetic-data topology).
+	Hidden []int
+	// Latent is the generator input dimension ℓ. Default 2; the flights
+	// experiment sets it to the encoded dimensionality.
+	Latent int
+	// Lambda trades off marginal fit against sample structure (Eq. 1).
+	// Default 0.04 (the paper's synthetic-data setting).
+	Lambda float64
+	// Projections is p, the number of fixed random projections per ≥2-D
+	// marginal subspace. Default 100.
+	Projections int
+	// BatchSize is the training batch. Default 500.
+	BatchSize int
+	// LR is the initial Adam learning rate. Default 0.001.
+	LR float64
+	// Epochs is the number of training epochs. Default 20.
+	Epochs int
+	// StepsPerEpoch is training steps per epoch; default max(1, |S|/batch)
+	// ("each epoch is one pass over the population marginals").
+	StepsPerEpoch int
+	// ProximitySubsample caps the encoded sample rows scanned per batch for
+	// the λ term; 0 means 1024. The term is an expectation over G, so a
+	// random subsample is an unbiased stochastic estimate.
+	ProximitySubsample int
+	// OneDWeight is the coefficient on the exact 1-D terms (the paper's k).
+	// Default 1.
+	OneDWeight float64
+	// PlateauPatience is the number of epochs without loss improvement
+	// before the learning rate decays by 10× ("decreases by a factor of 10
+	// if a plateau is reached"). Default 5.
+	PlateauPatience int
+	// Workers parallelizes the loss computation over projections and
+	// proximity rows. 0/1 = serial. Work is statically partitioned, so
+	// results are independent of goroutine scheduling.
+	Workers int
+	// Seed drives all model randomness. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults(enc *Encoder) Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{100, 100, 100}
+	}
+	if c.Latent <= 0 {
+		c.Latent = 2
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.04
+	}
+	if c.Projections <= 0 {
+		c.Projections = 100
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 500
+	}
+	if c.LR <= 0 {
+		c.LR = 0.001
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.ProximitySubsample <= 0 {
+		c.ProximitySubsample = 1024
+	}
+	if c.OneDWeight == 0 {
+		c.OneDWeight = 1
+	}
+	if c.PlateauPatience <= 0 {
+		c.PlateauPatience = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	_ = enc
+	return c
+}
+
+// lossTerm is one precompiled marginal constraint: the encoded subspace
+// columns, the fixed projection directions, and — because both Ω and the
+// batch size are fixed — the precomputed target quantiles per direction.
+type lossTerm struct {
+	name    string
+	cols    []int
+	dirs    [][]float64
+	targets [][]float64 // [dir][batch] target quantiles
+	weight  float64     // applied after averaging over dirs
+}
+
+// Model is a trained or trainable M-SWG.
+type Model struct {
+	Enc    *Encoder
+	Net    *nn.Network
+	cfg    Config
+	rng    *rand.Rand
+	terms  []lossTerm
+	sample [][]float64 // encoded sample rows (the manifold anchor set)
+	adam   *nn.Adam
+	// History records per-epoch mean training loss.
+	History []float64
+	trained bool
+}
+
+// New compiles an M-SWG for the sample and marginal set. Marginals whose
+// encoded subspace is one-dimensional get exact W1 terms; wider subspaces
+// (2-D marginals, or 1-D marginals over one-hot categorical attributes) get
+// sliced terms with cfg.Projections fixed unit directions.
+func New(sample *table.Table, marginals []*marginal.Marginal, cfg Config) (*Model, error) {
+	if sample.Len() == 0 {
+		return nil, fmt.Errorf("swg: empty sample %s", sample.Name())
+	}
+	if len(marginals) == 0 {
+		return nil, fmt.Errorf("swg: no marginals; the M-SWG needs population metadata")
+	}
+	enc, err := BuildEncoder(sample, marginals)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(enc)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		Enc: enc,
+		cfg: cfg,
+		rng: rng,
+	}
+	m.sample, err = enc.EncodeTable(sample)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StepsPerEpoch <= 0 {
+		cfg.StepsPerEpoch = len(m.sample) / cfg.BatchSize
+		if cfg.StepsPerEpoch < 1 {
+			cfg.StepsPerEpoch = 1
+		}
+		m.cfg = cfg
+	}
+	for _, mg := range marginals {
+		term, err := m.compileTerm(mg)
+		if err != nil {
+			return nil, err
+		}
+		m.terms = append(m.terms, term)
+	}
+	m.Net = nn.NewMLP(cfg.Latent, cfg.Hidden, enc.Dim, enc.SoftmaxBlocks(), rng)
+	m.adam = nn.NewAdam(cfg.LR)
+	return m, nil
+}
+
+func (m *Model) compileTerm(mg *marginal.Marginal) (lossTerm, error) {
+	cols, err := m.Enc.SubspaceCols(mg.Attrs)
+	if err != nil {
+		return lossTerm{}, err
+	}
+	cells := mg.Cells()
+	points := make([][]float64, len(cells))
+	weights := make([]float64, len(cells))
+	for i, c := range cells {
+		p, err := m.Enc.EncodeCellPoint(mg.Attrs, c.Vals)
+		if err != nil {
+			return lossTerm{}, err
+		}
+		points[i] = p
+		weights[i] = c.Count
+	}
+	t := lossTerm{name: mg.Name, cols: cols}
+	var dirs [][]float64
+	if len(cols) == 1 {
+		dirs = [][]float64{{1}}
+		t.weight = m.cfg.OneDWeight
+	} else {
+		dirs = make([][]float64, m.cfg.Projections)
+		for i := range dirs {
+			dirs[i] = wasserstein.RandomUnitVector(m.rng, len(cols))
+		}
+		t.weight = 1 // the 1/p factor is the average over dirs
+	}
+	t.dirs = dirs
+	t.targets = make([][]float64, len(dirs))
+	for di, d := range dirs {
+		proj := make([]float64, len(points))
+		for pi, p := range points {
+			var s float64
+			for j, dj := range d {
+				s += p[j] * dj
+			}
+			proj[pi] = s
+		}
+		wd, err := wasserstein.NewWeighted(proj, weights)
+		if err != nil {
+			return lossTerm{}, fmt.Errorf("swg: marginal %s: %v", mg.Name, err)
+		}
+		t.targets[di] = wd.Quantiles(m.cfg.BatchSize)
+	}
+	return t, nil
+}
+
+// latentBatch draws a batch of N(0, I_ℓ) latent vectors.
+func (m *Model) latentBatch(n int) [][]float64 {
+	z := make([][]float64, n)
+	for i := range z {
+		row := make([]float64, m.cfg.Latent)
+		for j := range row {
+			row[j] = m.rng.NormFloat64()
+		}
+		z[i] = row
+	}
+	return z
+}
+
+// lossAndGrad computes Eq. 1 and its subgradient with respect to the
+// generator output batch. With cfg.Workers > 1 the projection terms and the
+// proximity rows are processed in parallel under a static partition, so the
+// result is deterministic.
+func (m *Model) lossAndGrad(out [][]float64) (float64, [][]float64, error) {
+	n := len(out)
+	grad := make([][]float64, n)
+	for i := range grad {
+		grad[i] = make([]float64, m.Enc.Dim)
+	}
+
+	// Flatten (term, dir) pairs into independent work items.
+	type item struct {
+		t  *lossTerm
+		di int
+	}
+	var items []item
+	for ti := range m.terms {
+		t := &m.terms[ti]
+		for di := range t.dirs {
+			items = append(items, item{t: t, di: di})
+		}
+	}
+
+	workers := m.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) && len(items) > 0 {
+		workers = len(items)
+	}
+
+	itemLoss := make([]float64, len(items))
+	itemErr := make([]error, workers)
+	workerGrads := make([][][]float64, workers)
+	process := func(w int, dst [][]float64) {
+		for ii := w; ii < len(items); ii += workers {
+			it := items[ii]
+			scale := it.t.weight / float64(len(it.t.dirs))
+			dir := it.t.dirs[it.di]
+			proj := wasserstein.ProjectCols(out, it.t.cols, dir)
+			d, g, err := wasserstein.W1ToUniform(proj, it.t.targets[it.di])
+			if err != nil {
+				itemErr[w] = err
+				return
+			}
+			itemLoss[ii] = scale * d
+			for r, gr := range g {
+				if gr == 0 {
+					continue
+				}
+				gs := scale * gr
+				row := dst[r]
+				for j, c := range it.t.cols {
+					row[c] += gs * dir[j]
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		process(0, grad)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			buf := make([][]float64, n)
+			flat := make([]float64, n*m.Enc.Dim)
+			for i := range buf {
+				buf[i] = flat[i*m.Enc.Dim : (i+1)*m.Enc.Dim]
+			}
+			workerGrads[w] = buf
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				process(w, workerGrads[w])
+			}(w)
+		}
+		wg.Wait()
+		// Deterministic reduction in worker order.
+		for w := 0; w < workers; w++ {
+			for r := range grad {
+				dst, src := grad[r], workerGrads[w][r]
+				for c := range dst {
+					dst[c] += src[c]
+				}
+			}
+		}
+	}
+	for _, err := range itemErr {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	var loss float64
+	for _, l := range itemLoss {
+		loss += l
+	}
+
+	// Sample-proximity term: λ E_x min_y ||x − y||², estimated over a
+	// random subsample of the encoded sample. Rows write disjoint gradient
+	// entries, so row-parallelism is exact.
+	if m.cfg.Lambda > 0 && len(m.sample) > 0 {
+		sub := m.sample
+		if len(sub) > m.cfg.ProximitySubsample {
+			sub = make([][]float64, m.cfg.ProximitySubsample)
+			for i := range sub {
+				sub[i] = m.sample[m.rng.Intn(len(m.sample))]
+			}
+		}
+		inv := 1 / float64(n)
+		rowLoss := make([]float64, n)
+		proxRow := func(r int) {
+			x := out[r]
+			best := math.Inf(1)
+			var bestY []float64
+			for _, y := range sub {
+				var d float64
+				for j := range x {
+					diff := x[j] - y[j]
+					d += diff * diff
+					if d >= best {
+						break
+					}
+				}
+				if d < best {
+					best = d
+					bestY = y
+				}
+			}
+			rowLoss[r] = m.cfg.Lambda * best * inv
+			row := grad[r]
+			for j := range x {
+				row[j] += m.cfg.Lambda * 2 * (x[j] - bestY[j]) * inv
+			}
+		}
+		if workers <= 1 {
+			for r := range out {
+				proxRow(r)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := w; r < n; r += workers {
+						proxRow(r)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		for _, l := range rowLoss {
+			loss += l
+		}
+	}
+	return loss, grad, nil
+}
+
+// Train runs the full training schedule: Adam with the paper's plateau
+// learning-rate decay. It is idempotent to call once; further calls continue
+// training from the current parameters.
+func (m *Model) Train() error {
+	best := math.Inf(1)
+	sinceBest := 0
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		var sum float64
+		for step := 0; step < m.cfg.StepsPerEpoch; step++ {
+			z := m.latentBatch(m.cfg.BatchSize)
+			out := m.Net.Forward(z, true)
+			loss, grad, err := m.lossAndGrad(out)
+			if err != nil {
+				return err
+			}
+			m.Net.Backward(grad)
+			m.adam.Step(m.Net.Params())
+			sum += loss
+		}
+		mean := sum / float64(m.cfg.StepsPerEpoch)
+		m.History = append(m.History, mean)
+		if mean < best-1e-9 {
+			best = mean
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest >= m.cfg.PlateauPatience {
+				m.adam.LR /= 10
+				sinceBest = 0
+				if m.adam.LR < 1e-7 {
+					break
+				}
+			}
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Trained reports whether Train has completed at least once.
+func (m *Model) Trained() bool { return m.trained }
+
+// GenerateEncoded produces n encoded vectors from the trained generator
+// (eval-mode forward: batch norm uses running statistics).
+func (m *Model) GenerateEncoded(n int) [][]float64 {
+	out := make([][]float64, 0, n)
+	for len(out) < n {
+		b := m.cfg.BatchSize
+		if rem := n - len(out); rem < b {
+			b = rem
+		}
+		z := m.latentBatch(b)
+		y := m.Net.Forward(z, false)
+		out = append(out, y...)
+	}
+	return out
+}
+
+// Generate produces a generated sample table of n tuples with weight 1,
+// decoding categorical blocks to their argmax level.
+func (m *Model) Generate(name string, n int) (*table.Table, error) {
+	enc := m.GenerateEncoded(n)
+	t := table.New(name, m.Enc.Schema)
+	for _, v := range enc {
+		row, err := m.Enc.DecodeRow(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Loss evaluates Eq. 1 on a fresh eval-mode batch (no parameter update);
+// useful for model selection and tests.
+func (m *Model) Loss() (float64, error) {
+	z := m.latentBatch(m.cfg.BatchSize)
+	out := m.Net.Forward(z, false)
+	l, _, err := m.lossAndGrad(out)
+	return l, err
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Model) Config() Config { return m.cfg }

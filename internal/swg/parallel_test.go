@@ -1,0 +1,109 @@
+package swg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/marginal"
+	"mosaic/internal/schema"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// parallelWorld builds a model over a 2-D world with a 2-D marginal so the
+// sliced (multi-projection) path is exercised.
+func parallelWorld(t testing.TB, workers int) *Model {
+	sc := schema.MustNew(
+		schema.Attribute{Name: "x", Kind: value.KindFloat},
+		schema.Attribute{Name: "y", Kind: value.KindFloat},
+	)
+	rng := rand.New(rand.NewSource(3))
+	tbl := table.New("s", sc)
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()
+		_ = tbl.Append([]value.Value{value.Float(x), value.Float(x*0.5 + rng.Float64()*0.1)})
+	}
+	m, err := marginal.FromTableBinned("m", tbl, []string{"x", "y"},
+		map[string]float64{"x": 0.1, "y": 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := New(tbl, []*marginal.Marginal{m}, Config{
+		Hidden: []int{16, 16}, Latent: 2, BatchSize: 128,
+		Projections: 24, Epochs: 2, StepsPerEpoch: 2,
+		Lambda: 0.05, Workers: workers, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestParallelLossMatchesSerial(t *testing.T) {
+	serial := parallelWorld(t, 1)
+	parallel := parallelWorld(t, 4)
+	// Same seed → identical nets and identical latent draws.
+	z := serial.latentBatch(serial.cfg.BatchSize)
+	out := serial.Net.Forward(z, false)
+	l1, g1, err := serial.lossAndGrad(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2 := parallel.latentBatch(parallel.cfg.BatchSize)
+	out2 := parallel.Net.Forward(z2, false)
+	l2, g2, err := parallel.lossAndGrad(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l1-l2) > 1e-9*math.Max(1, math.Abs(l1)) {
+		t.Errorf("loss serial %g vs parallel %g", l1, l2)
+	}
+	for r := range g1 {
+		for c := range g1[r] {
+			if math.Abs(g1[r][c]-g2[r][c]) > 1e-9 {
+				t.Fatalf("grad[%d][%d] serial %g vs parallel %g", r, c, g1[r][c], g2[r][c])
+			}
+		}
+	}
+}
+
+func TestParallelTrainingIsDeterministic(t *testing.T) {
+	a := parallelWorld(t, 4)
+	b := parallelWorld(t, 4)
+	if err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("epoch %d: history %g vs %g (parallel run nondeterministic)", i, a.History[i], b.History[i])
+		}
+	}
+}
+
+func BenchmarkTrainStepSerial(b *testing.B) {
+	model := parallelWorld(b, 1)
+	z := model.latentBatch(model.cfg.BatchSize)
+	out := model.Net.Forward(z, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := model.lossAndGrad(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainStepParallel4(b *testing.B) {
+	model := parallelWorld(b, 4)
+	z := model.latentBatch(model.cfg.BatchSize)
+	out := model.Net.Forward(z, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := model.lossAndGrad(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

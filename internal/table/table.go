@@ -1,0 +1,218 @@
+// Package table implements Mosaic's in-memory weighted row store.
+//
+// Every tuple carries a float64 weight (Sec 3.2 of the paper: sample
+// metadata is tuple weights initialized to one). The executor answers
+// SEMI-OPEN and OPEN queries by aggregating over these weights, so the store
+// keeps them adjacent to the rows and supports bulk reweighting.
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/value"
+)
+
+// Table is an append-only in-memory relation with per-tuple weights.
+// It is safe for concurrent readers; writers must be externally serialized
+// against readers (the engine holds a catalog lock during DDL/DML).
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema *schema.Schema
+	rows   [][]value.Value
+	wts    []float64
+}
+
+// New creates an empty table with the given name and schema.
+func New(name string, s *schema.Schema) *Table {
+	return &Table{name: name, schema: s}
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the relation schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// Len returns the number of stored tuples.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Append validates and stores a row with weight 1.
+func (t *Table) Append(row []value.Value) error {
+	return t.AppendWeighted(row, 1)
+}
+
+// AppendWeighted validates and stores a row with the given weight.
+func (t *Table) AppendWeighted(row []value.Value, w float64) error {
+	vr, err := t.schema.Validate(row)
+	if err != nil {
+		return fmt.Errorf("table %s: %v", t.name, err)
+	}
+	if w < 0 {
+		return fmt.Errorf("table %s: negative weight %g", t.name, w)
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, vr)
+	t.wts = append(t.wts, w)
+	t.mu.Unlock()
+	return nil
+}
+
+// BulkAppend stores many rows with weight 1, validating each.
+func (t *Table) BulkAppend(rows [][]value.Value) error {
+	for _, r := range rows {
+		if err := t.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Row returns the i-th row. The returned slice must not be modified.
+func (t *Table) Row(i int) []value.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[i]
+}
+
+// Weight returns the i-th tuple weight.
+func (t *Table) Weight(i int) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.wts[i]
+}
+
+// SetWeight overwrites the i-th tuple weight.
+func (t *Table) SetWeight(i int, w float64) error {
+	if w < 0 {
+		return fmt.Errorf("table %s: negative weight %g", t.name, w)
+	}
+	t.mu.Lock()
+	t.wts[i] = w
+	t.mu.Unlock()
+	return nil
+}
+
+// SetWeights overwrites all tuple weights at once; len(w) must equal Len.
+func (t *Table) SetWeights(w []float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(w) != len(t.rows) {
+		return fmt.Errorf("table %s: %d weights for %d rows", t.name, len(w), len(t.rows))
+	}
+	for i, x := range w {
+		if x < 0 {
+			return fmt.Errorf("table %s: negative weight %g at row %d", t.name, x, i)
+		}
+		t.wts[i] = x
+	}
+	return nil
+}
+
+// Weights returns a copy of all tuple weights.
+func (t *Table) Weights() []float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]float64, len(t.wts))
+	copy(out, t.wts)
+	return out
+}
+
+// ResetWeights sets every tuple weight to w.
+func (t *Table) ResetWeights(w float64) error {
+	if w < 0 {
+		return fmt.Errorf("table %s: negative weight %g", t.name, w)
+	}
+	t.mu.Lock()
+	for i := range t.wts {
+		t.wts[i] = w
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// TotalWeight returns the sum of all tuple weights (the represented
+// population size under the current reweighting).
+func (t *Table) TotalWeight() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var s float64
+	for _, w := range t.wts {
+		s += w
+	}
+	return s
+}
+
+// Scan calls fn for every (row, weight) pair, stopping early if fn returns
+// false. The row slice must not be modified.
+func (t *Table) Scan(fn func(row []value.Value, w float64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.rows {
+		if !fn(r, t.wts[i]) {
+			return
+		}
+	}
+}
+
+// Column extracts the values of one attribute as a slice, in row order.
+func (t *Table) Column(name string) ([]value.Value, error) {
+	i, ok := t.schema.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("table %s: no attribute %q", t.name, name)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Value, len(t.rows))
+	for j, r := range t.rows {
+		out[j] = r[i]
+	}
+	return out, nil
+}
+
+// FloatColumn extracts a numeric attribute as float64s, in row order.
+func (t *Table) FloatColumn(name string) ([]float64, error) {
+	col, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(col))
+	for j, v := range col {
+		f, err := v.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("table %s: attribute %q row %d: %v", t.name, name, j, err)
+		}
+		out[j] = f
+	}
+	return out, nil
+}
+
+// Clone deep-copies the table under a new name, preserving weights.
+func (t *Table) Clone(name string) *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	nt := New(name, t.schema)
+	nt.rows = make([][]value.Value, len(t.rows))
+	nt.wts = make([]float64, len(t.wts))
+	for i, r := range t.rows {
+		rr := make([]value.Value, len(r))
+		copy(rr, r)
+		nt.rows[i] = rr
+	}
+	copy(nt.wts, t.wts)
+	return nt
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	t.rows = nil
+	t.wts = nil
+	t.mu.Unlock()
+}

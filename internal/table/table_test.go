@@ -1,0 +1,238 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/value"
+)
+
+var testSchema = schema.MustNew(
+	schema.Attribute{Name: "a", Kind: value.KindInt},
+	schema.Attribute{Name: "b", Kind: value.KindFloat},
+)
+
+func fill(t *testing.T, tbl *Table, rows [][2]float64) {
+	t.Helper()
+	for _, r := range rows {
+		if err := tbl.Append([]value.Value{value.Int(int64(r[0])), value.Float(r[1])}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestAppendAndScan(t *testing.T) {
+	tbl := New("t", testSchema)
+	fill(t, tbl, [][2]float64{{1, 1.5}, {2, 2.5}, {3, 3.5}})
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	var seen int
+	tbl.Scan(func(row []value.Value, w float64) bool {
+		if w != 1 {
+			t.Errorf("default weight %g, want 1", w)
+		}
+		seen++
+		return true
+	})
+	if seen != 3 {
+		t.Errorf("scanned %d rows", seen)
+	}
+	// Early stop.
+	seen = 0
+	tbl.Scan(func([]value.Value, float64) bool { seen++; return false })
+	if seen != 1 {
+		t.Errorf("early stop scanned %d", seen)
+	}
+}
+
+func TestAppendValidates(t *testing.T) {
+	tbl := New("t", testSchema)
+	if err := tbl.Append([]value.Value{value.Text("no"), value.Float(1)}); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if err := tbl.Append([]value.Value{value.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := tbl.AppendWeighted([]value.Value{value.Int(1), value.Float(1)}, -2); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestWeightsLifecycle(t *testing.T) {
+	tbl := New("t", testSchema)
+	fill(t, tbl, [][2]float64{{1, 1}, {2, 2}})
+	if err := tbl.SetWeights([]float64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.TotalWeight(); got != 5 {
+		t.Errorf("TotalWeight = %g, want 5", got)
+	}
+	if tbl.Weight(1) != 3 {
+		t.Errorf("Weight(1) = %g", tbl.Weight(1))
+	}
+	if err := tbl.SetWeight(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Weight(0) != 7 {
+		t.Error("SetWeight did not stick")
+	}
+	if err := tbl.SetWeight(0, -1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := tbl.SetWeights([]float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := tbl.SetWeights([]float64{1, -1}); err == nil {
+		t.Error("negative bulk weight should fail")
+	}
+	if err := tbl.ResetWeights(1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.TotalWeight() != 2 {
+		t.Error("ResetWeights failed")
+	}
+	// Weights() must be a copy.
+	w := tbl.Weights()
+	w[0] = 99
+	if tbl.Weight(0) == 99 {
+		t.Error("Weights() must return a copy")
+	}
+}
+
+func TestColumnExtraction(t *testing.T) {
+	tbl := New("t", testSchema)
+	fill(t, tbl, [][2]float64{{1, 1.5}, {2, 2.5}})
+	col, err := tbl.Column("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 2 || col[1].AsFloat() != 2.5 {
+		t.Errorf("Column(b) = %v", col)
+	}
+	fc, err := tbl.FloatColumn("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc[0] != 1 || fc[1] != 2 {
+		t.Errorf("FloatColumn(a) = %v", fc)
+	}
+	if _, err := tbl.Column("zz"); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestFloatColumnRejectsText(t *testing.T) {
+	sc := schema.MustNew(schema.Attribute{Name: "s", Kind: value.KindText})
+	tbl := New("t", sc)
+	if err := tbl.Append([]value.Value{value.Text("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.FloatColumn("s"); err == nil {
+		t.Error("FloatColumn over text should fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tbl := New("t", testSchema)
+	fill(t, tbl, [][2]float64{{1, 1}})
+	if err := tbl.SetWeights([]float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	cp := tbl.Clone("copy")
+	if cp.Len() != 1 || cp.Weight(0) != 4 || cp.Name() != "copy" {
+		t.Fatalf("clone mismatch")
+	}
+	// Mutating the clone must not affect the original.
+	if err := cp.SetWeight(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Weight(0) != 4 {
+		t.Error("clone shares weights with original")
+	}
+	if err := cp.Append([]value.Value{value.Int(2), value.Float(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Error("clone shares rows with original")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tbl := New("t", testSchema)
+	fill(t, tbl, [][2]float64{{1, 1}, {2, 2}})
+	tbl.Truncate()
+	if tbl.Len() != 0 || tbl.TotalWeight() != 0 {
+		t.Error("Truncate left data behind")
+	}
+}
+
+func TestTotalWeightLinearProperty(t *testing.T) {
+	// Property: TotalWeight equals the sum of the installed weights.
+	f := func(ws []float64) bool {
+		tbl := New("t", testSchema)
+		var want float64
+		clean := make([]float64, 0, len(ws))
+		for i, w := range ws {
+			w = math.Abs(w)
+			if math.IsInf(w, 0) || math.IsNaN(w) || w > 1e12 {
+				w = 1
+			}
+			if err := tbl.Append([]value.Value{value.Int(int64(i)), value.Float(0)}); err != nil {
+				return false
+			}
+			clean = append(clean, w)
+			want += w
+		}
+		if len(clean) == 0 {
+			return tbl.TotalWeight() == 0
+		}
+		if err := tbl.SetWeights(clean); err != nil {
+			return false
+		}
+		got := tbl.TotalWeight()
+		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkAppend(t *testing.T) {
+	tbl := New("t", testSchema)
+	rows := [][]value.Value{
+		{value.Int(1), value.Float(1)},
+		{value.Int(2), value.Float(2)},
+	}
+	if err := tbl.BulkAppend(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	bad := [][]value.Value{{value.Text("x"), value.Float(1)}}
+	if err := tbl.BulkAppend(bad); err == nil {
+		t.Error("bad bulk row should fail")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	tbl := New("t", testSchema)
+	fill(t, tbl, [][2]float64{{1, 1}, {2, 2}, {3, 3}})
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- true }()
+			for i := 0; i < 200; i++ {
+				tbl.Scan(func(row []value.Value, w float64) bool { return true })
+				_ = tbl.TotalWeight()
+				_, _ = tbl.Column("a")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

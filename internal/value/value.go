@@ -1,0 +1,323 @@
+// Package value defines the typed scalar values stored in Mosaic relations.
+//
+// Mosaic stores four scalar kinds: 64-bit integers, 64-bit floats, strings,
+// and booleans, plus NULL. Values are small immutable structs passed by
+// value; they support the total order used by ORDER BY, the equality used by
+// GROUP BY hashing, and the numeric coercions used by the expression engine.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types Mosaic supports.
+type Kind uint8
+
+// The supported value kinds. KindNull is the type of the SQL NULL literal.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a SQL type name to a Kind. It accepts the common aliases
+// (INTEGER, BIGINT, DOUBLE, REAL, VARCHAR, STRING, BOOLEAN).
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "NUMERIC", "DECIMAL":
+		return KindFloat, nil
+	case "TEXT", "STRING", "VARCHAR", "CHAR":
+		return KindText, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown type name %q", name)
+	}
+}
+
+// Value is a single typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INT value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Text returns a TEXT value.
+func Text(v string) Value { return Value{kind: KindText, s: v} }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the int64 payload. It panics unless Kind is KindInt.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the float64 payload. It panics unless Kind is KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+	}
+	return v.f
+}
+
+// AsText returns the string payload. It panics unless Kind is KindText.
+func (v Value) AsText() string {
+	if v.kind != KindText {
+		panic(fmt.Sprintf("value: AsText on %s", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the bool payload. It panics unless Kind is KindBool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.b
+}
+
+// Numeric reports whether the value is INT or FLOAT.
+func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Float64 coerces a numeric or boolean value to float64. NULL coerces to NaN.
+// Text values return an error.
+func (v Value) Float64() (float64, error) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), nil
+	case KindFloat:
+		return v.f, nil
+	case KindBool:
+		if v.b {
+			return 1, nil
+		}
+		return 0, nil
+	case KindNull:
+		return math.NaN(), nil
+	default:
+		return 0, fmt.Errorf("value: cannot coerce %s to float", v.kind)
+	}
+}
+
+// String renders the value in SQL-literal form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		// SQL-literal form: embedded quotes double so the rendering is
+		// re-parseable (dump/restore depends on this).
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// Raw returns the Go-native payload (int64, float64, string, bool, or nil).
+func (v Value) Raw() any {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindText:
+		return v.s
+	case KindBool:
+		return v.b
+	default:
+		return nil
+	}
+}
+
+// FromRaw builds a Value from a Go-native scalar. Supported inputs: nil,
+// int, int32, int64, float32, float64, string, bool.
+func FromRaw(x any) (Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return Null(), nil
+	case int:
+		return Int(int64(t)), nil
+	case int32:
+		return Int(int64(t)), nil
+	case int64:
+		return Int(t), nil
+	case float32:
+		return Float(float64(t)), nil
+	case float64:
+		return Float(t), nil
+	case string:
+		return Text(t), nil
+	case bool:
+		return Bool(t), nil
+	default:
+		return Null(), fmt.Errorf("value: unsupported Go type %T", x)
+	}
+}
+
+// Compare imposes a total order: NULL < BOOL < numerics < TEXT. INT and FLOAT
+// compare numerically against each other. It returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	ra, rb := rank(a.kind), rank(b.kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.kind == KindNull:
+		return 0
+	case a.kind == KindBool:
+		return boolCmp(a.b, b.b)
+	case a.Numeric():
+		af, _ := a.Float64()
+		bf, _ := b.Float64()
+		// Exact int-int comparison avoids float rounding on large ints.
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	default: // text
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func rank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func boolCmp(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports SQL equality under the numeric coercions of Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// HashKey returns a string that is equal for equal values (under Equal) and
+// is suitable as a Go map key for GROUP BY hashing. INT and FLOAT values that
+// compare equal produce the same key.
+func (v Value) HashKey() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindBool:
+		if v.b {
+			return "\x01t"
+		}
+		return "\x01f"
+	case KindInt:
+		return "\x02" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "\x02" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "\x03" + v.s
+	}
+}
+
+// Coerce converts v to the target kind if a lossless/sane conversion exists:
+// INT↔FLOAT, anything→its own kind, NULL→any. Other conversions error.
+func Coerce(v Value, k Kind) (Value, error) {
+	if v.kind == k || v.kind == KindNull {
+		return v, nil
+	}
+	switch {
+	case v.kind == KindInt && k == KindFloat:
+		return Float(float64(v.i)), nil
+	case v.kind == KindFloat && k == KindInt:
+		return Int(int64(v.f)), nil
+	default:
+		return Null(), fmt.Errorf("value: cannot coerce %s to %s", v.kind, k)
+	}
+}

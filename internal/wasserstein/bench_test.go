@@ -1,0 +1,55 @@
+package wasserstein
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) ([]float64, *Weighted, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	vals := make([]float64, n)
+	wts := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		vals[i] = rng.NormFloat64()
+		wts[i] = rng.Float64() + 0.1
+	}
+	w, _ := NewWeighted(vals, wts)
+	return xs, w, w.Quantiles(n)
+}
+
+func BenchmarkW1ToUniform500(b *testing.B) {
+	xs, _, targets := benchData(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := W1ToUniform(xs, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantiles500(b *testing.B) {
+	_, w, _ := benchData(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Quantiles(500)
+	}
+}
+
+func BenchmarkProjectCols(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 500)
+	for i := range pts {
+		pts[i] = make([]float64, 18)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	cols := []int{0, 3, 7, 11, 15}
+	dir := RandomUnitVector(rng, len(cols))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ProjectCols(pts, cols, dir)
+	}
+}

@@ -1,0 +1,211 @@
+// Package wasserstein implements exact one-dimensional optimal transport,
+// the computational core of the paper's M-SWG (Sec 5): on the line, the
+// Wasserstein-1 distance between distributions is the L1 distance between
+// their quantile functions, computable by sorting (the paper's citation
+// [49]). For ≥2-dimensional marginals the sliced Wasserstein distance [46]
+// projects both distributions onto random unit directions and averages the
+// per-projection 1-D distances.
+package wasserstein
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// W1Empirical computes the exact W1 distance between two equal-size uniform
+// empirical distributions: sort both and average |x_(i) − y_(i)|.
+func W1Empirical(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("wasserstein: size mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var d float64
+	for i := range xs {
+		d += math.Abs(xs[i] - ys[i])
+	}
+	return d / float64(len(xs)), nil
+}
+
+// Weighted is a weighted 1-D empirical distribution (a projected marginal).
+type Weighted struct {
+	vals []float64 // sorted
+	cum  []float64 // cumulative weight fractions, cum[len-1] == 1
+}
+
+// NewWeighted builds a weighted empirical distribution. Weights must be
+// non-negative with positive sum; vals need not be sorted.
+func NewWeighted(vals, weights []float64) (*Weighted, error) {
+	if len(vals) != len(weights) {
+		return nil, fmt.Errorf("wasserstein: %d values, %d weights", len(vals), len(weights))
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("wasserstein: empty distribution")
+	}
+	type pair struct{ v, w float64 }
+	ps := make([]pair, 0, len(vals))
+	var total float64
+	for i := range vals {
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("wasserstein: negative weight %g", weights[i])
+		}
+		if weights[i] == 0 {
+			continue
+		}
+		ps = append(ps, pair{vals[i], weights[i]})
+		total += weights[i]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("wasserstein: zero total weight")
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	w := &Weighted{vals: make([]float64, len(ps)), cum: make([]float64, len(ps))}
+	var acc float64
+	for i, p := range ps {
+		acc += p.w
+		w.vals[i] = p.v
+		w.cum[i] = acc / total
+	}
+	w.cum[len(ps)-1] = 1
+	return w, nil
+}
+
+// Quantile returns F^{-1}(q) for q in [0,1].
+func (w *Weighted) Quantile(q float64) float64 {
+	if q <= 0 {
+		return w.vals[0]
+	}
+	if q >= 1 {
+		return w.vals[len(w.vals)-1]
+	}
+	i := sort.SearchFloat64s(w.cum, q)
+	if i >= len(w.vals) {
+		i = len(w.vals) - 1
+	}
+	return w.vals[i]
+}
+
+// Quantiles evaluates the quantile function at the n midpoint fractions
+// (j+0.5)/n — the optimal-transport targets for a uniform batch of size n.
+func (w *Weighted) Quantiles(n int) []float64 {
+	out := make([]float64, n)
+	j := 0
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / float64(n)
+		for j < len(w.cum)-1 && w.cum[j] < q {
+			j++
+		}
+		out[i] = w.vals[j]
+	}
+	return out
+}
+
+// Mean returns the distribution mean.
+func (w *Weighted) Mean() float64 {
+	// Reconstruct weights from cum differences.
+	var m, prev float64
+	for i, c := range w.cum {
+		m += w.vals[i] * (c - prev)
+		prev = c
+	}
+	return m
+}
+
+// W1ToUniform computes the exact W1 distance between the weighted target and
+// a uniform batch x, together with the subgradient of the distance with
+// respect to each x[i]. targets must be w.Quantiles(len(x)) (precomputed by
+// the caller so fixed projections amortize the quantile evaluation).
+//
+// With both sides sorted, W1 = (1/n)·Σ |x_(j) − t_j| and ∂W1/∂x_(j) =
+// sign(x_(j) − t_j)/n; the permutation maps gradients back to input order.
+func W1ToUniform(x, targets []float64) (float64, []float64, error) {
+	n := len(x)
+	if len(targets) != n {
+		return 0, nil, fmt.Errorf("wasserstein: %d targets for batch of %d", len(targets), n)
+	}
+	if n == 0 {
+		return 0, nil, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	grad := make([]float64, n)
+	var d float64
+	inv := 1 / float64(n)
+	for j, i := range idx {
+		diff := x[i] - targets[j]
+		d += math.Abs(diff)
+		switch {
+		case diff > 0:
+			grad[i] = inv
+		case diff < 0:
+			grad[i] = -inv
+		}
+	}
+	return d * inv, grad, nil
+}
+
+// Distance computes the exact W1 between the weighted target and a uniform
+// batch without gradients.
+func (w *Weighted) Distance(x []float64) float64 {
+	t := w.Quantiles(len(x))
+	d, _, _ := W1ToUniform(x, t)
+	return d
+}
+
+// RandomUnitVector draws a direction uniformly from the unit sphere in R^d
+// (Gaussian normalization).
+func RandomUnitVector(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for {
+		var norm float64
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			norm += v[i] * v[i]
+		}
+		if norm > 1e-12 {
+			norm = math.Sqrt(norm)
+			for i := range v {
+				v[i] /= norm
+			}
+			return v
+		}
+	}
+}
+
+// Project computes the dot products of each row of points with dir.
+func Project(points [][]float64, dir []float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		var s float64
+		for j, d := range dir {
+			s += p[j] * d
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ProjectCols projects only the listed columns of each row onto dir
+// (len(dir) == len(cols)); used to slice a marginal's encoded subspace out of
+// full generator output.
+func ProjectCols(points [][]float64, cols []int, dir []float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		var s float64
+		for j, c := range cols {
+			s += p[c] * dir[j]
+		}
+		out[i] = s
+	}
+	return out
+}

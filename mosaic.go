@@ -1,0 +1,215 @@
+// Package mosaic is a sample-based database system for open world query
+// processing, reproducing the system of Orr et al., "Mosaic: A Sample-Based
+// Database System for Open World Query Processing" (CIDR 2020).
+//
+// Mosaic treats samples as first-class citizens: users declare populations
+// (sets of tuples that exist in the world but not in the database), ingest
+// biased samples of them, attach ground-truth marginal metadata, and then
+// query the populations directly. A visibility keyword after SELECT chooses
+// how open the answer may be:
+//
+//   - CLOSED   — answer from the samples as stored (closed world).
+//   - SEMI-OPEN — reweight the sample: inverse inclusion probability when
+//     the sampling mechanism is known, Iterative Proportional Fitting
+//     against the population marginals otherwise.
+//   - OPEN     — additionally generate missing tuples with a
+//     marginal-constrained sliced Wasserstein generator (M-SWG).
+//
+// # Quickstart
+//
+//	db := mosaic.Open(nil)
+//	err := db.Exec(`
+//	    CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT, age INT);
+//	    CREATE SAMPLE YahooMigrants AS (SELECT * FROM EuropeMigrants WHERE email = 'Yahoo');
+//	`)
+//	// ... ingest rows, CREATE METADATA, then:
+//	res, err := db.Query(`SELECT OPEN country, email, COUNT(*) FROM EuropeMigrants GROUP BY country, email`)
+package mosaic
+
+import (
+	"fmt"
+
+	"mosaic/internal/core"
+	"mosaic/internal/exec"
+	"mosaic/internal/ipf"
+	"mosaic/internal/marginal"
+	"mosaic/internal/mechanism"
+	"mosaic/internal/sql"
+	"mosaic/internal/swg"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Result is a materialized query answer: column names plus rows of Values.
+type Result = exec.Result
+
+// Value is one typed scalar in a result row.
+type Value = value.Value
+
+// Marginal is a 1- or 2-dimensional population histogram (metadata).
+type Marginal = marginal.Marginal
+
+// SWGConfig tunes the OPEN-query generator (see the paper's Sec 5).
+type SWGConfig = swg.Config
+
+// IPFOptions tunes SEMI-OPEN reweighting.
+type IPFOptions = ipf.Options
+
+// Mechanism is a sampling mechanism Pr_S(t) usable for known-mechanism
+// reweighting.
+type Mechanism = mechanism.Mechanism
+
+// Uniform is the UNIFORM PERCENT mechanism.
+type Uniform = mechanism.Uniform
+
+// Options configures a DB.
+type Options struct {
+	// Seed drives all randomness (default 1): two DBs with equal seeds and
+	// equal statement streams give identical answers.
+	Seed int64
+	// OpenSamples is the number of generated samples averaged per OPEN
+	// query (paper default 10).
+	OpenSamples int
+	// GeneratedRows overrides the size of each generated sample (default:
+	// the source sample's size).
+	GeneratedRows int
+	// UnionSamples answers population queries from the union of all
+	// schema-covering samples instead of one optimal sample (the paper's
+	// Sec 7 "Multiple Samples" extension).
+	UnionSamples bool
+	// SWG is the base generator configuration for OPEN queries.
+	SWG SWGConfig
+	// IPF tunes SEMI-OPEN fitting.
+	IPF IPFOptions
+}
+
+// DB is a Mosaic database instance. It is safe for concurrent queries after
+// the schema and data are loaded; DDL/DML must be externally serialized
+// against queries.
+type DB struct {
+	engine *core.Engine
+}
+
+// Open creates an empty in-memory Mosaic database. A nil opts uses defaults.
+func Open(opts *Options) *DB {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return &DB{engine: core.NewEngine(core.Options{
+		Seed:          o.Seed,
+		OpenSamples:   o.OpenSamples,
+		GeneratedRows: o.GeneratedRows,
+		UnionSamples:  o.UnionSamples,
+		SWG:           o.SWG,
+		IPF:           o.IPF,
+	})}
+}
+
+// Exec runs one or more semicolon-separated DDL/DML statements.
+func (db *DB) Exec(script string) error {
+	_, err := db.engine.ExecScript(script)
+	return err
+}
+
+// Query runs a single SELECT and returns its result.
+func (db *DB) Query(query string) (*Result, error) {
+	sel, err := sql.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.Query(sel)
+}
+
+// Run executes a script and returns the result of every statement (nil for
+// DDL/DML), enabling mixed scripts like the paper's Sec 2 example.
+func (db *DB) Run(script string) ([]*Result, error) {
+	return db.engine.ExecScript(script)
+}
+
+// Ingest appends Go-native rows ([]any per row, matching the relation
+// schema) into a table or sample.
+func (db *DB) Ingest(relation string, rows [][]any) error {
+	return db.engine.Ingest(relation, rows)
+}
+
+// SetMechanism installs a sampling mechanism on a sample, enabling
+// known-mechanism SEMI-OPEN reweighting for designs SQL cannot express.
+func (db *DB) SetMechanism(sample string, m Mechanism) error {
+	return db.engine.SetSampleMechanism(sample, m)
+}
+
+// AddMarginal attaches a programmatically built marginal to a population.
+func (db *DB) AddMarginal(population string, m *Marginal) error {
+	return db.engine.AddMarginal(population, m)
+}
+
+// Scalar is a convenience for single-row single-column answers (e.g. global
+// aggregates): it runs the query and returns the lone cell as float64.
+func (db *DB) Scalar(query string) (float64, error) {
+	res, err := db.Query(query)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return 0, fmt.Errorf("mosaic: query returned %d rows × %d columns, want 1×1", len(res.Rows), len(res.Columns))
+	}
+	return res.Rows[0][0].Float64()
+}
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, tests). Most callers should not need it.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Dump serializes the database as a Mosaic SQL script; executing it against
+// an empty DB recreates the relations, rows, metadata, and sample weights.
+// Non-UNIFORM mechanisms are noted as comments (they are Go-API objects).
+func (db *DB) Dump() (string, error) {
+	return db.engine.DumpScript()
+}
+
+// NewMarginal builds a 1- or 2-attribute marginal from (values..., count)
+// rows of Go-native scalars, for AddMarginal.
+func NewMarginal(name string, attrs []string, cells [][]any) (*Marginal, error) {
+	m, err := marginal.New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, c := range cells {
+		if len(c) != len(attrs)+1 {
+			return nil, fmt.Errorf("mosaic: marginal cell %d has %d entries, want %d values + count", ri, len(c), len(attrs))
+		}
+		vals := make([]Value, len(attrs))
+		for i := 0; i < len(attrs); i++ {
+			v, err := value.FromRaw(c[i])
+			if err != nil {
+				return nil, fmt.Errorf("mosaic: marginal cell %d: %v", ri, err)
+			}
+			vals[i] = v
+		}
+		cnt, err := value.FromRaw(c[len(attrs)])
+		if err != nil {
+			return nil, fmt.Errorf("mosaic: marginal cell %d: %v", ri, err)
+		}
+		f, err := cnt.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("mosaic: marginal cell %d count: %v", ri, err)
+		}
+		if err := m.Add(vals, f); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Table gives read access to a stored relation's backing table (samples and
+// auxiliary tables).
+func (db *DB) Table(name string) (*table.Table, error) {
+	if t, ok := db.engine.Catalog().Table(name); ok {
+		return t, nil
+	}
+	if s, ok := db.engine.Catalog().Sample(name); ok {
+		return s.Table, nil
+	}
+	return nil, fmt.Errorf("mosaic: no table or sample %q", name)
+}

@@ -1,20 +1,37 @@
 // Command mosaic-bench regenerates the paper's evaluation tables and
-// figures at configurable scale.
+// figures at configurable scale, and measures the engine's concurrency.
 //
 // Usage:
 //
 //	mosaic-bench -exp fig5|fig6|fig7|visibility|sweep|lambda|projections|
-//	             mechanism|scope|bayes|tables|all
+//	             mechanism|scope|bayes|tables|concurrent|all
 //	             [-pop N] [-sample N] [-epochs N] [-projections N] [-seed N]
+//	             [-workers N] [-clients LIST] [-queries-per-client N]
 //
 // The default scales are laptop-sized; raise -pop/-epochs/-projections to
 // approach the paper's settings (426k rows, 80 epochs, p=1000).
+//
+// # Concurrent clients
+//
+// The "concurrent" experiment drives one shared engine with a sweep of
+// concurrent client counts on the flights workload (SEMI-OPEN and OPEN
+// Table 2 queries, warm caches) and reports throughput and speedup:
+//
+//	mosaic-bench -exp concurrent -clients 1,2,4,8 -queries-per-client 8 -workers 4
+//
+// -workers also sets the engine's intra-query parallelism (OPEN replicate
+// fan-out and M-SWG training workers). Answers are deterministic for a
+// fixed -seed regardless of -workers and -clients; the experiment verifies
+// every client's answers byte-for-byte against a single-threaded reference
+// and fails loudly on divergence.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mosaic/internal/bench"
@@ -23,15 +40,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, all)")
 	popN := flag.Int("pop", 50000, "population rows")
 	sampleN := flag.Int("sample", 10000, "spiral sample rows")
 	epochs := flag.Int("epochs", 25, "M-SWG training epochs")
 	projections := flag.Int("projections", 64, "sliced-W1 projections per ≥2-D marginal")
-	workers := flag.Int("workers", 4, "parallel loss workers for M-SWG training")
+	workers := flag.Int("workers", 4, "engine intra-query workers (OPEN replicate fan-out, M-SWG training)")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
+	clients := flag.String("clients", "1,2,4,8", "comma-separated client counts for -exp concurrent")
+	queriesPerClient := flag.Int("queries-per-client", 8, "queries per client for -exp concurrent")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	clientCounts, err := parseClients(*clients)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mosaic-bench: -clients: %v\n", err)
+		os.Exit(2)
+	}
 
 	spiral := bench.SpiralConfig{
 		PopN: *popN, SampleN: *sampleN, Seed: *seed,
@@ -42,7 +67,7 @@ func main() {
 		},
 	}
 	flights := bench.FlightsConfig{
-		PopN: *popN, OpenSamples: *openSamples, Seed: *seed,
+		PopN: *popN, OpenSamples: *openSamples, Workers: *workers, Seed: *seed,
 		SWG: swg.Config{
 			Hidden: []int{50, 50, 50, 50, 50}, Latent: 18, Lambda: 1e-7,
 			BatchSize: 500, Projections: *projections, Epochs: *epochs,
@@ -70,9 +95,14 @@ func main() {
 		"scope":     func() (fmt.Stringer, error) { return bench.RunAblationMarginalScope(flights) },
 		"bayes":     func() (fmt.Stringer, error) { return bench.RunAblationBayesVsSWG(flights) },
 		"tables":    func() (fmt.Stringer, error) { return tables{}, nil },
+		"concurrent": func() (fmt.Stringer, error) {
+			return bench.RunConcurrentClients(bench.ConcurrentConfig{
+				Flights: flights, Clients: clientCounts, QueriesPerClient: *queriesPerClient,
+			})
+		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
-		"lambda", "projections", "mechanism", "scope", "bayes"}
+		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent"}
 
 	selected := []string{*exp}
 	if *exp == "all" {
@@ -92,6 +122,26 @@ func main() {
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n\n", name, time.Since(start).Seconds(), res)
 	}
+}
+
+// parseClients parses a comma-separated list of positive client counts.
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // tables prints the static Table 1 / Table 2 inventories.

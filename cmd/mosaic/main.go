@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mosaic [-seed N] [-open-samples N] [file.sql ...]
+//	mosaic [-seed N] [-open-samples N] [-workers N] [file.sql ...]
 //
 // With file arguments, each script executes in order against one shared
 // database and SELECT results print to stdout. Without arguments, mosaic
@@ -24,11 +24,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
+	workers := flag.Int("workers", 1, "intra-query workers (OPEN replicate fan-out, M-SWG training); answers are identical for any value")
 	flag.Parse()
 
 	db := mosaic.Open(&mosaic.Options{
 		Seed:        *seed,
 		OpenSamples: *openSamples,
+		Workers:     *workers,
 		SWG:         mosaic.SWGConfig{Epochs: *epochs},
 	})
 

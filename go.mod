@@ -1,0 +1,3 @@
+module mosaic
+
+go 1.22

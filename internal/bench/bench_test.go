@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
+	"mosaic/internal/sql"
 	"mosaic/internal/swg"
 )
 
@@ -288,6 +290,82 @@ func TestAblationProjectionsSmoke(t *testing.T) {
 	}
 	if s := res.String(); !strings.Contains(s, "A2") {
 		t.Error("String missing header")
+	}
+}
+
+func TestConcurrentClientsSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a generator")
+	}
+	cfg := tinyFlights()
+	cfg.Workers = 2
+	res, err := RunConcurrentClients(ConcurrentConfig{
+		Flights: cfg, Clients: []int{1, 4}, QueriesPerClient: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.QPS <= 0 {
+			t.Errorf("clients=%d: qps = %g", row.Clients, row.QPS)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "Concurrent clients") {
+		t.Error("String missing header")
+	}
+}
+
+// benchFlights sizes the flights workload so one OPEN query does enough
+// replicate work (10 replicates × 2500 generated tuples) for the worker
+// fan-out to matter.
+func benchFlights(workers int) FlightsConfig {
+	return FlightsConfig{
+		PopN: 50000, SampleFrac: 0.05, BiasFrac: 0.95, OpenSamples: 10,
+		Workers: workers, Seed: 5,
+		SWG: swg.Config{
+			Hidden: []int{50, 50, 50, 50, 50}, Latent: 18, Lambda: 1e-7,
+			BatchSize: 500, Projections: 16, Epochs: 2, StepsPerEpoch: 2,
+			LR: 0.001, Seed: 5,
+		},
+	}
+}
+
+// BenchmarkOpenQueryParallel measures a warm OPEN query (model trained, only
+// replicate generation + combine timed) on the flights workload at different
+// engine worker counts. Answers are asserted byte-identical across worker
+// counts — the speedup must be free of result drift.
+func BenchmarkOpenQueryParallel(b *testing.B) {
+	sel, err := sql.ParseQuery(withVisibility(FlightQueries[4].SQL, "OPEN"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reference string
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			setup, err := BuildFlights(benchFlights(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := setup.Engine.Query(sel) // trains the model, untimed
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := res.String()
+			if reference == "" {
+				reference = got
+			} else if got != reference {
+				b.Fatalf("workers=%d answer differs from workers=1:\n%s\nvs\n%s", workers, got, reference)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := setup.Engine.Query(sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaic/internal/exec"
+	"mosaic/internal/sql"
+)
+
+// ConcurrentConfig tunes the multi-client throughput experiment: one shared
+// engine on the flights workload, swept over client counts. It measures the
+// benefit of the engine's read-path concurrency (queries share a read lock;
+// models and IPF fits are cached and served read-only).
+type ConcurrentConfig struct {
+	Flights          FlightsConfig
+	Clients          []int // client counts to sweep; default {1, 2, 4, 8}
+	QueriesPerClient int   // queries each client issues; default 8
+}
+
+func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 2, 4, 8}
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 8
+	}
+	return c
+}
+
+// ConcurrentRow is one swept client count.
+type ConcurrentRow struct {
+	Clients int
+	Queries int
+	Secs    float64
+	QPS     float64
+}
+
+// ConcurrentResult is the full sweep.
+type ConcurrentResult struct {
+	Rows     []ConcurrentRow
+	WarmSecs float64 // cache warm-up (model training + first IPF fit)
+}
+
+// String renders the sweep as an aligned table.
+func (r *ConcurrentResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrent clients — shared-engine query throughput (warm caches; warm-up %.1fs)\n", r.WarmSecs)
+	b.WriteString("  clients  queries   secs      q/s   speedup\n")
+	var base float64
+	for _, row := range r.Rows {
+		if base == 0 {
+			base = row.QPS
+		}
+		fmt.Fprintf(&b, "  %7d  %7d  %6.2f  %7.1f  %6.2fx\n",
+			row.Clients, row.Queries, row.Secs, row.QPS, row.QPS/base)
+	}
+	return b.String()
+}
+
+// RunConcurrentClients measures query throughput of one shared engine under
+// concurrent clients on the flights workload. All caches are warmed first
+// (the M-SWG trains once, IPF fits once) so the sweep isolates the read
+// path. Every client's every answer is compared against the single-threaded
+// reference — a mismatch means a concurrency bug, not noise, because answers
+// are deterministic for a fixed seed regardless of scheduling.
+func RunConcurrentClients(cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	cfg = cfg.withDefaults()
+	setup, err := BuildFlights(cfg.Flights)
+	if err != nil {
+		return nil, err
+	}
+	eng := setup.Engine
+
+	// The job mix: every Table 2 query, SEMI-OPEN and OPEN.
+	type job struct {
+		sel *sql.Select
+		ref string
+	}
+	var jobs []job
+	for _, vis := range []string{"SEMI-OPEN", "OPEN"} {
+		for _, q := range FlightQueries {
+			sel, err := sql.ParseQuery(withVisibility(q.SQL, vis))
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job{sel: sel})
+		}
+	}
+
+	// Warm every cache and record the reference answers.
+	warmStart := time.Now()
+	for i := range jobs {
+		res, err := eng.Query(jobs[i].sel)
+		if err != nil {
+			return nil, fmt.Errorf("bench: warm-up query %d: %v", i, err)
+		}
+		jobs[i].ref = renderResult(res)
+	}
+	warm := time.Since(warmStart).Seconds()
+
+	out := &ConcurrentResult{WarmSecs: warm}
+	for _, clients := range cfg.Clients {
+		total := clients * cfg.QueriesPerClient
+		errs := make([]error, clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < cfg.QueriesPerClient; i++ {
+					j := jobs[(c+i)%len(jobs)]
+					res, err := eng.Query(j.sel)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					if got := renderResult(res); got != j.ref {
+						errs[c] = fmt.Errorf("bench: client %d query %d: answer diverged from reference", c, i)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		qps := float64(total) / secs
+		out.Rows = append(out.Rows, ConcurrentRow{Clients: clients, Queries: total, Secs: secs, QPS: qps})
+	}
+	return out, nil
+}
+
+// renderResult serializes a full result (columns, rows, values) for exact
+// equality comparison.
+func renderResult(res *exec.Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range res.Rows {
+		for _, v := range row {
+			b.WriteString(v.HashKey())
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -24,6 +24,7 @@ type FlightsConfig struct {
 	SampleFrac  float64 // sample fraction (paper: 0.05)
 	BiasFrac    float64 // fraction of sample tuples with elapsed_time > 200 (paper: 0.95)
 	OpenSamples int     // generated replicates per OPEN query (paper: 10)
+	Workers     int     // engine intra-query parallelism (OPEN fan-out, training)
 	SWG         swg.Config
 	IPF         ipf.Options
 	Seed        int64
@@ -102,6 +103,7 @@ func BuildFlights(cfg FlightsConfig) (*FlightsSetup, error) {
 	eng := core.NewEngine(core.Options{
 		Seed:        cfg.Seed,
 		OpenSamples: cfg.OpenSamples,
+		Workers:     cfg.Workers,
 		SWG:         cfg.SWG,
 		IPF:         cfg.IPF,
 	})

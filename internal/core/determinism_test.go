@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mosaic/internal/sql"
+	"mosaic/internal/swg"
+	"mosaic/internal/value"
+)
+
+// determinismWorld builds a small two-attribute world with a biased sample
+// and full metadata, parameterized by the engine worker count.
+func determinismWorld(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(Options{
+		Seed:        1,
+		OpenSamples: 6,
+		Workers:     workers,
+		SWG: swg.Config{
+			Hidden: []int{16, 16}, Latent: 2, Epochs: 6,
+			BatchSize: 128, Projections: 12, StepsPerEpoch: 4,
+		},
+	})
+	exec1(t, e, `
+		CREATE GLOBAL POPULATION World (grp TEXT, v INT);
+		CREATE SAMPLE S AS (SELECT * FROM World WHERE grp = 'a');
+		CREATE TABLE Truth (grp TEXT, v INT, n INT);
+	`)
+	if err := e.Ingest("Truth", [][]any{
+		{"a", 1, 40}, {"b", 2, 60},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exec1(t, e, `
+		CREATE METADATA World_M1 AS (SELECT grp, n FROM Truth);
+		CREATE METADATA World_M2 AS (SELECT v, n FROM Truth);
+	`)
+	rows := make([][]any, 0, 10)
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []any{"a", 1})
+	}
+	if err := e.Ingest("S", rows); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// renderRows serializes full result rows (values and order) for equality
+// comparison across engines.
+func renderRows(rows [][]value.Value) string {
+	out := ""
+	for _, row := range rows {
+		for _, v := range row {
+			out += v.HashKey() + "|" + v.String() + "\x1f"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestResultsIdenticalAcrossWorkerCounts is the engine-level determinism
+// guarantee: the same script with Seed 1 must produce identical OPEN and
+// SEMI-OPEN results for Workers = 1, 4, 8. Replicate RNG streams depend only
+// on (seed, replicate index) and training gradients reduce in a fixed shard
+// order, so the worker count is purely a scheduling choice.
+func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	queries := []string{
+		`SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp`,
+		`SELECT OPEN AVG(v) FROM World`,
+		`SELECT OPEN COUNT(*) FROM World WHERE v >= 2`,
+		`SELECT SEMI-OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp`,
+		`SELECT SEMI-OPEN COUNT(*) FROM World`,
+	}
+	workerCounts := []int{1, 4, 8}
+	// got[q][w] is the rendered result of query q at worker count w.
+	got := make([][]string, len(queries))
+	for qi := range queries {
+		got[qi] = make([]string, len(workerCounts))
+	}
+	for wi, workers := range workerCounts {
+		e := determinismWorld(t, workers)
+		for qi, q := range queries {
+			got[qi][wi] = renderRows(query(t, e, q))
+		}
+	}
+	for qi, q := range queries {
+		for wi := 1; wi < len(workerCounts); wi++ {
+			if got[qi][wi] != got[qi][0] {
+				t.Errorf("query %q: workers=%d result differs from workers=1:\n%s\nvs\n%s",
+					q, workerCounts[wi], got[qi][wi], got[qi][0])
+			}
+		}
+	}
+}
+
+// TestRepeatedOpenQueryIsStable: with the replicate streams keyed by index,
+// re-running the same OPEN query on one engine must give the same answer
+// (the model is cached and replicate seeds do not drift).
+func TestRepeatedOpenQueryIsStable(t *testing.T) {
+	e := determinismWorld(t, 4)
+	q := `SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp`
+	first := renderRows(query(t, e, q))
+	for i := 0; i < 3; i++ {
+		if again := renderRows(query(t, e, q)); again != first {
+			t.Fatalf("run %d drifted:\n%s\nvs\n%s", i+2, again, first)
+		}
+	}
+}
+
+// TestSemiOpenCacheInvalidation: the IPF fit cache must be dropped by DML so
+// reweighted answers track the data.
+func TestSemiOpenCacheInvalidation(t *testing.T) {
+	e := determinismWorld(t, 2)
+	before := scalar(t, e, `SELECT SEMI-OPEN COUNT(*) FROM World`)
+	if before < 99 || before > 101 {
+		t.Fatalf("SEMI-OPEN count = %g, want ≈100", before)
+	}
+	// Repeat: served from the cache, must be identical.
+	if again := scalar(t, e, `SELECT SEMI-OPEN COUNT(*) FROM World`); again != before {
+		t.Fatalf("cached SEMI-OPEN count %g != first %g", again, before)
+	}
+	// Grow the truth table's metadata: re-derive marginals with doubled
+	// counts and confirm the answer moves (stale cache would not).
+	exec1(t, e, `
+		DROP METADATA World_M1;
+		DROP METADATA World_M2;
+		INSERT INTO Truth VALUES ('a', 1, 40), ('b', 2, 60);
+		CREATE METADATA World_M1B AS (SELECT grp, n FROM Truth);
+		CREATE METADATA World_M2B AS (SELECT v, n FROM Truth);
+	`)
+	after := scalar(t, e, `SELECT SEMI-OPEN COUNT(*) FROM World`)
+	if after < 199 || after > 201 {
+		t.Fatalf("after metadata change SEMI-OPEN count = %g, want ≈200", after)
+	}
+}
+
+// TestExplainReportsWorkers: EXPLAIN surfaces the fan-out plan.
+func TestExplainReportsWorkers(t *testing.T) {
+	e := determinismWorld(t, 4)
+	sel, err := sql.ParseQuery(`SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].AsText() == "technique" {
+			found = true
+			want := fmt.Sprintf("across %d workers", 4)
+			if s := row[1].AsText(); !strings.Contains(s, want) {
+				t.Errorf("technique %q missing %q", s, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no technique row in EXPLAIN output")
+	}
+}

@@ -22,6 +22,8 @@ import (
 // predicate-biased designs are Go-API objects), so those samples dump as
 // mechanism-less.
 func (e *Engine) DumpScript() (string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var b strings.Builder
 	b.WriteString("-- Mosaic dump; replay with mosaic.DB.Exec or cmd/mosaic.\n")
 

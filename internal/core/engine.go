@@ -37,6 +37,12 @@ type Options struct {
 	// of answering from one optimal sample, all schema-covering samples of
 	// the population are unioned and reweighted together.
 	UnionSamples bool
+	// Workers bounds the engine's intra-query parallelism: OPEN queries fan
+	// their replicate generation across up to Workers goroutines, and M-SWG
+	// training uses Workers loss workers unless SWG.Workers overrides it.
+	// Results are independent of Workers — each replicate draws from an RNG
+	// stream derived only from (Seed, replicate index). Default 1 (serial).
+	Workers int
 	// IPF tunes the SEMI-OPEN fit.
 	IPF ipf.Options
 	// SWG is the base M-SWG configuration for OPEN queries; the engine
@@ -51,24 +57,64 @@ func (o Options) withDefaults() Options {
 	if o.OpenSamples <= 0 {
 		o.OpenSamples = 10
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 	return o
 }
 
-// Engine executes Mosaic statements.
+// Engine executes Mosaic statements. It is safe for concurrent use: SELECT
+// and EXPLAIN run under a shared read lock, so any number of queries proceed
+// in parallel, while DDL/DML statements take the exclusive write lock and
+// invalidate the derived-state caches. Trained M-SWG models and IPF fits are
+// pure functions of (sample, marginals), so they are computed once per
+// sample/population pair — under a single-flight gate, to keep concurrent
+// first queries from training the same model twice — and served read-only
+// thereafter.
 type Engine struct {
 	cat  *catalog.Catalog
 	opts Options
 
-	mu     sync.Mutex
-	models map[string]*swg.Model // key: sample|population
+	// mu serializes schema/data mutation (write side) against query
+	// execution (read side).
+	mu sync.RWMutex
+
+	// cacheMu guards the cache maps themselves; the entries carry their own
+	// single-flight gates so cacheMu is never held across training or
+	// fitting.
+	cacheMu sync.Mutex
+	models  map[string]*modelEntry // key: sample|population
+	ipfFits map[string]*ipfEntry   // key: scope-prefixed sample|population
+}
+
+// modelEntry is a lazily trained M-SWG cache slot. The once gate makes
+// concurrent first queries train exactly once. Outcomes (including errors)
+// are pure functions of the engine state, so they stay cached until the next
+// mutation invalidates them.
+type modelEntry struct {
+	once  sync.Once
+	model *swg.Model
+	err   error
+}
+
+// ipfEntry caches a SEMI-OPEN IPF fit for one sample/population pair: the
+// whole-sample weight vector for global-scope fits, or the fitted
+// view-restricted sub-table for query-scope fits. Both are served read-only
+// (exec never mutates weight overrides or scanned tables).
+type ipfEntry struct {
+	once    sync.Once
+	weights []float64
+	sub     *table.Table
+	err     error
 }
 
 // NewEngine creates an engine with an empty catalog.
 func NewEngine(opts Options) *Engine {
 	return &Engine{
-		cat:    catalog.New(),
-		opts:   opts.withDefaults(),
-		models: make(map[string]*swg.Model),
+		cat:     catalog.New(),
+		opts:    opts.withDefaults(),
+		models:  make(map[string]*modelEntry),
+		ipfFits: make(map[string]*ipfEntry),
 	}
 }
 
@@ -96,11 +142,18 @@ func (e *Engine) ExecScript(src string) ([]*exec.Result, error) {
 	return out, nil
 }
 
-// Exec executes one parsed statement.
+// Exec executes one parsed statement. SELECT and EXPLAIN run on the shared
+// read path; every other statement takes the engine write lock.
 func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
 	switch s := st.(type) {
 	case *sql.Select:
 		return e.Query(s)
+	case *sql.Explain:
+		return e.Explain(s.Query)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := st.(type) {
 	case *sql.CreateTable:
 		return nil, e.execCreateTable(s)
 	case *sql.CreatePopulation:
@@ -116,8 +169,6 @@ func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
 	case *sql.Drop:
 		e.invalidateModels()
 		return nil, e.cat.Drop(s.Kind, s.Name)
-	case *sql.Explain:
-		return e.Explain(s.Query)
 	case *sql.Copy:
 		return nil, e.execCopy(s)
 	default:
@@ -125,10 +176,14 @@ func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
 	}
 }
 
+// invalidateModels drops every cached M-SWG model and IPF fit. Callers must
+// hold the engine write lock (all mutation paths do), so no query can be
+// mid-flight with a stale cache entry.
 func (e *Engine) invalidateModels() {
-	e.mu.Lock()
-	e.models = make(map[string]*swg.Model)
-	e.mu.Unlock()
+	e.cacheMu.Lock()
+	e.models = make(map[string]*modelEntry)
+	e.ipfFits = make(map[string]*ipfEntry)
+	e.cacheMu.Unlock()
 }
 
 // sourceTable resolves a FROM name to a physical table (auxiliary table or
@@ -230,11 +285,14 @@ func (e *Engine) execCreateSample(s *sql.CreateSample) error {
 // hook for mechanisms SQL cannot express, e.g. computed stratified
 // probabilities or predicate-biased designs).
 func (e *Engine) SetSampleMechanism(sample string, m mechanism.Mechanism) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s, ok := e.cat.Sample(sample)
 	if !ok {
 		return fmt.Errorf("core: no sample %q", sample)
 	}
 	s.Mechanism = m
+	e.invalidateModels()
 	return nil
 }
 
@@ -306,6 +364,8 @@ func (e *Engine) execCreateMetadata(s *sql.CreateMetadata) error {
 
 // AddMarginal attaches a programmatically built marginal to a population.
 func (e *Engine) AddMarginal(pop string, m *marginal.Marginal) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.invalidateModels()
 	return e.cat.AddMarginal(pop, m)
 }
@@ -419,6 +479,8 @@ func (e *Engine) execUpdateWeights(s *sql.UpdateWeights) error {
 // Ingest appends Go-native rows into a table or sample (the bulk-loading
 // path the paper's "...Ingest Yahoo sample..." step implies).
 func (e *Engine) Ingest(relation string, rows [][]any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	t, err := e.sourceTable(relation)
 	if err != nil {
 		return err
@@ -445,6 +507,8 @@ func (e *Engine) Ingest(relation string, rows [][]any) error {
 
 // IngestTable bulk-copies all rows of src into the named relation.
 func (e *Engine) IngestTable(relation string, src *table.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	dst, err := e.sourceTable(relation)
 	if err != nil {
 		return err

@@ -16,8 +16,11 @@ import (
 
 // Explain describes how a SELECT would be answered without running it: the
 // relation kind, the resolved visibility, the chosen sample, the marginal
-// scope (Fig 3's two paths), and the debiasing technique.
+// scope (Fig 3's two paths), and the debiasing technique. Like Query it runs
+// on the engine's shared read path.
 func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	res := &exec.Result{Columns: []string{"property", "value"}}
 	add := func(k, v string) {
 		res.Rows = append(res.Rows, []value.Value{value.Text(k), value.Text(v)})
@@ -88,8 +91,17 @@ func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
 			if n <= 0 {
 				n = ctx.sample.Table.Len()
 			}
-			add("technique", fmt.Sprintf("M-SWG generation: %d replicates × %d tuples, group-intersect + average",
-				e.opts.OpenSamples, n))
+			if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
+				// Non-aggregate OPEN queries answer from a single replicate.
+				add("technique", fmt.Sprintf("M-SWG generation: 1 replicate × %d tuples", n))
+			} else {
+				workers := e.opts.Workers
+				if workers > e.opts.OpenSamples {
+					workers = e.opts.OpenSamples
+				}
+				add("technique", fmt.Sprintf("M-SWG generation: %d replicates × %d tuples across %d workers, group-intersect + average",
+					e.opts.OpenSamples, n, workers))
+			}
 		}
 	}
 	return res, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"mosaic/internal/catalog"
 	"mosaic/internal/exec"
@@ -18,7 +19,15 @@ import (
 
 // Query answers a SELECT. Auxiliary tables and samples answer directly;
 // population queries route through the visibility machinery (paper Sec 4).
+// It holds the engine read lock for its whole duration, so any number of
+// Query calls run concurrently while DDL/DML waits.
 func (e *Engine) Query(sel *sql.Select) (*exec.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.query(sel)
+}
+
+func (e *Engine) query(sel *sql.Select) (*exec.Result, error) {
 	switch e.cat.Resolve(sel.From) {
 	case "table":
 		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
@@ -202,14 +211,8 @@ func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, e
 	if ctx.scope == "query" && ctx.viewPred != nil {
 		// Fit the view-restricted sub-sample directly to the query
 		// population's marginals (Fig 3, bottom dashed path).
-		sub, err := filterTable(ctx.sample.Table, ctx.viewPred, ctx.sample.SeedWeights())
+		sub, err := e.ipfViewFit(ctx)
 		if err != nil {
-			return nil, err
-		}
-		if sub.Len() == 0 {
-			return nil, fmt.Errorf("core: sample %q has no tuples in population %q", ctx.sample.Name, ctx.pop.Name)
-		}
-		if _, err := ipf.Apply(sub, ctx.margs, e.opts.IPF); err != nil {
 			return nil, err
 		}
 		q := *sel
@@ -218,13 +221,67 @@ func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, e
 
 	// Global scope: fit the whole sample to the GP marginals, then answer
 	// through the view (Fig 3, left dashed path).
-	w, _, err := ipf.Fit(ctx.sample.Table, ctx.margs, e.opts.IPF)
+	w, err := e.ipfGlobalFit(ctx)
 	if err != nil {
 		return nil, err
 	}
 	q := *sel
 	q.Where = andExpr(sel.Where, ctx.viewPred)
 	return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w})
+}
+
+// ipfViewFit returns the view-restricted sub-sample fitted to the query
+// population's marginals, cached per (sample, population) so repeated
+// SEMI-OPEN queries skip refitting. The cached table is served read-only.
+func (e *Engine) ipfViewFit(ctx *planContext) (*table.Table, error) {
+	ent := e.ipfEntryFor("view|" + modelKey(ctx.sample.Name, ctx.pop.Name))
+	ent.once.Do(func() {
+		sub, err := filterTable(ctx.sample.Table, ctx.viewPred, ctx.sample.SeedWeights())
+		if err != nil {
+			ent.err = err
+			return
+		}
+		if sub.Len() == 0 {
+			ent.err = fmt.Errorf("core: sample %q has no tuples in population %q", ctx.sample.Name, ctx.pop.Name)
+			return
+		}
+		if _, err := ipf.Apply(sub, ctx.margs, e.opts.IPF); err != nil {
+			ent.err = err
+			return
+		}
+		ent.sub = sub
+	})
+	return ent.sub, ent.err
+}
+
+// ipfGlobalFit returns the whole-sample IPF weight vector against the scope
+// marginals, cached per (sample, scope population): global-scope fits are
+// independent of the view (the predicate applies afterwards), so every
+// derived population over one GP shares a single fit. The slice is shared by
+// concurrent queries; exec treats weight overrides as read-only.
+func (e *Engine) ipfGlobalFit(ctx *planContext) ([]float64, error) {
+	scopePop := ctx.pop
+	if ctx.scope == "global" {
+		scopePop = ctx.gp
+	}
+	ent := e.ipfEntryFor("global|" + modelKey(ctx.sample.Name, scopePop.Name))
+	ent.once.Do(func() {
+		ent.weights, _, ent.err = ipf.Fit(ctx.sample.Table, ctx.margs, e.opts.IPF)
+	})
+	return ent.weights, ent.err
+}
+
+// ipfEntryFor returns (creating if needed) the single-flight cache slot for
+// an IPF fit key.
+func (e *Engine) ipfEntryFor(key string) *ipfEntry {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	ent, ok := e.ipfFits[key]
+	if !ok {
+		ent = &ipfEntry{}
+		e.ipfFits[key] = ent
+	}
+	return ent
 }
 
 // knownMechanismWeights returns inverse-probability weights when the
@@ -271,42 +328,96 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 	if n <= 0 {
 		return nil, fmt.Errorf("core: sample %q is empty", ctx.sample.Name)
 	}
-	results := make([]*exec.Result, 0, e.opts.OpenSamples)
 	q := *sel
 	q.Where = andExpr(sel.Where, viewPred)
-	for r := 0; r < e.opts.OpenSamples; r++ {
-		gen, err := model.Generate(fmt.Sprintf("%s_gen%d", ctx.sample.Name, r), n)
+	if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
+		// Non-aggregate OPEN query: return one generated sample's
+		// qualifying tuples (materializing missing tuples).
+		return e.openReplicate(ctx, model, &q, 0, n, popTotal)
+	}
+	reps := e.opts.OpenSamples
+	results := make([]*exec.Result, reps)
+	errs := make([]error, reps)
+	workers := e.opts.Workers
+	if workers > reps {
+		workers = reps
+	}
+	if workers <= 1 {
+		for r := 0; r < reps; r++ {
+			results[r], errs[r] = e.openReplicate(ctx, model, &q, r, n, popTotal)
+		}
+	} else {
+		// Fan the replicates across a worker pool. Each replicate's RNG
+		// stream depends only on (Seed, r), so the partition is purely a
+		// scheduling choice: answers are bit-identical for any Workers.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := w; r < reps; r += workers {
+					results[r], errs[r] = e.openReplicate(ctx, model, &q, r, n, popTotal)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-		// Uniform reweighting of the generated sample to the population
-		// size ("uniformly reweight the generated sample to match the size
-		// of the population").
-		if err := gen.ResetWeights(popTotal / float64(n)); err != nil {
-			return nil, err
-		}
-		res, err := exec.Run(gen, &q, exec.Options{Weighted: true})
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-		if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
-			// Non-aggregate OPEN query: return one generated sample's
-			// qualifying tuples (materializing missing tuples).
-			return res, nil
 		}
 	}
 	return combineOpenResults(results, sel)
 }
 
-// openModel returns a cached or freshly trained M-SWG for the pair.
+// openReplicate generates OPEN replicate r and answers q over it. Eval-mode
+// generation is read-only on the model, so replicates run concurrently.
+func (e *Engine) openReplicate(ctx *planContext, model *swg.Model, q *sql.Select, r, n int, popTotal float64) (*exec.Result, error) {
+	gen, err := model.GenerateSeeded(fmt.Sprintf("%s_gen%d", ctx.sample.Name, r), n, replicateSeed(e.opts.Seed, r))
+	if err != nil {
+		return nil, err
+	}
+	// Uniform reweighting of the generated sample to the population size
+	// ("uniformly reweight the generated sample to match the size of the
+	// population").
+	if err := gen.ResetWeights(popTotal / float64(n)); err != nil {
+		return nil, err
+	}
+	return exec.Run(gen, q, exec.Options{Weighted: true})
+}
+
+// replicateSeed derives the RNG seed of OPEN replicate r from the engine
+// seed with a splitmix64 finalizer, decorrelating adjacent streams.
+func replicateSeed(base int64, r int) int64 {
+	x := uint64(base) + 0x9E3779B97F4A7C15*(uint64(r)+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// openModel returns a cached or freshly trained M-SWG for the pair, training
+// at most once per (sample, population) even under concurrent first queries.
 func (e *Engine) openModel(s *catalog.Sample, pop *catalog.Population, margs []*marginal.Marginal) (*swg.Model, error) {
 	key := modelKey(s.Name, pop.Name)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if m, ok := e.models[key]; ok {
-		return m, nil
+	e.cacheMu.Lock()
+	ent, ok := e.models[key]
+	if !ok {
+		ent = &modelEntry{}
+		e.models[key] = ent
 	}
+	e.cacheMu.Unlock()
+	ent.once.Do(func() {
+		ent.model, ent.err = e.trainOpenModel(s, margs)
+	})
+	return ent.model, ent.err
+}
+
+// trainOpenModel compiles and trains the M-SWG for a sample against the
+// augmented marginal set.
+func (e *Engine) trainOpenModel(s *catalog.Sample, margs []*marginal.Marginal) (*swg.Model, error) {
 	full, err := AugmentMarginals(s.Table, margs)
 	if err != nil {
 		return nil, err
@@ -315,6 +426,9 @@ func (e *Engine) openModel(s *catalog.Sample, pop *catalog.Population, margs []*
 	if cfg.Seed == 0 {
 		cfg.Seed = e.opts.Seed
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = e.opts.Workers
+	}
 	model, err := swg.New(s.Table, full, cfg)
 	if err != nil {
 		return nil, err
@@ -322,7 +436,6 @@ func (e *Engine) openModel(s *catalog.Sample, pop *catalog.Population, margs []*
 	if err := model.Train(); err != nil {
 		return nil, err
 	}
-	e.models[key] = model
 	return model, nil
 }
 

@@ -48,8 +48,9 @@ type Config struct {
 	// if a plateau is reached"). Default 5.
 	PlateauPatience int
 	// Workers parallelizes the loss computation over projections and
-	// proximity rows. 0/1 = serial. Work is statically partitioned, so
-	// results are independent of goroutine scheduling.
+	// proximity rows. 0/1 = serial. Work is partitioned into a fixed number
+	// of shards reduced in shard order, so losses, gradients, and trained
+	// weights are bit-identical for every Workers value and scheduling.
 	Workers int
 	// Seed drives all model randomness. Default 1.
 	Seed int64
@@ -211,23 +212,37 @@ func (m *Model) compileTerm(mg *marginal.Marginal) (lossTerm, error) {
 	return t, nil
 }
 
-// latentBatch draws a batch of N(0, I_ℓ) latent vectors.
+// latentBatch draws a batch of N(0, I_ℓ) latent vectors from the model's
+// training RNG stream.
 func (m *Model) latentBatch(n int) [][]float64 {
+	return latentBatchFrom(m.rng, n, m.cfg.Latent)
+}
+
+// latentBatchFrom draws a batch of N(0, I_ℓ) latent vectors from rng.
+func latentBatchFrom(rng *rand.Rand, n, latent int) [][]float64 {
 	z := make([][]float64, n)
 	for i := range z {
-		row := make([]float64, m.cfg.Latent)
+		row := make([]float64, latent)
 		for j := range row {
-			row[j] = m.rng.NormFloat64()
+			row[j] = rng.NormFloat64()
 		}
 		z[i] = row
 	}
 	return z
 }
 
+// gradShards is the fixed number of gradient accumulation partitions in
+// lossAndGrad. The partition count does not depend on cfg.Workers and the
+// shard buffers are always reduced in shard order, so the floating-point
+// accumulation order — and therefore the loss, the gradient, and every
+// downstream trained weight — is bit-identical for every worker count.
+const gradShards = 16
+
 // lossAndGrad computes Eq. 1 and its subgradient with respect to the
 // generator output batch. With cfg.Workers > 1 the projection terms and the
-// proximity rows are processed in parallel under a static partition, so the
-// result is deterministic.
+// proximity rows are processed in parallel; the shard partition is static
+// and independent of the worker count, so the result is bit-identical
+// regardless of cfg.Workers and goroutine scheduling.
 func (m *Model) lossAndGrad(out [][]float64) (float64, [][]float64, error) {
 	n := len(out)
 	grad := make([][]float64, n)
@@ -248,26 +263,31 @@ func (m *Model) lossAndGrad(out [][]float64) (float64, [][]float64, error) {
 		}
 	}
 
+	shards := gradShards
+	if shards > len(items) {
+		shards = len(items)
+	}
 	workers := m.cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(items) && len(items) > 0 {
-		workers = len(items)
+	if workers > shards {
+		workers = shards
 	}
 
 	itemLoss := make([]float64, len(items))
-	itemErr := make([]error, workers)
-	workerGrads := make([][][]float64, workers)
-	process := func(w int, dst [][]float64) {
-		for ii := w; ii < len(items); ii += workers {
+	shardErr := make([]error, shards)
+	shardGrads := make([][][]float64, shards)
+	process := func(s int) {
+		dst := shardGrads[s]
+		for ii := s; ii < len(items); ii += shards {
 			it := items[ii]
 			scale := it.t.weight / float64(len(it.t.dirs))
 			dir := it.t.dirs[it.di]
 			proj := wasserstein.ProjectCols(out, it.t.cols, dir)
 			d, g, err := wasserstein.W1ToUniform(proj, it.t.targets[it.di])
 			if err != nil {
-				itemErr[w] = err
+				shardErr[s] = err
 				return
 			}
 			itemLoss[ii] = scale * d
@@ -283,37 +303,44 @@ func (m *Model) lossAndGrad(out [][]float64) (float64, [][]float64, error) {
 			}
 		}
 	}
+	for s := 0; s < shards; s++ {
+		buf := make([][]float64, n)
+		flat := make([]float64, n*m.Enc.Dim)
+		for i := range buf {
+			buf[i] = flat[i*m.Enc.Dim : (i+1)*m.Enc.Dim]
+		}
+		shardGrads[s] = buf
+	}
 	if workers <= 1 {
-		process(0, grad)
+		for s := 0; s < shards; s++ {
+			process(s)
+		}
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			buf := make([][]float64, n)
-			flat := make([]float64, n*m.Enc.Dim)
-			for i := range buf {
-				buf[i] = flat[i*m.Enc.Dim : (i+1)*m.Enc.Dim]
-			}
-			workerGrads[w] = buf
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				process(w, workerGrads[w])
+				for s := w; s < shards; s += workers {
+					process(s)
+				}
 			}(w)
 		}
 		wg.Wait()
-		// Deterministic reduction in worker order.
-		for w := 0; w < workers; w++ {
-			for r := range grad {
-				dst, src := grad[r], workerGrads[w][r]
-				for c := range dst {
-					dst[c] += src[c]
-				}
-			}
-		}
 	}
-	for _, err := range itemErr {
+	for _, err := range shardErr {
 		if err != nil {
 			return 0, nil, err
+		}
+	}
+	// Reduce in shard order: the same additions in the same order no matter
+	// how many workers ran the shards.
+	for s := 0; s < shards; s++ {
+		for r := range grad {
+			dst, src := grad[r], shardGrads[s][r]
+			for c := range dst {
+				dst[c] += src[c]
+			}
 		}
 	}
 	var loss float64
@@ -424,26 +451,25 @@ func (m *Model) Train() error {
 // Trained reports whether Train has completed at least once.
 func (m *Model) Trained() bool { return m.trained }
 
-// GenerateEncoded produces n encoded vectors from the trained generator
-// (eval-mode forward: batch norm uses running statistics).
-func (m *Model) GenerateEncoded(n int) [][]float64 {
+// generateEncodedFrom produces n encoded vectors drawing latents from rng
+// (eval-mode forward: batch norm uses running statistics, no caching).
+func (m *Model) generateEncodedFrom(rng *rand.Rand, n int) [][]float64 {
 	out := make([][]float64, 0, n)
 	for len(out) < n {
 		b := m.cfg.BatchSize
 		if rem := n - len(out); rem < b {
 			b = rem
 		}
-		z := m.latentBatch(b)
+		z := latentBatchFrom(rng, b, m.cfg.Latent)
 		y := m.Net.Forward(z, false)
 		out = append(out, y...)
 	}
 	return out
 }
 
-// Generate produces a generated sample table of n tuples with weight 1,
+// decodeToTable materializes encoded vectors as a weight-1 tuple table,
 // decoding categorical blocks to their argmax level.
-func (m *Model) Generate(name string, n int) (*table.Table, error) {
-	enc := m.GenerateEncoded(n)
+func (m *Model) decodeToTable(name string, enc [][]float64) (*table.Table, error) {
 	t := table.New(name, m.Enc.Schema)
 	for _, v := range enc {
 		row, err := m.Enc.DecodeRow(v)
@@ -455,6 +481,34 @@ func (m *Model) Generate(name string, n int) (*table.Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// GenerateEncoded produces n encoded vectors from the trained generator,
+// advancing the model's training RNG stream.
+func (m *Model) GenerateEncoded(n int) [][]float64 {
+	return m.generateEncodedFrom(m.rng, n)
+}
+
+// Generate produces a generated sample table of n tuples with weight 1.
+func (m *Model) Generate(name string, n int) (*table.Table, error) {
+	return m.decodeToTable(name, m.GenerateEncoded(n))
+}
+
+// GenerateEncodedSeeded produces n encoded vectors from an independent RNG
+// stream derived from seed, leaving the model's training RNG untouched.
+// Eval-mode forward passes are read-only, so concurrent calls on a trained
+// model are safe; equal seeds give bit-identical output regardless of what
+// other goroutines generate.
+func (m *Model) GenerateEncodedSeeded(n int, seed int64) [][]float64 {
+	return m.generateEncodedFrom(rand.New(rand.NewSource(seed)), n)
+}
+
+// GenerateSeeded produces a generated sample table of n tuples with weight 1
+// using an independent RNG stream derived from seed. Unlike Generate it does
+// not advance the model's training RNG, so replicate r of an OPEN query can
+// be generated on any goroutine in any order and still be deterministic.
+func (m *Model) GenerateSeeded(name string, n int, seed int64) (*table.Table, error) {
+	return m.decodeToTable(name, m.GenerateEncodedSeeded(n, seed))
 }
 
 // Loss evaluates Eq. 1 on a fresh eval-mode batch (no parameter update);

@@ -15,6 +15,23 @@
 //   - OPEN     — additionally generate missing tuples with a
 //     marginal-constrained sliced Wasserstein generator (M-SWG).
 //
+// # Concurrency and determinism
+//
+// A DB is safe for concurrent use: queries (Query, Scalar, EXPLAIN) run
+// under a shared read lock, so any number of them proceed in parallel, while
+// DDL/DML (Exec, Ingest, SetMechanism, AddMarginal) serializes behind a
+// write lock and invalidates the derived caches (trained M-SWG models, IPF
+// fits). Options.Workers additionally parallelizes inside one query: OPEN
+// replicate generation fans across up to Workers goroutines and M-SWG
+// training uses Workers loss workers.
+//
+// Determinism guarantee: for a fixed Seed and statement stream, answers are
+// bit-identical regardless of Workers. Every OPEN replicate draws from an
+// RNG stream derived only from (Seed, replicate index) — never from which
+// goroutine runs it or in what order — and parallel loss reductions are
+// statically partitioned. Workers trades only wall-clock time, never answer
+// stability.
+//
 // # Quickstart
 //
 //	db := mosaic.Open(nil)
@@ -77,15 +94,22 @@ type Options struct {
 	// schema-covering samples instead of one optimal sample (the paper's
 	// Sec 7 "Multiple Samples" extension).
 	UnionSamples bool
+	// Workers bounds intra-query parallelism: OPEN queries generate their
+	// replicates across up to Workers goroutines, and M-SWG training uses
+	// Workers loss workers unless SWG.Workers overrides it. Answers are
+	// bit-identical for any Workers value (see the package comment's
+	// determinism guarantee). Default 1 (serial).
+	Workers int
 	// SWG is the base generator configuration for OPEN queries.
 	SWG SWGConfig
 	// IPF tunes SEMI-OPEN fitting.
 	IPF IPFOptions
 }
 
-// DB is a Mosaic database instance. It is safe for concurrent queries after
-// the schema and data are loaded; DDL/DML must be externally serialized
-// against queries.
+// DB is a Mosaic database instance. It is safe for concurrent use: queries
+// share a read lock and run in parallel, DDL/DML takes the write lock and
+// may interleave freely with queries from other goroutines (each statement
+// is atomic; multi-statement scripts are not).
 type DB struct {
 	engine *core.Engine
 }
@@ -101,6 +125,7 @@ func Open(opts *Options) *DB {
 		OpenSamples:   o.OpenSamples,
 		GeneratedRows: o.GeneratedRows,
 		UnionSamples:  o.UnionSamples,
+		Workers:       o.Workers,
 		SWG:           o.SWG,
 		IPF:           o.IPF,
 	})}

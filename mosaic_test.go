@@ -1,9 +1,11 @@
 package mosaic_test
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"mosaic"
@@ -426,5 +428,85 @@ func TestPublicAPIDumpRestore(t *testing.T) {
 	}
 	if math.Abs(a-b) > 1e-6 {
 		t.Errorf("restored SEMI-OPEN count %g vs %g", b, a)
+	}
+}
+
+// TestPublicAPIWorkersDeterminism pins the package-level guarantee: equal
+// seeds give identical OPEN answers for any Options.Workers value, and a DB
+// serves concurrent queries safely (run with -race).
+func TestPublicAPIWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a generator")
+	}
+	build := func(workers int) *mosaic.DB {
+		db, _ := buildMigrantsDB(t, &mosaic.Options{
+			Seed:        7,
+			OpenSamples: 3,
+			Workers:     workers,
+			SWG: mosaic.SWGConfig{
+				Hidden:      []int{32, 32},
+				Latent:      4,
+				Epochs:      6,
+				Projections: 24,
+				BatchSize:   200,
+			},
+		})
+		return db
+	}
+	const q = `SELECT OPEN email, COUNT(*) FROM EuropeMigrants GROUP BY email ORDER BY email`
+	render := func(res *mosaic.Result) string {
+		var b strings.Builder
+		for _, row := range res.Rows {
+			for _, v := range row {
+				b.WriteString(v.String())
+				b.WriteByte('|')
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	ref := ""
+	for _, workers := range []int{1, 4, 8} {
+		db := build(workers)
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := render(res)
+		if ref == "" {
+			ref = got
+		} else if got != ref {
+			t.Errorf("workers=%d OPEN answer differs from workers=1:\n%s\nvs\n%s", workers, got, ref)
+		}
+	}
+
+	// Concurrent clients on one DB must agree with each other.
+	db := build(4)
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(first)
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res, err := db.Query(q)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if got := render(res); got != want {
+				errs[c] = fmt.Errorf("client %d answer diverged", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
 	}
 }

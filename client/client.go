@@ -1,0 +1,181 @@
+// Package client is a thin Go client for a mosaic-serve instance. It mirrors
+// the mosaic.DB query surface (Query, Run, Exec, Scalar) over HTTP, decoding
+// answers into the same Result/Value types an in-process engine returns —
+// byte-for-byte identical values, as internal/bench's HTTP load mode
+// verifies.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"mosaic"
+	"mosaic/internal/wire"
+)
+
+// Client talks to one mosaic-serve base URL (e.g. "http://127.0.0.1:7171").
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom transport,
+// timeout, tracing).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New creates a client for the given base URL. The client imposes no
+// request timeout of its own — the server's -request-timeout bounds every
+// request (504 on expiry), and a cold OPEN query can legitimately train for
+// longer than any fixed client-side cap. Use the *Context methods or
+// WithHTTPClient to impose a local deadline.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// RemoteError is a non-2xx answer from the server.
+type RemoteError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("mosaic server: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var werr wire.ErrorResponse
+		if json.Unmarshal(raw, &werr) == nil && werr.Error != "" {
+			return &RemoteError{StatusCode: resp.StatusCode, Message: werr.Error}
+		}
+		return &RemoteError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("mosaic client: bad response body: %v", err)
+	}
+	return nil
+}
+
+// QueryContext runs a single SELECT on the server.
+func (c *Client) QueryContext(ctx context.Context, query string) (*mosaic.Result, error) {
+	var w wire.Result
+	if err := c.do(ctx, http.MethodPost, "/v1/query", wire.QueryRequest{Query: query}, &w); err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(&w)
+}
+
+// Query runs a single SELECT on the server.
+func (c *Client) Query(query string) (*mosaic.Result, error) {
+	return c.QueryContext(context.Background(), query)
+}
+
+// RunContext executes a semicolon-separated script and returns the result of
+// every statement (nil for DDL/DML), mirroring mosaic.DB.Run.
+func (c *Client) RunContext(ctx context.Context, script string) ([]*mosaic.Result, error) {
+	var w wire.ExecResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/exec", wire.ExecRequest{Script: script}, &w); err != nil {
+		return nil, err
+	}
+	out := make([]*mosaic.Result, len(w.Results))
+	for i, res := range w.Results {
+		dec, err := wire.DecodeResult(res)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dec
+	}
+	return out, nil
+}
+
+// Run executes a semicolon-separated script, mirroring mosaic.DB.Run.
+func (c *Client) Run(script string) ([]*mosaic.Result, error) {
+	return c.RunContext(context.Background(), script)
+}
+
+// Exec executes DDL/DML statements, discarding any SELECT results.
+func (c *Client) Exec(script string) error {
+	_, err := c.Run(script)
+	return err
+}
+
+// Scalar runs a query expected to return a single 1×1 numeric answer.
+func (c *Client) Scalar(query string) (float64, error) {
+	res, err := c.Query(query)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return 0, fmt.Errorf("mosaic client: query returned %d rows × %d columns, want 1×1", len(res.Rows), len(res.Columns))
+	}
+	return res.Rows[0][0].Float64()
+}
+
+// Explain asks the server how it would answer the query.
+func (c *Client) Explain(query string) (*mosaic.Result, error) {
+	var w wire.Result
+	path := "/v1/explain?q=" + url.QueryEscape(query)
+	if err := c.do(context.Background(), http.MethodGet, path, nil, &w); err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(&w)
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health() error {
+	return c.do(context.Background(), http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats fetches the server's /statsz counters.
+func (c *Client) Stats() (*wire.StatsResponse, error) {
+	var s wire.StatsResponse
+	if err := c.do(context.Background(), http.MethodGet, "/statsz", nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,52 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRemoteErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error": "core: unknown relation \"Nope\""}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL + "/") // trailing slash must not double up
+	_, err := c.Query("SELECT x FROM Nope")
+	re, ok := err.(*RemoteError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *RemoteError", err, err)
+	}
+	if re.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(re.Message, "unknown relation") {
+		t.Errorf("RemoteError = %+v", re)
+	}
+	if !strings.Contains(re.Error(), "422") {
+		t.Errorf("Error() = %q, want status code included", re.Error())
+	}
+}
+
+func TestNonJSONErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text panic", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	err := New(ts.URL).Health()
+	re, ok := err.(*RemoteError)
+	if !ok || re.Message != "plain text panic" {
+		t.Fatalf("err = %v, want RemoteError with raw body", err)
+	}
+}
+
+func TestUnreachableServer(t *testing.T) {
+	c := New("http://127.0.0.1:1") // nothing listens on port 1
+	if err := c.Health(); err == nil {
+		t.Fatal("health against dead server should fail")
+	}
+	if _, err := c.Run("SELECT 1"); err == nil {
+		t.Fatal("run against dead server should fail")
+	}
+}

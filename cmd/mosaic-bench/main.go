@@ -40,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, all)")
 	popN := flag.Int("pop", 50000, "population rows")
 	sampleN := flag.Int("sample", 10000, "spiral sample rows")
 	epochs := flag.Int("epochs", 25, "M-SWG training epochs")
@@ -100,9 +100,14 @@ func main() {
 				Flights: flights, Clients: clientCounts, QueriesPerClient: *queriesPerClient,
 			})
 		},
+		"http": func() (fmt.Stringer, error) {
+			return bench.RunHTTPLoad(bench.HTTPLoadConfig{
+				Flights: flights, Clients: clientCounts, QueriesPerClient: *queriesPerClient,
+			})
+		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
-		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent"}
+		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

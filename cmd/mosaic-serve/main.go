@@ -1,0 +1,113 @@
+// Command mosaic-serve exposes a Mosaic database over HTTP/JSON — the
+// network front door for the engine (POST /v1/query, POST /v1/exec,
+// GET /v1/explain, /healthz, /statsz).
+//
+// Usage:
+//
+//	mosaic-serve [-addr :7171] [-snapshot state.sql] [-snapshot-interval 30s]
+//	             [-max-concurrent 64] [-request-timeout 30s]
+//	             [-seed N] [-open-samples N] [-swg-epochs N] [-workers N]
+//	             [init.sql ...]
+//
+// With -snapshot, the server restores the file on boot (when present),
+// rewrites it atomically every -snapshot-interval, and writes a final
+// snapshot on SIGINT/SIGTERM before exiting — so a kill + restart preserves
+// the catalog, rows, metadata, and sample weights exactly. Positional
+// scripts run after the boot restore (useful to seed a fresh instance).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored on boot, rewritten on interval and shutdown")
+	snapshotInterval := flag.Duration("snapshot-interval", 30*time.Second, "background snapshot period")
+	maxConcurrent := flag.Int("max-concurrent", 64, "max concurrently executing requests (admission gate)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
+	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
+	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
+	workers := flag.Int("workers", 1, "intra-query workers; answers are identical for any value")
+	flag.Parse()
+
+	db := mosaic.Open(&mosaic.Options{
+		Seed:        *seed,
+		OpenSamples: *openSamples,
+		Workers:     *workers,
+		SWG:         mosaic.SWGConfig{Epochs: *epochs},
+	})
+
+	srv, err := server.New(server.Config{
+		DB:               db,
+		MaxConcurrent:    *maxConcurrent,
+		RequestTimeout:   *requestTimeout,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapshotInterval,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("mosaic-serve: %v", err)
+	}
+
+	// Positional scripts seed a *fresh* instance. After a snapshot restore
+	// the state they created is already present — replaying them would fail
+	// on every CREATE (or silently duplicate rows), so they are skipped.
+	if srv.Restored() && flag.NArg() > 0 {
+		log.Printf("snapshot restored; skipping init scripts %v", flag.Args())
+	} else {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatalf("mosaic-serve: %v", err)
+			}
+			if err := db.Exec(string(src)); err != nil {
+				log.Fatalf("mosaic-serve: %s: %v", path, err)
+			}
+			log.Printf("executed %s", path)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("mosaic-serve listening on %s", *addr)
+		err := httpSrv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		done <- err
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("mosaic-serve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	// Final snapshot (when configured): the restart-from-snapshot guarantee.
+	if err := srv.Close(); err != nil {
+		log.Fatalf("mosaic-serve: final snapshot: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "mosaic-serve: bye")
+}

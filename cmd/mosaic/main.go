@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	mosaic [-seed N] [-open-samples N] [-workers N] [file.sql ...]
+//	mosaic [-seed N] [-open-samples N] [-workers N] [-remote URL] [file.sql ...]
 //
 // With file arguments, each script executes in order against one shared
 // database and SELECT results print to stdout. Without arguments, mosaic
 // reads statements from stdin (terminated by ';'), REPL-style.
+//
+// With -remote http://host:port the shell drives a mosaic-serve instance
+// instead of an in-process engine: statements travel over the HTTP API and
+// results come back byte-for-byte identical to local execution (the engine
+// flags are then ignored — the server's options apply).
 package main
 
 import (
@@ -18,21 +23,38 @@ import (
 	"strings"
 
 	"mosaic"
+	"mosaic/client"
 )
+
+// runner abstracts the two backends of the shell: an in-process mosaic.DB or
+// a remote mosaic-serve driven through mosaic/client.
+type runner interface {
+	Run(script string) ([]*mosaic.Result, error)
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
 	workers := flag.Int("workers", 1, "intra-query workers (OPEN replicate fan-out, M-SWG training); answers are identical for any value")
+	remote := flag.String("remote", "", "drive a mosaic-serve instance at this base URL instead of an in-process engine")
 	flag.Parse()
 
-	db := mosaic.Open(&mosaic.Options{
-		Seed:        *seed,
-		OpenSamples: *openSamples,
-		Workers:     *workers,
-		SWG:         mosaic.SWGConfig{Epochs: *epochs},
-	})
+	var db runner
+	if *remote != "" {
+		c := client.New(*remote)
+		if err := c.Health(); err != nil {
+			fatalf("mosaic: cannot reach %s: %v", *remote, err)
+		}
+		db = c
+	} else {
+		db = mosaic.Open(&mosaic.Options{
+			Seed:        *seed,
+			OpenSamples: *openSamples,
+			Workers:     *workers,
+			SWG:         mosaic.SWGConfig{Epochs: *epochs},
+		})
+	}
 
 	if flag.NArg() > 0 {
 		for _, path := range flag.Args() {
@@ -49,7 +71,7 @@ func main() {
 	repl(db)
 }
 
-func runScript(db *mosaic.DB, src string) error {
+func runScript(db runner, src string) error {
 	results, err := db.Run(src)
 	for _, res := range results {
 		if res != nil {
@@ -60,7 +82,7 @@ func runScript(db *mosaic.DB, src string) error {
 	return err
 }
 
-func repl(db *mosaic.DB) {
+func repl(db runner) {
 	fmt.Println("Mosaic — open world query processing. Statements end with ';'. Ctrl-D exits.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -388,3 +388,31 @@ func TestQueryError(t *testing.T) {
 		t.Error("empty truth should be NaN")
 	}
 }
+
+func TestHTTPLoadVerifiesNetworkAnswers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a generator")
+	}
+	cfg := tinyFlights()
+	res, err := RunHTTPLoad(HTTPLoadConfig{
+		Flights: cfg, Clients: []int{1, 4}, QueriesPerClient: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// 24 warm-up verifications (8 queries × 3 visibilities) + the sweep.
+	if want := 24 + 1*2 + 4*2; res.Verified != want {
+		t.Errorf("Verified = %d, want %d", res.Verified, want)
+	}
+	for _, row := range res.Rows {
+		if row.QPS <= 0 {
+			t.Errorf("clients=%d: qps = %g", row.Clients, row.QPS)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "byte-for-byte") {
+		t.Error("String missing verification note")
+	}
+}

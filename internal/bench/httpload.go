@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaic"
+	"mosaic/client"
+	"mosaic/internal/server"
+)
+
+// HTTPLoadConfig tunes the network serving experiment: one mosaic-serve
+// handler (in-process listener, real HTTP round trips) on the flights
+// workload, swept over concurrent client counts. Every network answer is
+// decoded and compared byte-for-byte against an in-process reference engine
+// built from the identical snapshot — a mismatch means the serving layer
+// (wire codec, concurrency, admission) corrupted an answer, not noise,
+// because answers are deterministic for a fixed seed.
+type HTTPLoadConfig struct {
+	Flights          FlightsConfig
+	Clients          []int // client counts to sweep; default {1, 2, 4, 8}
+	QueriesPerClient int   // queries each client issues; default 8
+	MaxConcurrent    int   // server admission gate; default 64
+}
+
+func (c HTTPLoadConfig) withDefaults() HTTPLoadConfig {
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 2, 4, 8}
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 8
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	return c
+}
+
+// HTTPLoadRow is one swept client count.
+type HTTPLoadRow struct {
+	Clients int
+	Queries int
+	Secs    float64
+	QPS     float64
+}
+
+// HTTPLoadResult is the full sweep.
+type HTTPLoadResult struct {
+	Rows     []HTTPLoadRow
+	WarmSecs float64
+	Verified int // network answers checked byte-for-byte against the reference
+}
+
+// String renders the sweep as an aligned table.
+func (r *HTTPLoadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP serving — network query throughput (warm caches; warm-up %.1fs; %d answers verified byte-for-byte)\n",
+		r.WarmSecs, r.Verified)
+	b.WriteString("  clients  queries   secs      q/s   speedup\n")
+	var base float64
+	for _, row := range r.Rows {
+		if base == 0 {
+			base = row.QPS
+		}
+		fmt.Fprintf(&b, "  %7d  %7d  %6.2f  %7.1f  %6.2fx\n",
+			row.Clients, row.Queries, row.Secs, row.QPS, row.QPS/base)
+	}
+	return b.String()
+}
+
+// RunHTTPLoad builds the flights workload, snapshots it into a served DB and
+// an in-process reference DB (same options, same statement stream, hence
+// bit-identical answers), exposes the served DB through internal/server on a
+// loopback listener, and drives it with concurrent HTTP clients.
+func RunHTTPLoad(cfg HTTPLoadConfig) (*HTTPLoadResult, error) {
+	cfg = cfg.withDefaults()
+	setup, err := BuildFlights(cfg.Flights)
+	if err != nil {
+		return nil, err
+	}
+	script, err := setup.Engine.DumpScript()
+	if err != nil {
+		return nil, err
+	}
+	opts := &mosaic.Options{
+		Seed:        setup.Cfg.Seed,
+		OpenSamples: setup.Cfg.OpenSamples,
+		Workers:     setup.Cfg.Workers,
+		SWG:         setup.Cfg.SWG,
+		IPF:         setup.Cfg.IPF,
+	}
+	served := mosaic.Open(opts)
+	if err := served.Restore(script); err != nil {
+		return nil, fmt.Errorf("bench: restore served DB: %v", err)
+	}
+	ref := mosaic.Open(opts)
+	if err := ref.Restore(script); err != nil {
+		return nil, fmt.Errorf("bench: restore reference DB: %v", err)
+	}
+
+	srv, err := server.New(server.Config{DB: served, MaxConcurrent: cfg.MaxConcurrent, RequestTimeout: 5 * time.Minute})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// The job mix: every Table 2 query at every population visibility.
+	type job struct {
+		sql string
+		ref string
+	}
+	var jobs []job
+	for _, vis := range []string{"CLOSED", "SEMI-OPEN", "OPEN"} {
+		for _, q := range FlightQueries {
+			jobs = append(jobs, job{sql: withVisibility(q.SQL, vis)})
+		}
+	}
+
+	// Warm both engines (model training + IPF fits) and pin the reference
+	// renderings; one HTTP round trip per job also warms the server side.
+	warmStart := time.Now()
+	warmClient := client.New(base)
+	for i := range jobs {
+		res, err := ref.Query(jobs[i].sql)
+		if err != nil {
+			return nil, fmt.Errorf("bench: reference warm-up %q: %v", jobs[i].sql, err)
+		}
+		jobs[i].ref = renderResult(res)
+		net0, err := warmClient.Query(jobs[i].sql)
+		if err != nil {
+			return nil, fmt.Errorf("bench: network warm-up %q: %v", jobs[i].sql, err)
+		}
+		if got := renderResult(net0); got != jobs[i].ref {
+			return nil, fmt.Errorf("bench: warm-up answer for %q diverged over HTTP:\n got %q\nwant %q", jobs[i].sql, got, jobs[i].ref)
+		}
+	}
+	warm := time.Since(warmStart).Seconds()
+
+	out := &HTTPLoadResult{WarmSecs: warm, Verified: len(jobs)}
+	for _, clients := range cfg.Clients {
+		total := clients * cfg.QueriesPerClient
+		errs := make([]error, clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cl := client.New(base)
+				for i := 0; i < cfg.QueriesPerClient; i++ {
+					j := jobs[(c+i)%len(jobs)]
+					res, err := cl.Query(j.sql)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					if got := renderResult(res); got != j.ref {
+						errs[c] = fmt.Errorf("bench: client %d query %d (%q): network answer diverged from in-process reference", c, i, j.sql)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Verified += total
+		out.Rows = append(out.Rows, HTTPLoadRow{Clients: clients, Queries: total, Secs: secs, QPS: float64(total) / secs})
+	}
+	return out, nil
+}

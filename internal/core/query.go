@@ -61,6 +61,7 @@ type planContext struct {
 }
 
 func (e *Engine) queryPopulation(pop *catalog.Population, sel *sql.Select) (*exec.Result, error) {
+	sel = expandStars(sel, pop)
 	ctx, err := e.plan(pop, sel)
 	if err != nil {
 		return nil, err
@@ -79,6 +80,36 @@ func (e *Engine) queryPopulation(pop *catalog.Population, sel *sql.Select) (*exe
 	default:
 		return nil, fmt.Errorf("core: unsupported visibility %v", vis)
 	}
+}
+
+// expandStars rewrites each bare * select item into the population's own
+// attributes, so the answer shape is a function of the queried population,
+// never of whichever sample the planner happens to pick (a global-population
+// star query used to return whatever columns the largest sample stored).
+// COUNT(*) and other aggregate stars are left alone.
+func expandStars(sel *sql.Select, pop *catalog.Population) *sql.Select {
+	hasStar := false
+	for _, it := range sel.Items {
+		if it.Star && it.Agg == sql.AggNone {
+			hasStar = true
+			break
+		}
+	}
+	if !hasStar {
+		return sel
+	}
+	q := *sel
+	q.Items = make([]sql.SelectItem, 0, len(sel.Items)+pop.Schema.Len())
+	for _, it := range sel.Items {
+		if !it.Star || it.Agg != sql.AggNone {
+			q.Items = append(q.Items, it)
+			continue
+		}
+		for _, n := range pop.Schema.Names() {
+			q.Items = append(q.Items, sql.SelectItem{Expr: &expr.Column{Name: n}})
+		}
+	}
+	return &q
 }
 
 // plan resolves the GP, picks the sample (paper Sec 4 assumption 2: "the
@@ -114,7 +145,9 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 		if it.Expr != nil {
 			collect(it.Expr)
 		}
-		if it.Star && !pop.Global {
+		if it.Star && it.Agg == sql.AggNone {
+			// A bare * projects the population's schema (global included), so
+			// the sample must store every population attribute.
 			for _, n := range pop.Schema.Names() {
 				need[strings.ToLower(n)] = true
 			}
@@ -125,6 +158,29 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 	for _, g := range sel.GroupBy {
 		need[strings.ToLower(g)] = true
 	}
+	// ORDER BY and HAVING columns constrain the sample too — except names
+	// that are output columns (aliases, aggregate display names), which
+	// resolve against the result rather than the sample.
+	outNames := map[string]bool{}
+	for _, it := range sel.Items {
+		if !it.Star || it.Agg != sql.AggNone {
+			outNames[strings.ToLower(it.Name())] = true
+		}
+	}
+	collectNonOutput := func(ex expr.Expr) {
+		if ex == nil {
+			return
+		}
+		for _, c := range ex.Columns(nil) {
+			if !outNames[strings.ToLower(c)] {
+				need[strings.ToLower(c)] = true
+			}
+		}
+	}
+	for _, o := range sel.OrderBy {
+		collectNonOutput(o.Expr)
+	}
+	collectNonOutput(sel.Having)
 	delete(need, "weight") // pseudo-column
 
 	if e.opts.UnionSamples {
@@ -335,6 +391,13 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 		// qualifying tuples (materializing missing tuples).
 		return e.openReplicate(ctx, model, &q, 0, n, popTotal)
 	}
+	// Post-aggregation clauses apply to the *combined* answer, never per
+	// replicate: a per-replicate LIMIT k (or HAVING) would drop groups
+	// before the intersect-and-average protocol sees them, biasing both the
+	// surviving group set and the averages.
+	q.OrderBy = nil
+	q.Having = nil
+	q.Limit = -1
 	reps := e.opts.OpenSamples
 	results := make([]*exec.Result, reps)
 	errs := make([]error, reps)
@@ -367,7 +430,14 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 			return nil, err
 		}
 	}
-	return combineOpenResults(results, sel)
+	res, err := combineOpenResults(results, sel)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.ApplyPostAggregation(res, sel); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // openReplicate generates OPEN replicate r and answers q over it. Eval-mode

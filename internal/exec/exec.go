@@ -397,28 +397,7 @@ func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error
 		res.Columns = append(res.Columns, it.Name())
 	}
 	// Output schema for HAVING / ORDER BY references output columns.
-	outAttrs := make([]schema.Attribute, len(sel.Items))
-	for i, it := range sel.Items {
-		k := value.KindFloat
-		if it.Agg == sql.AggNone {
-			if col, ok := it.Expr.(*expr.Column); ok {
-				if kk, err := sc.Kind(col.Name); err == nil {
-					k = kk
-				}
-			}
-		}
-		outAttrs[i] = schema.Attribute{Name: res.Columns[i], Kind: k}
-	}
-	outSchema, err := schema.New(outAttrs...)
-	if err != nil {
-		// Duplicate output names (e.g. two COUNT(*)): fall back to positional
-		// names so HAVING/ORDER BY by name are unavailable but execution
-		// still succeeds.
-		for i := range outAttrs {
-			outAttrs[i].Name = fmt.Sprintf("_col%d", i)
-		}
-		outSchema = schema.MustNew(outAttrs...)
-	}
+	outSchema := outputSchema(res.Columns)
 
 	for _, k := range order {
 		g := groups[k]
@@ -458,18 +437,53 @@ func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error
 	return res, nil
 }
 
+// outputSchema builds the name-resolution schema over a result's output
+// columns for HAVING/ORDER BY evaluation. Kinds are irrelevant — column
+// evaluation looks up by name and returns the stored row value — so every
+// attribute is declared FLOAT. Duplicate output names (e.g. two COUNT(*))
+// fall back to positional _colN names: by-name resolution is then
+// unavailable but execution still succeeds.
+func outputSchema(cols []string) *schema.Schema {
+	attrs := make([]schema.Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = schema.Attribute{Name: c, Kind: value.KindFloat}
+	}
+	sc, err := schema.New(attrs...)
+	if err != nil {
+		for i := range attrs {
+			attrs[i].Name = fmt.Sprintf("_col%d", i)
+		}
+		sc = schema.MustNew(attrs...)
+	}
+	return sc
+}
+
+// ApplyPostAggregation applies the post-aggregation clauses — HAVING, ORDER
+// BY, LIMIT — to an already-materialized result, resolving names against the
+// result's output columns. The OPEN path combines per-replicate answers
+// first and only then applies these clauses: running them per replicate
+// would drop groups before the intersect-and-average protocol sees them.
+func ApplyPostAggregation(res *Result, sel *sql.Select) error {
+	if sel.Having != nil {
+		outSchema := outputSchema(res.Columns)
+		kept := res.Rows[:0:0]
+		for _, row := range res.Rows {
+			ok, err := expr.Truthy(sel.Having, &expr.Binding{Schema: outSchema, Row: row})
+			if err != nil {
+				return err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+	return orderAndLimit(res, sel, nil)
+}
+
 func orderAndLimit(res *Result, sel *sql.Select, sc *schema.Schema) error {
 	if len(sel.OrderBy) > 0 {
-		// Build an output-column schema for ORDER BY name resolution; fall
-		// back to the input schema for projection queries.
-		attrs := make([]schema.Attribute, len(res.Columns))
-		for i, c := range res.Columns {
-			attrs[i] = schema.Attribute{Name: c, Kind: value.KindFloat}
-		}
-		outSchema, err := schema.New(attrs...)
-		if err != nil {
-			outSchema = nil
-		}
+		outSchema := outputSchema(res.Columns)
 		var sortErr error
 		sort.SliceStable(res.Rows, func(i, j int) bool {
 			for _, o := range sel.OrderBy {

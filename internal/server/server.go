@@ -1,0 +1,338 @@
+// Package server wraps a mosaic.DB with an HTTP/JSON API: the network front
+// door of the engine. Endpoints:
+//
+//	POST /v1/query   {"query": "SELECT ..."}    → {"columns": [...], "rows": [[...]]}
+//	POST /v1/exec    {"script": "CREATE ...;"}  → {"results": [null | result, ...]}
+//	GET  /v1/explain?q=SELECT ...               → plan description result
+//	GET  /healthz                               → liveness
+//	GET  /statsz                                → per-visibility counters + latency histograms
+//
+// Every /v1 request passes a configurable admission gate (at most
+// MaxConcurrent requests execute at once; the rest wait, then 503) and a
+// per-request timeout (504; the engine call itself is not cancellable, so a
+// timed-out query finishes in the background while the client moves on).
+// Values travel in the exact wire encoding of internal/wire, so a client
+// decodes answers byte-for-byte identical to an in-process engine's.
+//
+// When SnapshotPath is set the server restores it on boot (if present),
+// rewrites it atomically every SnapshotInterval, and again on Close — the
+// crash-recovery story of mosaic-serve.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/sql"
+	"mosaic/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DB is the engine to serve. Required.
+	DB *mosaic.DB
+	// MaxConcurrent bounds the number of /v1 requests executing at once;
+	// excess requests wait for a slot until their timeout. Default 64.
+	MaxConcurrent int
+	// RequestTimeout bounds each /v1 request (admission wait + execution).
+	// Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// SnapshotPath, when non-empty, enables persistence: restored on boot,
+	// written atomically every SnapshotInterval and on Close.
+	SnapshotPath string
+	// SnapshotInterval is the background snapshot period. Default 30s
+	// (only meaningful with SnapshotPath).
+	SnapshotInterval time.Duration
+	// Logf receives operational log lines. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the HTTP front end of one mosaic.DB.
+type Server struct {
+	cfg   Config
+	db    *mosaic.DB
+	stats *stats
+	gate  chan struct{}
+	mux   *http.ServeMux
+
+	stopOnce sync.Once
+	stopSnap chan struct{}
+	snapWG   sync.WaitGroup
+	snapMu   sync.Mutex // serializes SnapshotNow against the background loop
+
+	restored bool // a boot snapshot was loaded
+}
+
+// Restored reports whether New loaded an existing snapshot on boot. Callers
+// that seed a fresh instance (e.g. mosaic-serve's positional init scripts)
+// should skip seeding when true — the snapshot already contains it.
+func (s *Server) Restored() bool { return s.restored }
+
+// New builds a Server, restoring cfg.SnapshotPath first when it exists, and
+// starts the background snapshot loop when persistence is configured.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("server: Config.DB is required")
+	}
+	s := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		stats:    newStats(),
+		gate:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		stopSnap: make(chan struct{}),
+	}
+	if cfg.SnapshotPath != "" {
+		if _, err := os.Stat(cfg.SnapshotPath); err == nil {
+			if err := s.db.LoadSnapshot(cfg.SnapshotPath); err != nil {
+				return nil, fmt.Errorf("server: boot restore: %w", err)
+			}
+			s.restored = true
+			cfg.Logf("restored snapshot %s", cfg.SnapshotPath)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("server: snapshot path: %w", err)
+		}
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
+	}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/exec", s.handleExec)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/statsz", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the snapshot loop and writes a final snapshot (when
+// persistence is configured).
+func (s *Server) Close() error {
+	var err error
+	s.stopOnce.Do(func() {
+		close(s.stopSnap)
+		s.snapWG.Wait()
+		if s.cfg.SnapshotPath != "" {
+			err = s.SnapshotNow()
+		}
+	})
+	return err
+}
+
+// SnapshotNow writes one atomic snapshot immediately.
+func (s *Server) SnapshotNow() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if err := s.db.SaveSnapshot(s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	s.stats.snapshots.Add(1)
+	s.stats.lastSnapshotUnix.Store(time.Now().Unix())
+	if fi, err := os.Stat(s.cfg.SnapshotPath); err == nil {
+		s.stats.lastSnapshotSize.Store(fi.Size())
+	}
+	return nil
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.SnapshotNow(); err != nil {
+				s.cfg.Logf("snapshot: %v", err)
+			}
+		case <-s.stopSnap:
+			return
+		}
+	}
+}
+
+// admit reserves an execution slot, waiting until the request context
+// expires. It reports whether the slot was granted; the caller must release
+// on true.
+func (s *Server) admit(ctx context.Context) bool {
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		s.stats.rejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.gate }
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// run executes fn under the admission gate and the per-request timeout,
+// answering 503 (never admitted) or 504 (admitted but over deadline). The
+// engine call is not cancellable: on 504 it completes in the background.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int)) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if !s.admit(ctx) {
+		writeError(w, http.StatusServiceUnavailable, "server overloaded: no slot within timeout")
+		return
+	}
+	s.stats.inflight.Add(1)
+	type outcome struct {
+		body   any
+		status int
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer s.release()
+		defer s.stats.inflight.Add(-1)
+		body, status := fn()
+		done <- outcome{body, status}
+	}()
+	select {
+	case out := <-done:
+		if out.status >= 400 {
+			if msg, ok := out.body.(string); ok {
+				writeError(w, out.status, "%s", msg)
+				return
+			}
+		}
+		writeJSON(w, out.status, out.body)
+	case <-ctx.Done():
+		s.stats.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request exceeded %s (the statement keeps running server-side)", s.cfg.RequestTimeout)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req wire.QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sel, err := sql.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vis := sel.Visibility
+	s.run(w, r, func() (any, int) {
+		start := time.Now()
+		// Query the engine with the already-parsed statement (db.Query would
+		// re-parse the string).
+		res, err := s.db.Engine().Query(sel)
+		s.stats.recordQuery(vis, time.Since(start), err)
+		if err != nil {
+			return err.Error(), http.StatusUnprocessableEntity
+		}
+		return wire.EncodeResult(res), http.StatusOK
+	})
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req wire.ExecRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.run(w, r, func() (any, int) {
+		s.stats.execs.Add(1)
+		results, err := s.db.Run(req.Script)
+		if err != nil {
+			return err.Error(), http.StatusUnprocessableEntity
+		}
+		out := wire.ExecResponse{Results: make([]*wire.Result, len(results))}
+		for i, res := range results {
+			out.Results[i] = wire.EncodeResult(res)
+		}
+		return out, http.StatusOK
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing ?q=SELECT ...")
+		return
+	}
+	sel, err := sql.ParseQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.run(w, r, func() (any, int) {
+		s.stats.explains.Add(1)
+		res, err := s.db.Engine().Explain(sel)
+		if err != nil {
+			return err.Error(), http.StatusUnprocessableEntity
+		}
+		return wire.EncodeResult(res), http.StatusOK
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"uptime_secs": time.Since(s.stats.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot())
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"mosaic/client"
+)
+
+// TestServeKillRestartSmoke is the end-to-end serving story with real
+// processes: build cmd/mosaic-serve, boot it on a scratch snapshot, load a
+// world and answer a CLOSED, SEMI-OPEN, and OPEN query through the client,
+// SIGTERM the process (which writes a final snapshot), restart from that
+// snapshot, and require byte-identical answers.
+func TestServeKillRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots real processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mosaic-serve")
+	build := exec.Command("go", "build", "-o", bin, "mosaic/cmd/mosaic-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	init := filepath.Join(dir, "world.sql")
+	if err := os.WriteFile(init, []byte(worldScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "state.sql")
+	addr := freeAddr(t)
+	// The init script seeds the first boot; the restart must skip it (the
+	// snapshot already contains the world — replaying would fail on the
+	// CREATEs) even though the command line is identical.
+	args := []string{
+		"-addr", addr,
+		"-snapshot", snap,
+		"-snapshot-interval", "10s", // rely on the shutdown snapshot, not the loop
+		"-seed", "3",
+		"-open-samples", "3",
+		"-swg-epochs", "6",
+		init,
+	}
+
+	proc := startServe(t, bin, args)
+	c := client.New("http://" + addr)
+	waitHealthy(t, c)
+	before := map[string]string{}
+	for _, q := range worldQueries {
+		res, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("first run %q: %v", q, err)
+		}
+		before[q] = render(res)
+	}
+
+	// Kill. SIGTERM triggers the final snapshot before exit.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(proc, 15*time.Second); err != nil {
+		t.Fatalf("mosaic-serve did not exit cleanly: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot after shutdown: %v", err)
+	}
+
+	// Restart from the snapshot; catalog, weights, and answers must survive.
+	proc2 := startServe(t, bin, args)
+	defer func() {
+		_ = proc2.Process.Signal(syscall.SIGTERM)
+		_ = waitExit(proc2, 15*time.Second)
+	}()
+	waitHealthy(t, c)
+	for _, q := range worldQueries {
+		res, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("after restart %q: %v", q, err)
+		}
+		if got := render(res); got != before[q] {
+			t.Errorf("%q diverged across kill+restart:\n got %q\nwant %q", q, got, before[q])
+		}
+	}
+	// The restarted server serves the restored catalog, not an empty one.
+	if n, err := c.Scalar("SELECT COUNT(*) FROM Truth"); err != nil || n != 2 {
+		t.Errorf("restored Truth rows = %g, %v; want 2", n, err)
+	}
+}
+
+func startServe(t *testing.T, bin string, args []string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	return cmd
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, c *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if err := c.Health(); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func waitExit(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("timeout after %s", timeout)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mosaic/internal/sql"
+	"mosaic/internal/wire"
+)
+
+// latencyBuckets are the histogram upper bounds. The last bucket is
+// unbounded (+Inf).
+var latencyBuckets = []time.Duration{
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram with lock-free recording.
+type histogram struct {
+	counts [9]atomic.Int64 // len(latencyBuckets)+1, last = +Inf
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if d <= latencyBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+func (h *histogram) snapshot() wire.HistogramSnapshot {
+	out := wire.HistogramSnapshot{Buckets: make(map[string]int64, len(latencyBuckets)+1)}
+	for i := range h.counts {
+		label := "+Inf"
+		if i < len(latencyBuckets) {
+			label = "le_" + strings.ReplaceAll(latencyBuckets[i].String(), ".", "_")
+		}
+		out.Buckets[label] = h.counts[i].Load()
+	}
+	out.Count = h.n.Load()
+	if n := out.Count; n > 0 {
+		out.MeanMs = float64(h.sumNs.Load()) / float64(n) / 1e6
+	}
+	return out
+}
+
+// stats aggregates per-visibility query counters and latency histograms plus
+// whole-server request accounting.
+type stats struct {
+	started time.Time
+
+	queries  [4]atomic.Int64 // indexed by sql.Visibility
+	errors   atomic.Int64
+	execs    atomic.Int64
+	explains atomic.Int64
+	rejected atomic.Int64 // admission-gate rejections
+	timeouts atomic.Int64 // per-request deadline expiries
+	inflight atomic.Int64
+
+	latency [4]histogram // per visibility
+
+	snapshots        atomic.Int64
+	lastSnapshotUnix atomic.Int64
+	lastSnapshotSize atomic.Int64
+}
+
+func newStats() *stats { return &stats{started: time.Now()} }
+
+func (s *stats) recordQuery(vis sql.Visibility, d time.Duration, err error) {
+	if err != nil {
+		s.errors.Add(1)
+		return
+	}
+	s.queries[vis].Add(1)
+	s.latency[vis].observe(d)
+}
+
+func (s *stats) snapshot() wire.StatsResponse {
+	out := wire.StatsResponse{
+		UptimeSecs:       time.Since(s.started).Seconds(),
+		Inflight:         s.inflight.Load(),
+		Execs:            s.execs.Load(),
+		Explains:         s.explains.Load(),
+		QueryErrors:      s.errors.Load(),
+		Rejected:         s.rejected.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Visibilities:     make(map[string]wire.VisibilityStats, 4),
+		Snapshots:        s.snapshots.Load(),
+		LastSnapshotUnix: s.lastSnapshotUnix.Load(),
+		LastSnapshotSize: s.lastSnapshotSize.Load(),
+	}
+	for vis := sql.VisibilityDefault; vis <= sql.VisibilityOpen; vis++ {
+		name := strings.ToLower(vis.String())
+		out.Visibilities[name] = wire.VisibilityStats{
+			Queries: s.queries[vis].Load(),
+			Latency: s.latency[vis].snapshot(),
+		}
+	}
+	return out
+}

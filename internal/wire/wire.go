@@ -1,0 +1,164 @@
+// Package wire defines the JSON protocol shared by the Mosaic HTTP server
+// (internal/server) and the Go client (mosaic/client).
+//
+// Result cells travel as tagged strings rather than raw JSON scalars so that
+// every value round-trips bit-exactly: floats use Go's shortest
+// re-parseable formatting (a JSON number would survive too, but tagging
+// keeps INT vs FLOAT vs BOOL distinguishable without schema context, and
+// int64 values beyond 2^53 would lose precision in any JSON number).
+package wire
+
+import (
+	"fmt"
+	"strconv"
+
+	"mosaic/internal/exec"
+	"mosaic/internal/value"
+)
+
+// QueryRequest is the body of POST /v1/query and GET /v1/explain.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// ExecRequest is the body of POST /v1/exec: a semicolon-separated Mosaic
+// script. Statements execute in order; SELECTs inside the script return
+// their results in order (null for DDL/DML), mirroring mosaic.DB.Run.
+type ExecRequest struct {
+	Script string `json:"script"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Cell is one result value: K is the kind tag ("null", "int", "float",
+// "text", "bool"); V is the payload (absent for null).
+type Cell struct {
+	K string `json:"k"`
+	V string `json:"v,omitempty"`
+}
+
+// Result is the wire form of an exec.Result.
+type Result struct {
+	Columns []string `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+}
+
+// ExecResponse is the body of a successful POST /v1/exec.
+type ExecResponse struct {
+	Results []*Result `json:"results"`
+}
+
+// HistogramSnapshot is the JSON form of one latency histogram in /statsz.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	MeanMs  float64          `json:"mean_ms"`
+	Buckets map[string]int64 `json:"buckets"` // upper-bound label → count
+}
+
+// VisibilityStats is one visibility's counters in /statsz.
+type VisibilityStats struct {
+	Queries int64             `json:"queries"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// StatsResponse is the body of GET /statsz.
+type StatsResponse struct {
+	UptimeSecs       float64                    `json:"uptime_secs"`
+	Inflight         int64                      `json:"inflight"`
+	Execs            int64                      `json:"execs"`
+	Explains         int64                      `json:"explains"`
+	QueryErrors      int64                      `json:"query_errors"`
+	Rejected         int64                      `json:"rejected"`
+	Timeouts         int64                      `json:"timeouts"`
+	Visibilities     map[string]VisibilityStats `json:"visibilities"`
+	Snapshots        int64                      `json:"snapshots"`
+	LastSnapshotUnix int64                      `json:"last_snapshot_unix,omitempty"`
+	LastSnapshotSize int64                      `json:"last_snapshot_bytes,omitempty"`
+}
+
+// EncodeValue converts a value.Value to its wire cell.
+func EncodeValue(v value.Value) Cell {
+	switch v.Kind() {
+	case value.KindInt:
+		return Cell{K: "int", V: strconv.FormatInt(v.AsInt(), 10)}
+	case value.KindFloat:
+		return Cell{K: "float", V: strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)}
+	case value.KindText:
+		return Cell{K: "text", V: v.AsText()}
+	case value.KindBool:
+		return Cell{K: "bool", V: strconv.FormatBool(v.AsBool())}
+	default:
+		return Cell{K: "null"}
+	}
+}
+
+// DecodeValue converts a wire cell back to the identical value.Value.
+func DecodeValue(c Cell) (value.Value, error) {
+	switch c.K {
+	case "null":
+		return value.Null(), nil
+	case "int":
+		i, err := strconv.ParseInt(c.V, 10, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("wire: bad int cell %q: %v", c.V, err)
+		}
+		return value.Int(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(c.V, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("wire: bad float cell %q: %v", c.V, err)
+		}
+		return value.Float(f), nil
+	case "text":
+		return value.Text(c.V), nil
+	case "bool":
+		b, err := strconv.ParseBool(c.V)
+		if err != nil {
+			return value.Null(), fmt.Errorf("wire: bad bool cell %q: %v", c.V, err)
+		}
+		return value.Bool(b), nil
+	default:
+		return value.Null(), fmt.Errorf("wire: unknown cell kind %q", c.K)
+	}
+}
+
+// EncodeResult converts an engine result to its wire form. A nil result
+// (DDL/DML slot in a script) encodes as nil.
+func EncodeResult(res *exec.Result) *Result {
+	if res == nil {
+		return nil
+	}
+	out := &Result{Columns: append([]string(nil), res.Columns...), Rows: make([][]Cell, len(res.Rows))}
+	for ri, row := range res.Rows {
+		cells := make([]Cell, len(row))
+		for ci, v := range row {
+			cells[ci] = EncodeValue(v)
+		}
+		out.Rows[ri] = cells
+	}
+	return out
+}
+
+// DecodeResult converts a wire result back to an exec.Result that is
+// value-identical to the encoded one. A nil wire result decodes to nil.
+func DecodeResult(w *Result) (*exec.Result, error) {
+	if w == nil {
+		return nil, nil
+	}
+	out := &exec.Result{Columns: append([]string(nil), w.Columns...), Rows: make([][]value.Value, len(w.Rows))}
+	for ri, cells := range w.Rows {
+		row := make([]value.Value, len(cells))
+		for ci, c := range cells {
+			v, err := DecodeValue(c)
+			if err != nil {
+				return nil, fmt.Errorf("wire: row %d column %d: %v", ri, ci, err)
+			}
+			row[ci] = v
+		}
+		out.Rows[ri] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mosaic/internal/exec"
+	"mosaic/internal/value"
+)
+
+func TestValueRoundTripExact(t *testing.T) {
+	vals := []value.Value{
+		value.Null(),
+		value.Int(0),
+		value.Int(-1),
+		value.Int(math.MaxInt64),
+		value.Int(math.MinInt64),
+		value.Int(1 << 60), // beyond float64's integer precision
+		value.Float(0),
+		value.Float(math.Copysign(0, -1)),
+		value.Float(1.0 / 3.0),
+		value.Float(math.MaxFloat64),
+		value.Float(math.SmallestNonzeroFloat64),
+		value.Float(6.02e23),
+		value.Text(""),
+		value.Text("it's \"quoted\" — и юникод\x00\x1f"),
+		value.Bool(true),
+		value.Bool(false),
+	}
+	for _, v := range vals {
+		c := EncodeValue(v)
+		// Through JSON, as on the wire.
+		raw, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Cell
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %v: %v", v, err)
+		}
+		got, err := DecodeValue(back)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if got.Kind() != v.Kind() {
+			t.Errorf("kind changed: %v → %v", v.Kind(), got.Kind())
+		}
+		if got.HashKey() != v.HashKey() || got.String() != v.String() {
+			t.Errorf("value changed: %s → %s", v, got)
+		}
+	}
+}
+
+func TestFloatBitExactness(t *testing.T) {
+	// Bit-exact, not just Equal: the serve path must answer byte-for-byte
+	// identically to an in-process engine.
+	f := 0.1 + 0.2 // 0.30000000000000004
+	got, err := DecodeValue(EncodeValue(value.Float(f)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.AsFloat()) != math.Float64bits(f) {
+		t.Errorf("float bits changed: %x → %x", math.Float64bits(f), math.Float64bits(got.AsFloat()))
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := &exec.Result{
+		Columns: []string{"g", "COUNT(*)"},
+		Rows: [][]value.Value{
+			{value.Text("a"), value.Float(12.5)},
+			{value.Null(), value.Int(3)},
+		},
+	}
+	raw, err := json.Marshal(EncodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Result
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Columns) != 2 || back.Columns[1] != "COUNT(*)" {
+		t.Errorf("columns = %v", back.Columns)
+	}
+	for ri := range res.Rows {
+		for ci := range res.Rows[ri] {
+			if back.Rows[ri][ci].HashKey() != res.Rows[ri][ci].HashKey() {
+				t.Errorf("cell (%d,%d) changed: %s → %s", ri, ci, res.Rows[ri][ci], back.Rows[ri][ci])
+			}
+		}
+	}
+
+	// nil results (DDL slots) pass through.
+	if EncodeResult(nil) != nil {
+		t.Error("EncodeResult(nil) != nil")
+	}
+	if got, err := DecodeResult(nil); err != nil || got != nil {
+		t.Errorf("DecodeResult(nil) = %v, %v", got, err)
+	}
+}
+
+func TestDecodeRejectsMalformedCells(t *testing.T) {
+	for _, c := range []Cell{
+		{K: "int", V: "12.5"},
+		{K: "float", V: "abc"},
+		{K: "bool", V: "maybe"},
+		{K: "struct", V: "x"},
+	} {
+		if _, err := DecodeValue(c); err == nil {
+			t.Errorf("DecodeValue(%v) should fail", c)
+		}
+	}
+}

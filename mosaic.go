@@ -45,6 +45,9 @@ package mosaic
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"mosaic/internal/core"
 	"mosaic/internal/exec"
@@ -109,9 +112,12 @@ type Options struct {
 // DB is a Mosaic database instance. It is safe for concurrent use: queries
 // share a read lock and run in parallel, DDL/DML takes the write lock and
 // may interleave freely with queries from other goroutines (each statement
-// is atomic; multi-statement scripts are not).
+// is atomic; multi-statement scripts are not). Restore swaps in a freshly
+// replayed engine atomically: in-flight queries finish against the state
+// they started on.
 type DB struct {
-	engine *core.Engine
+	opts   core.Options
+	engine atomic.Pointer[core.Engine]
 }
 
 // Open creates an empty in-memory Mosaic database. A nil opts uses defaults.
@@ -120,7 +126,7 @@ func Open(opts *Options) *DB {
 	if opts != nil {
 		o = *opts
 	}
-	return &DB{engine: core.NewEngine(core.Options{
+	db := &DB{opts: core.Options{
 		Seed:          o.Seed,
 		OpenSamples:   o.OpenSamples,
 		GeneratedRows: o.GeneratedRows,
@@ -128,12 +134,18 @@ func Open(opts *Options) *DB {
 		Workers:       o.Workers,
 		SWG:           o.SWG,
 		IPF:           o.IPF,
-	})}
+	}}
+	db.engine.Store(core.NewEngine(db.opts))
+	return db
 }
+
+// eng returns the current engine. Queries and mutations that race a Restore
+// use whichever engine was current when they started.
+func (db *DB) eng() *core.Engine { return db.engine.Load() }
 
 // Exec runs one or more semicolon-separated DDL/DML statements.
 func (db *DB) Exec(script string) error {
-	_, err := db.engine.ExecScript(script)
+	_, err := db.eng().ExecScript(script)
 	return err
 }
 
@@ -143,30 +155,30 @@ func (db *DB) Query(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.engine.Query(sel)
+	return db.eng().Query(sel)
 }
 
 // Run executes a script and returns the result of every statement (nil for
 // DDL/DML), enabling mixed scripts like the paper's Sec 2 example.
 func (db *DB) Run(script string) ([]*Result, error) {
-	return db.engine.ExecScript(script)
+	return db.eng().ExecScript(script)
 }
 
 // Ingest appends Go-native rows ([]any per row, matching the relation
 // schema) into a table or sample.
 func (db *DB) Ingest(relation string, rows [][]any) error {
-	return db.engine.Ingest(relation, rows)
+	return db.eng().Ingest(relation, rows)
 }
 
 // SetMechanism installs a sampling mechanism on a sample, enabling
 // known-mechanism SEMI-OPEN reweighting for designs SQL cannot express.
 func (db *DB) SetMechanism(sample string, m Mechanism) error {
-	return db.engine.SetSampleMechanism(sample, m)
+	return db.eng().SetSampleMechanism(sample, m)
 }
 
 // AddMarginal attaches a programmatically built marginal to a population.
 func (db *DB) AddMarginal(population string, m *Marginal) error {
-	return db.engine.AddMarginal(population, m)
+	return db.eng().AddMarginal(population, m)
 }
 
 // Scalar is a convenience for single-row single-column answers (e.g. global
@@ -183,14 +195,78 @@ func (db *DB) Scalar(query string) (float64, error) {
 }
 
 // Engine exposes the underlying engine for advanced use (experiment
-// harnesses, tests). Most callers should not need it.
-func (db *DB) Engine() *core.Engine { return db.engine }
+// harnesses, tests). Most callers should not need it. The returned engine is
+// a point-in-time handle: a later Restore swaps the DB to a new engine.
+func (db *DB) Engine() *core.Engine { return db.eng() }
 
 // Dump serializes the database as a Mosaic SQL script; executing it against
 // an empty DB recreates the relations, rows, metadata, and sample weights.
 // Non-UNIFORM mechanisms are noted as comments (they are Go-API objects).
 func (db *DB) Dump() (string, error) {
-	return db.engine.DumpScript()
+	return db.eng().DumpScript()
+}
+
+// Snapshot serializes the current database state as a self-contained Mosaic
+// SQL script suitable for Restore. It is the persistence format of
+// mosaic-serve: human-readable, append-only friendly, and replayable against
+// any engine with the same Options.
+func (db *DB) Snapshot() (string, error) {
+	return db.eng().DumpScript()
+}
+
+// Restore replaces the database's entire state by replaying a Snapshot
+// script against a fresh engine with the DB's original Options (so
+// restored answers are bit-identical to the snapshotted instance's for the
+// same statement stream). On replay error the current state is untouched.
+// Concurrent queries started before Restore finish against the old state.
+func (db *DB) Restore(script string) error {
+	fresh := core.NewEngine(db.opts)
+	if _, err := fresh.ExecScript(script); err != nil {
+		return fmt.Errorf("mosaic: restore: %w", err)
+	}
+	db.engine.Store(fresh)
+	return nil
+}
+
+// SaveSnapshot atomically writes a Snapshot to path: the script lands in a
+// temporary file in the same directory and is renamed into place, so a crash
+// mid-write never corrupts the previous snapshot.
+func (db *DB) SaveSnapshot(path string) error {
+	script, err := db.Snapshot()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("mosaic: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.WriteString(script); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mosaic: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mosaic: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mosaic: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("mosaic: snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores the database from a snapshot file written by
+// SaveSnapshot (or any Mosaic SQL script).
+func (db *DB) LoadSnapshot(path string) error {
+	script, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("mosaic: snapshot: %w", err)
+	}
+	return db.Restore(string(script))
 }
 
 // NewMarginal builds a 1- or 2-attribute marginal from (values..., count)
@@ -230,10 +306,10 @@ func NewMarginal(name string, attrs []string, cells [][]any) (*Marginal, error) 
 // Table gives read access to a stored relation's backing table (samples and
 // auxiliary tables).
 func (db *DB) Table(name string) (*table.Table, error) {
-	if t, ok := db.engine.Catalog().Table(name); ok {
+	if t, ok := db.eng().Catalog().Table(name); ok {
 		return t, nil
 	}
-	if s, ok := db.engine.Catalog().Sample(name); ok {
+	if s, ok := db.eng().Catalog().Sample(name); ok {
 		return s.Table, nil
 	}
 	return nil, fmt.Errorf("mosaic: no table or sample %q", name)

@@ -4,12 +4,24 @@
 // Usage:
 //
 //	mosaic-bench -exp fig5|fig6|fig7|visibility|sweep|lambda|projections|
-//	             mechanism|scope|bayes|tables|concurrent|all
+//	             mechanism|scope|bayes|tables|concurrent|exec|all
 //	             [-pop N] [-sample N] [-epochs N] [-projections N] [-seed N]
 //	             [-workers N] [-clients LIST] [-queries-per-client N]
+//	             [-rows N] [-json out.json]
 //
 // The default scales are laptop-sized; raise -pop/-epochs/-projections to
 // approach the paper's settings (426k rows, 80 epochs, p=1000).
+//
+// # Executor microbenchmarks
+//
+// The "exec" experiment races the row-at-a-time executor against the
+// vectorized columnar engine on one synthetic table (-rows, default 1M):
+// scan-filter, group-by at cardinalities 10/1k/100k, and weighted
+// aggregates, verifying byte-identical answers on every case. -json writes
+// the machine-readable report (committed as BENCH_exec.json at the repo
+// root so the speedup trajectory is tracked PR over PR):
+//
+//	mosaic-bench -exp exec -rows 1000000 -json BENCH_exec.json
 //
 // # Concurrent clients
 //
@@ -49,6 +61,8 @@ func main() {
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	clients := flag.String("clients", "1,2,4,8", "comma-separated client counts for -exp concurrent")
 	queriesPerClient := flag.Int("queries-per-client", 8, "queries per client for -exp concurrent")
+	rows := flag.Int("rows", 1_000_000, "table size for -exp exec")
+	jsonOut := flag.String("json", "", "write a machine-readable JSON report of JSON-capable experiments (exec) to this file")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -105,9 +119,12 @@ func main() {
 				Flights: flights, Clients: clientCounts, QueriesPerClient: *queriesPerClient,
 			})
 		},
+		"exec": func() (fmt.Stringer, error) {
+			return bench.RunExecMicro(bench.ExecConfig{Rows: *rows, Seed: *seed})
+		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
-		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http"}
+		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "exec"}
 
 	selected := []string{*exp}
 	if *exp == "all" {
@@ -126,6 +143,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n\n", name, time.Since(start).Seconds(), res)
+		if *jsonOut != "" {
+			if j, ok := res.(interface{ JSON() ([]byte, error) }); ok {
+				data, err := j.JSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mosaic-bench: %s: JSON: %v\n", name, err)
+					os.Exit(1)
+				}
+				if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "mosaic-bench: %s: %v\n", name, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n\n", *jsonOut)
+			}
+		}
 	}
 }
 

@@ -416,3 +416,28 @@ func TestHTTPLoadVerifiesNetworkAnswers(t *testing.T) {
 		t.Error("String missing verification note")
 	}
 }
+
+// TestExecMicroVerifies runs the executor microbenchmarks at a test-sized
+// row count and requires every case to verify byte-identical answers
+// between the row and vectorized paths (the speedup itself is
+// hardware-dependent and asserted only by the committed BENCH_exec.json).
+func TestExecMicroVerifies(t *testing.T) {
+	res, err := RunExecMicro(ExecConfig{Rows: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) == 0 {
+		t.Fatal("no benchmark cases ran")
+	}
+	for _, c := range res.Cases {
+		if !c.Match {
+			t.Errorf("case %s (%s): row and vectorized answers diverge", c.Name, c.Query)
+		}
+		if c.Groups == 0 {
+			t.Errorf("case %s: empty answer", c.Name)
+		}
+	}
+	if _, err := res.JSON(); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Executor microbenchmarks: the row engine versus the vectorized columnar
+// engine on identical tables and queries, with byte-exact answer
+// verification built in. `mosaic-bench -exp exec [-rows N] [-json out.json]`
+// runs them; the JSON form feeds BENCH_exec.json so future PRs can track
+// the trajectory.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mosaic/internal/exec"
+	"mosaic/internal/schema"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// ExecConfig sizes the executor microbenchmarks.
+type ExecConfig struct {
+	Rows int   // table size (default 1,000,000)
+	Seed int64 // RNG seed for the synthetic table
+}
+
+// ExecCase is one measured microbenchmark.
+type ExecCase struct {
+	Name    string  `json:"name"`
+	Query   string  `json:"query"`
+	Rows    int     `json:"rows"`
+	Groups  int     `json:"groups"`   // output rows of the query
+	RowMs   float64 `json:"row_ms"`   // row engine, ms per run
+	VecMs   float64 `json:"vec_ms"`   // vectorized engine, ms per run
+	Speedup float64 `json:"speedup"`  // RowMs / VecMs
+	Match   bool    `json:"verified"` // answers byte-identical across paths
+}
+
+// ExecResult is the full microbenchmark report.
+type ExecResult struct {
+	Rows      int        `json:"rows"`
+	Seed      int64      `json:"seed"`
+	BuildSecs float64    `json:"build_secs"`
+	Cases     []ExecCase `json:"cases"`
+}
+
+// String renders the report as an aligned table.
+func (r *ExecResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Executor microbenchmarks — %d rows (table build %.1fs)\n", r.Rows, r.BuildSecs)
+	fmt.Fprintf(&b, "  %-26s %12s %12s %9s %9s\n", "case", "row ms/op", "vec ms/op", "speedup", "verified")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "  %-26s %12.2f %12.2f %8.2fx %9v\n", c.Name, c.RowMs, c.VecMs, c.Speedup, c.Match)
+	}
+	return b.String()
+}
+
+// JSON returns the machine-readable report.
+func (r *ExecResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+var execBenchSchema = schema.MustNew(
+	schema.Attribute{Name: "c10", Kind: value.KindText},
+	schema.Attribute{Name: "c1k", Kind: value.KindText},
+	schema.Attribute{Name: "c100k", Kind: value.KindText},
+	schema.Attribute{Name: "x", Kind: value.KindInt},
+	schema.Attribute{Name: "y", Kind: value.KindFloat},
+)
+
+// buildExecTable synthesizes the benchmark relation: three text attributes
+// at group-by cardinalities 10 / 1k / 100k, an int and a float measure, and
+// non-unit weights (so the weighted-aggregate rewriting is really
+// exercised).
+func buildExecTable(cfg ExecConfig) (*table.Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := table.New("t", execBenchSchema)
+	for i := 0; i < cfg.Rows; i++ {
+		row := []value.Value{
+			value.Text(fmt.Sprintf("g%d", rng.Intn(10))),
+			value.Text(fmt.Sprintf("k%d", rng.Intn(1000))),
+			value.Text(fmt.Sprintf("u%d", rng.Intn(100000))),
+			value.Int(int64(rng.Intn(1000))),
+			value.Float(rng.Float64() * 100),
+		}
+		if err := t.AppendWeighted(row, 0.5+rng.Float64()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// execBenchCases: scan-filter, group-by at three cardinalities, and the
+// headline 1M-row weighted group-by the acceptance gate tracks.
+var execBenchCases = []struct{ name, query string }{
+	{"scan-filter", "SELECT COUNT(*) FROM t WHERE x > 500"},
+	{"scan-filter-text", "SELECT COUNT(*) FROM t WHERE c10 != 'g3' AND y < 75"},
+	{"groupby-10", "SELECT c10, COUNT(*), AVG(y) FROM t GROUP BY c10"},
+	{"groupby-1k", "SELECT c1k, COUNT(*), AVG(y) FROM t GROUP BY c1k"},
+	{"groupby-100k", "SELECT c100k, COUNT(*), AVG(y) FROM t GROUP BY c100k"},
+	{"weighted-groupby", "SELECT c1k, COUNT(*), SUM(x), AVG(y) FROM t GROUP BY c1k"},
+	{"weighted-global", "SELECT COUNT(*), SUM(x), AVG(y), MIN(x), MAX(y) FROM t"},
+}
+
+// timeRuns measures the median-free mean ms/op over enough iterations to
+// fill a modest time budget (minimum 3 runs).
+func timeRuns(t *table.Table, sel *sql.Select, opts exec.Options) (float64, *exec.Result, error) {
+	res, err := exec.Run(t, sel, opts) // warm-up, also the verification answer
+	if err != nil {
+		return 0, nil, err
+	}
+	const budget = 600 * time.Millisecond
+	const minRuns = 3
+	var runs int
+	start := time.Now()
+	for runs = 0; runs < minRuns || time.Since(start) < budget; runs++ {
+		if _, err := exec.Run(t, sel, opts); err != nil {
+			return 0, nil, err
+		}
+		if runs >= 50 {
+			break
+		}
+	}
+	ms := float64(time.Since(start).Microseconds()) / 1000 / float64(runs)
+	return ms, res, nil
+}
+
+// RunExecMicro measures the executor paths against each other.
+func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 1_000_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	buildStart := time.Now()
+	t, err := buildExecTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{Rows: cfg.Rows, Seed: cfg.Seed, BuildSecs: time.Since(buildStart).Seconds()}
+	for _, c := range execBenchCases {
+		sel, err := sql.ParseQuery(c.query)
+		if err != nil {
+			return nil, fmt.Errorf("bench exec %s: %v", c.name, err)
+		}
+		rowMs, rowRes, err := timeRuns(t, sel, exec.Options{Weighted: true, ForceRow: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench exec %s (row): %v", c.name, err)
+		}
+		vecMs, vecRes, err := timeRuns(t, sel, exec.Options{Weighted: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench exec %s (vec): %v", c.name, err)
+		}
+		out.Cases = append(out.Cases, ExecCase{
+			Name:    c.name,
+			Query:   c.query,
+			Rows:    cfg.Rows,
+			Groups:  len(vecRes.Rows),
+			RowMs:   rowMs,
+			VecMs:   vecMs,
+			Speedup: rowMs / vecMs,
+			Match:   rowRes.String() == vecRes.String(),
+		})
+	}
+	return out, nil
+}

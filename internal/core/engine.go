@@ -43,6 +43,11 @@ type Options struct {
 	// Results are independent of Workers — each replicate draws from an RNG
 	// stream derived only from (Seed, replicate index). Default 1 (serial).
 	Workers int
+	// RowExec forces the legacy row-at-a-time executor for every query,
+	// bypassing the vectorized columnar path. Answers are byte-identical
+	// either way — the differential harness and the exec benchmarks rely on
+	// this switch; production engines leave it false.
+	RowExec bool
 	// IPF tunes the SEMI-OPEN fit.
 	IPF ipf.Options
 	// SWG is the base M-SWG configuration for OPEN queries; the engine

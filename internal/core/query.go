@@ -34,14 +34,14 @@ func (e *Engine) query(sel *sql.Select) (*exec.Result, error) {
 			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", sel.Visibility, sel.From)
 		}
 		t, _ := e.cat.Table(sel.From)
-		return exec.Run(t, sel, exec.Options{Weighted: false})
+		return exec.Run(t, sel, exec.Options{Weighted: false, ForceRow: e.opts.RowExec})
 	case "sample":
 		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", sel.Visibility, sel.From)
 		}
 		s, _ := e.cat.Sample(sel.From)
 		// Direct sample queries honor the stored (user-initialized) weights.
-		return exec.Run(s.Table, sel, exec.Options{Weighted: true})
+		return exec.Run(s.Table, sel, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
 	case "population":
 		pop, _ := e.cat.Population(sel.From)
 		return e.queryPopulation(pop, sel)
@@ -246,6 +246,7 @@ func (e *Engine) runClosed(ctx *planContext, sel *sql.Select) (*exec.Result, err
 	return exec.Run(ctx.sample.Table, &q, exec.Options{
 		Weighted:       true,
 		WeightOverride: ctx.sample.SeedWeights(),
+		ForceRow:       e.opts.RowExec,
 	})
 }
 
@@ -257,7 +258,7 @@ func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, e
 	} else if ok {
 		q := *sel
 		q.Where = andExpr(sel.Where, ctx.viewPred)
-		return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w})
+		return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
 	}
 
 	if len(ctx.margs) == 0 {
@@ -272,7 +273,7 @@ func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, e
 			return nil, err
 		}
 		q := *sel
-		return exec.Run(sub, &q, exec.Options{Weighted: true})
+		return exec.Run(sub, &q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
 	}
 
 	// Global scope: fit the whole sample to the GP marginals, then answer
@@ -283,7 +284,7 @@ func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, e
 	}
 	q := *sel
 	q.Where = andExpr(sel.Where, ctx.viewPred)
-	return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w})
+	return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
 }
 
 // ipfViewFit returns the view-restricted sub-sample fitted to the query
@@ -453,7 +454,7 @@ func (e *Engine) openReplicate(ctx *planContext, model *swg.Model, q *sql.Select
 	if err := gen.ResetWeights(popTotal / float64(n)); err != nil {
 		return nil, err
 	}
-	return exec.Run(gen, q, exec.Options{Weighted: true})
+	return exec.Run(gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
 }
 
 // replicateSeed derives the RNG seed of OPEN replicate r from the engine
@@ -636,33 +637,27 @@ func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, 
 }
 
 // filterTable copies rows satisfying pred into a new table, carrying the
-// supplied per-row weights.
+// supplied per-row weights. It scans a snapshot (one lock acquisition)
+// instead of locking per row.
 func filterTable(t *table.Table, pred expr.Expr, weights []float64) (*table.Table, error) {
+	snap := t.Snapshot()
 	out := table.New(t.Name()+"_view", t.Schema())
-	sc := t.Schema()
-	i := 0
-	var scanErr error
-	t.Scan(func(row []value.Value, _ float64) bool {
-		w := weights[i]
-		i++
+	sc := snap.Schema()
+	n := snap.Len()
+	for i := 0; i < n; i++ {
+		row := snap.Row(i)
 		if pred != nil {
 			ok, err := expr.Truthy(pred, &expr.Binding{Schema: sc, Row: row})
 			if err != nil {
-				scanErr = err
-				return false
+				return nil, err
 			}
 			if !ok {
-				return true
+				continue
 			}
 		}
-		if err := out.AppendWeighted(row, w); err != nil {
-			scanErr = err
-			return false
+		if err := out.AppendWeighted(row, weights[i]); err != nil {
+			return nil, err
 		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
 	}
 	return out, nil
 }

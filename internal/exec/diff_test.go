@@ -1,0 +1,251 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// diffSchema exercises every column kind, with NULLs allowed everywhere.
+var diffSchema = schema.MustNew(
+	schema.Attribute{Name: "c", Kind: value.KindText},
+	schema.Attribute{Name: "x", Kind: value.KindInt},
+	schema.Attribute{Name: "y", Kind: value.KindFloat},
+	schema.Attribute{Name: "b", Kind: value.KindBool},
+	schema.Attribute{Name: "n", Kind: value.KindInt},
+)
+
+// diffTable builds a deterministic fixture with duplicates, NULLs in every
+// column, ±0, NaN-free floats (NaN weights would poison sums on both paths
+// identically but make failures hard to read), and non-unit weights
+// including zero.
+func diffTable(tb testing.TB, n int, seed int64) *table.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	t := table.New("t", diffSchema)
+	for i := 0; i < n; i++ {
+		row := make([]value.Value, 5)
+		if rng.Intn(10) == 0 {
+			row[0] = value.Null()
+		} else {
+			row[0] = value.Text(fmt.Sprintf("g%d", rng.Intn(6)))
+		}
+		if rng.Intn(10) == 0 {
+			row[1] = value.Null()
+		} else {
+			row[1] = value.Int(int64(rng.Intn(1000) - 500))
+		}
+		switch rng.Intn(12) {
+		case 0:
+			row[2] = value.Null()
+		case 1:
+			row[2] = value.Float(0)
+		case 2:
+			row[2] = value.Float(math.Copysign(0, -1)) // -0: distinct group, equal compare
+		default:
+			row[2] = value.Float(float64(int(rng.Float64()*2000-1000)) / 8)
+		}
+		if rng.Intn(10) == 0 {
+			row[3] = value.Null()
+		} else {
+			row[3] = value.Bool(rng.Intn(2) == 0)
+		}
+		if rng.Intn(3) == 0 {
+			row[4] = value.Null()
+		} else {
+			row[4] = value.Int(int64(rng.Intn(4)))
+		}
+		w := float64(rng.Intn(8)) / 2 // weights 0, 0.5, ... 3.5
+		if err := t.AppendWeighted(row, w); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return t
+}
+
+// diffWheres covers every kernel plus shapes that must fall back.
+var diffWheres = []string{
+	"",
+	"WHERE x > 42",
+	"WHERE x >= -100 AND x <= 100",
+	"WHERE y < 12.5",
+	"WHERE y != 0",
+	"WHERE c = 'g3'",
+	"WHERE c != 'g3'",
+	"WHERE c = 'not-present'",
+	"WHERE c < 'g2'",
+	"WHERE c >= 'g4'",
+	"WHERE b",
+	"WHERE NOT b",
+	"WHERE b = TRUE",
+	"WHERE n IS NULL",
+	"WHERE n IS NOT NULL",
+	"WHERE x IN (1, 2, 3)",
+	"WHERE x IN (1, 2, NULL)",
+	"WHERE x NOT IN (1, 2, NULL)",
+	"WHERE c IN ('g1', 'zzz')",
+	"WHERE c NOT IN ('g1', 'g2')",
+	"WHERE b IN (TRUE)",
+	"WHERE y BETWEEN -10 AND 50",
+	"WHERE x NOT BETWEEN 0 AND 400",
+	"WHERE x BETWEEN NULL AND 10",
+	"WHERE x > 100 AND y < 50 OR b",
+	"WHERE NOT (x > 100 OR c = 'g1')",
+	"WHERE x > y",
+	"WHERE x = n",
+	"WHERE c = c",
+	"WHERE WEIGHT > 1",
+	"WHERE WEIGHT = 0",
+	"WHERE x = NULL",
+	"WHERE x > 'text'",
+	"WHERE b > 5",
+	"WHERE x",
+	"WHERE -x",
+	"WHERE 1",
+	"WHERE NULL",
+	"WHERE x + 1 > y", // arithmetic: interpreted fallback
+	"WHERE (x * 2) IN (4, 8)",
+	"WHERE nosuch > 1", // unknown column: lazy per-row error on both paths
+}
+
+// diffShapes are query templates; %s receives the WHERE clause.
+var diffShapes = []string{
+	"SELECT * FROM t %s",
+	"SELECT c, x, y FROM t %s ORDER BY x DESC, c LIMIT 7",
+	"SELECT DISTINCT c, b FROM t %s",
+	"SELECT c, WEIGHT FROM t %s LIMIT 9",
+	"SELECT COUNT(*), SUM(x), AVG(y), MIN(x), MAX(y) FROM t %s",
+	"SELECT COUNT(n), MIN(c), MAX(c), MIN(b), MAX(b) FROM t %s",
+	"SELECT SUM(WEIGHT), MIN(WEIGHT), MAX(WEIGHT), COUNT(WEIGHT) FROM t %s",
+	"SELECT c, COUNT(*), AVG(y) FROM t %s GROUP BY c",
+	"SELECT c, b, COUNT(*) AS cnt, SUM(WEIGHT), MIN(n) FROM t %s GROUP BY c, b ORDER BY cnt DESC, c LIMIT 5",
+	"SELECT n, COUNT(n) AS cnt, SUM(y) FROM t %s GROUP BY n HAVING cnt > 2",
+	"SELECT y, COUNT(*) FROM t %s GROUP BY y",
+	"SELECT x, SUM(b), AVG(b) FROM t %s GROUP BY x ORDER BY x LIMIT 11",
+	"SELECT c, n, b, COUNT(*) FROM t %s GROUP BY c, n, b",
+	"SELECT b, MIN(y), MAX(n) FROM t %s GROUP BY b ORDER BY b DESC",
+	"SELECT c FROM t %s GROUP BY c",
+	"SELECT AVG(c) FROM t %s",     // SUM/AVG over TEXT: lazy error, row path on both sides
+	"SELECT SUM(x + y) FROM t %s", // non-column aggregate input: row path
+	"SELECT c, COUNT(*) FROM t %s GROUP BY c HAVING c > 'g2'",
+}
+
+// runBoth executes sel on both executor paths and requires byte-identical
+// outcomes (same error message, or same rendered result).
+func runBoth(t *testing.T, tbl *table.Table, src string, opts Options) {
+	t.Helper()
+	sel, err := sql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	rowOpts := opts
+	rowOpts.ForceRow = true
+	vecOpts := opts
+	vecOpts.ForceRow = false
+	rres, rerr := Run(tbl, sel, rowOpts)
+	vres, verr := Run(tbl, sel, vecOpts)
+	switch {
+	case rerr != nil && verr != nil:
+		if rerr.Error() != verr.Error() {
+			t.Errorf("%q: error mismatch\n  row: %v\n  vec: %v", src, rerr, verr)
+		}
+	case rerr != nil || verr != nil:
+		t.Errorf("%q: one path errored\n  row: %v\n  vec: %v", src, rerr, verr)
+	default:
+		if rs, vs := rres.String(), vres.String(); rs != vs {
+			t.Errorf("%q: output mismatch\n--- row ---\n%s\n--- vec ---\n%s", src, rs, vs)
+		}
+	}
+}
+
+// TestRowVsVectorGrid is the differential harness: every WHERE × shape ×
+// weighting combination must be byte-identical across the two executors.
+func TestRowVsVectorGrid(t *testing.T) {
+	tables := []*table.Table{
+		diffTable(t, 0, 1),
+		diffTable(t, 1, 2),
+		diffTable(t, 500, 3),
+	}
+	var override []float64
+	{
+		rng := rand.New(rand.NewSource(9))
+		override = make([]float64, 500)
+		for i := range override {
+			override[i] = rng.Float64() * 3
+		}
+	}
+	for ti, tbl := range tables {
+		for _, shape := range diffShapes {
+			for _, where := range diffWheres {
+				src := fmt.Sprintf(shape, where)
+				runBoth(t, tbl, src, Options{Weighted: true})
+				runBoth(t, tbl, src, Options{Weighted: false})
+				if ti == 2 {
+					runBoth(t, tbl, src, Options{Weighted: true, WeightOverride: override})
+				}
+			}
+		}
+	}
+}
+
+// FuzzRowVsVector feeds arbitrary SQL through both executors; any accepted
+// SELECT must produce identical outcomes. Seeded from the grid plus the
+// parser fuzz corpus style of inputs.
+func FuzzRowVsVector(f *testing.F) {
+	for _, shape := range diffShapes {
+		for _, where := range diffWheres[:8] {
+			f.Add(fmt.Sprintf(shape, where))
+		}
+	}
+	f.Add("SELECT OPEN c, COUNT(*) FROM t GROUP BY c")
+	f.Add("SELECT x FROM t WHERE x IN (1, 'one', TRUE, NULL)")
+	f.Add("SELECT MAX(c) FROM t WHERE c BETWEEN 'a' AND 'z' GROUP BY b")
+	tbl := diffTable(f, 200, 7)
+	f.Fuzz(func(t *testing.T, src string) {
+		sel, err := sql.ParseQuery(src)
+		if err != nil {
+			return
+		}
+		rres, rerr := Run(tbl, sel, Options{Weighted: true, ForceRow: true})
+		vres, verr := Run(tbl, sel, Options{Weighted: true})
+		switch {
+		case rerr != nil && verr != nil:
+			if rerr.Error() != verr.Error() {
+				t.Fatalf("%q: error mismatch\n  row: %v\n  vec: %v", src, rerr, verr)
+			}
+		case rerr != nil || verr != nil:
+			t.Fatalf("%q: one path errored\n  row: %v\n  vec: %v", src, rerr, verr)
+		default:
+			if rs, vs := rres.String(), vres.String(); rs != vs {
+				t.Fatalf("%q: output mismatch\n--- row ---\n%s\n--- vec ---\n%s", src, rs, vs)
+			}
+		}
+	})
+}
+
+// TestInExactIntMembership pins value.Equal's exact INT-vs-INT comparison
+// on the vectorized IN kernel: 2^53 and 2^53+1 collapse to one float64, so
+// a float-coded membership set would confuse them.
+func TestInExactIntMembership(t *testing.T) {
+	tbl := table.New("t", diffSchema)
+	big := int64(1) << 53
+	for _, x := range []int64{big, big + 1, 7} {
+		if err := tbl.Append([]value.Value{value.Text("g"), value.Int(x), value.Float(0), value.Bool(true), value.Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range []string{
+		fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x IN (%d)", big+1),
+		fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x IN (%d, 7)", big),
+		fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x NOT IN (%d)", big+1),
+		fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x IN (%d.0)", 8),
+	} {
+		runBoth(t, tbl, src, Options{Weighted: true})
+	}
+}

@@ -90,17 +90,41 @@ type Options struct {
 	// WeightOverride supplies per-row weights to use instead of the table's
 	// stored weights (len must equal table length). Ignored when nil.
 	WeightOverride []float64
+	// ForceRow forces the legacy row-at-a-time executor even when the
+	// vectorized path could serve the query. The differential test harness
+	// and the exec microbenchmarks use it; answers are byte-identical either
+	// way, so production callers never need it.
+	ForceRow bool
 }
 
-// Run evaluates sel over t.
+// Run evaluates sel over t. It takes one snapshot of the table (a single
+// lock acquisition) and scans it lock-free.
 func Run(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
-	if opts.WeightOverride != nil && len(opts.WeightOverride) != t.Len() {
-		return nil, fmt.Errorf("exec: weight override has %d entries for %d rows", len(opts.WeightOverride), t.Len())
+	return RunSnapshot(t.Snapshot(), sel, opts)
+}
+
+// RunSnapshot evaluates sel over an already-captured snapshot. Queries route
+// through the vectorized columnar path when every operator is covered by a
+// kernel, and fall back to the row-at-a-time interpreter otherwise; the two
+// paths produce byte-identical results.
+func RunSnapshot(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
+	if opts.WeightOverride != nil && len(opts.WeightOverride) != snap.Len() {
+		return nil, fmt.Errorf("exec: weight override has %d entries for %d rows", len(opts.WeightOverride), snap.Len())
 	}
 	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
-		return runAggregate(t, sel, opts)
+		if !opts.ForceRow {
+			if res, handled, err := runAggregateVector(snap, sel, opts); handled {
+				return res, err
+			}
+		}
+		return runAggregate(snap, sel, opts)
 	}
-	return runProjection(t, sel, opts)
+	if !opts.ForceRow {
+		if res, handled, err := runProjectionVector(snap, sel, opts); handled {
+			return res, err
+		}
+	}
+	return runProjection(snap, sel, opts)
 }
 
 // bindingSchema exposes WEIGHT as a pseudo-column so predicates and
@@ -134,57 +158,66 @@ func (e *rowEnv) bind(row []value.Value, w float64) *expr.Binding {
 	return &expr.Binding{Schema: e.sc, Row: ext}
 }
 
-func runProjection(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
-	env, _ := makeEnv(t.Schema())
-	res := &Result{}
+// projectionColumns resolves the output column names of a projection.
+func projectionColumns(snap *table.Snapshot, sel *sql.Select) []string {
+	var cols []string
 	for _, it := range sel.Items {
 		if it.Star {
-			res.Columns = append(res.Columns, t.Schema().Names()...)
+			cols = append(cols, snap.Schema().Names()...)
 		} else {
-			res.Columns = append(res.Columns, it.Name())
+			cols = append(cols, it.Name())
 		}
 	}
-	var scanErr error
-	rowIdx := -1
-	t.Scan(func(row []value.Value, w float64) bool {
-		rowIdx++
+	return cols
+}
+
+// projectRow evaluates the select items over one bound row.
+func projectRow(sel *sql.Select, row []value.Value, b *expr.Binding) ([]value.Value, error) {
+	var out []value.Value
+	for _, it := range sel.Items {
+		if it.Star {
+			out = append(out, row...)
+			continue
+		}
+		v, err := it.Expr.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runProjection(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
+	env, _ := makeEnv(snap.Schema())
+	res := &Result{Columns: projectionColumns(snap, sel)}
+	n := snap.Len()
+	for i := 0; i < n; i++ {
+		row := snap.Row(i)
+		w := snap.Weight(i)
 		if opts.WeightOverride != nil {
-			w = opts.WeightOverride[rowIdx]
+			w = opts.WeightOverride[i]
 		}
 		b := env.bind(row, w)
 		if sel.Where != nil {
 			ok, err := expr.Truthy(sel.Where, b)
 			if err != nil {
-				scanErr = err
-				return false
+				return nil, err
 			}
 			if !ok {
-				return true
-			}
-		}
-		var out []value.Value
-		for _, it := range sel.Items {
-			if it.Star {
-				out = append(out, row...)
 				continue
 			}
-			v, err := it.Expr.Eval(b)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			out = append(out, v)
+		}
+		out, err := projectRow(sel, row, b)
+		if err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, out)
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
 	}
 	if sel.Distinct {
 		res.Rows = dedupRows(res.Rows)
 	}
-	if err := orderAndLimit(res, sel, t.Schema()); err != nil {
+	if err := orderAndLimit(res, sel, snap.Schema()); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -295,16 +328,16 @@ type group struct {
 	aggs []*agg
 }
 
-func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
-	sc := t.Schema()
-	env, _ := makeEnv(sc)
-
-	// Resolve group-by key positions and validate plain select items.
+// resolveGroupKeys maps GROUP BY names to schema positions and validates the
+// plain (non-aggregate) select items, with the error messages both executor
+// paths share.
+func resolveGroupKeys(snap *table.Snapshot, sel *sql.Select) ([]int, error) {
+	sc := snap.Schema()
 	keyIdx := make([]int, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		j, ok := sc.Index(g)
 		if !ok {
-			return nil, fmt.Errorf("exec: GROUP BY column %q not in %s", g, t.Name())
+			return nil, fmt.Errorf("exec: GROUP BY column %q not in %s", g, snap.Name())
 		}
 		keyIdx[i] = j
 	}
@@ -328,6 +361,41 @@ func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error
 			return nil, fmt.Errorf("exec: select item %q must be a GROUP BY column or an aggregate", it.Name())
 		}
 	}
+	return keyIdx, nil
+}
+
+// itemKeyPositions precomputes, for every select item, the GROUP BY position
+// its key value comes from (-1 for aggregates). It mirrors the first-match
+// EqualFold scan the output loop historically did per group.
+func itemKeyPositions(sel *sql.Select) []int {
+	out := make([]int, len(sel.Items))
+	for ii, it := range sel.Items {
+		out[ii] = -1
+		if it.Agg != sql.AggNone {
+			continue
+		}
+		col := it.Expr.(*expr.Column)
+		for i, gname := range sel.GroupBy {
+			if strings.EqualFold(gname, col.Name) {
+				out[ii] = i
+				break
+			}
+		}
+		if out[ii] < 0 {
+			out[ii] = 0
+		}
+	}
+	return out
+}
+
+func runAggregate(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
+	sc := snap.Schema()
+	env, _ := makeEnv(sc)
+
+	keyIdx, err := resolveGroupKeys(snap, sel)
+	if err != nil {
+		return nil, err
+	}
 
 	newAggs := func() []*agg {
 		out := make([]*agg, 0, len(sel.Items))
@@ -342,48 +410,47 @@ func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error
 
 	groups := map[string]*group{}
 	var order []string
-	var scanErr error
-	rowIdx := -1
-	t.Scan(func(row []value.Value, w float64) bool {
-		rowIdx++
+	var kb strings.Builder
+	n := snap.Len()
+	for i := 0; i < n; i++ {
+		row := snap.Row(i)
+		w := snap.Weight(i)
 		if opts.WeightOverride != nil {
-			w = opts.WeightOverride[rowIdx]
+			w = opts.WeightOverride[i]
 		}
 		b := env.bind(row, w)
 		if sel.Where != nil {
 			ok, err := expr.Truthy(sel.Where, b)
 			if err != nil {
-				scanErr = err
-				return false
+				return nil, err
 			}
 			if !ok {
-				return true
+				continue
 			}
 		}
-		var kb strings.Builder
-		keys := make([]value.Value, len(keyIdx))
-		for i, j := range keyIdx {
-			keys[i] = row[j]
+		kb.Reset()
+		for _, j := range keyIdx {
 			kb.WriteString(row[j].HashKey())
 			kb.WriteByte('\x1f')
 		}
 		k := kb.String()
 		g, ok := groups[k]
 		if !ok {
+			// Key values materialize only on first sight of the group; rows
+			// that land in an existing group allocate nothing for keys.
+			keys := make([]value.Value, len(keyIdx))
+			for ki, j := range keyIdx {
+				keys[ki] = row[j]
+			}
 			g = &group{keys: keys, aggs: newAggs()}
 			groups[k] = g
 			order = append(order, k)
 		}
 		for _, a := range g.aggs {
 			if err := a.add(b, w, opts.Weighted); err != nil {
-				scanErr = err
-				return false
+				return nil, err
 			}
 		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
 	}
 
 	// Global aggregate with no rows still yields one row of empty aggregates.
@@ -398,23 +465,15 @@ func runAggregate(t *table.Table, sel *sql.Select, opts Options) (*Result, error
 	}
 	// Output schema for HAVING / ORDER BY references output columns.
 	outSchema := outputSchema(res.Columns)
+	keyPos := itemKeyPositions(sel)
 
 	for _, k := range order {
 		g := groups[k]
 		row := make([]value.Value, 0, len(sel.Items))
 		ai := 0
-		ki := 0
-		for _, it := range sel.Items {
+		for ii, it := range sel.Items {
 			if it.Agg == sql.AggNone {
-				col := it.Expr.(*expr.Column)
-				// Find the key position of this column.
-				for i, gname := range sel.GroupBy {
-					if strings.EqualFold(gname, col.Name) {
-						ki = i
-						break
-					}
-				}
-				row = append(row, g.keys[ki])
+				row = append(row, g.keys[keyPos[ii]])
 			} else {
 				row = append(row, g.aggs[ai].result())
 				ai++
@@ -571,25 +630,38 @@ func Materialize(t *table.Table, sel *sql.Select, opts Options, name string) (*t
 
 // SumWeights returns Σ w over rows matching the predicate (nil matches all).
 func SumWeights(t *table.Table, where expr.Expr) (float64, error) {
-	env, _ := makeEnv(t.Schema())
+	snap := t.Snapshot()
 	var total float64
-	var scanErr error
-	t.Scan(func(row []value.Value, w float64) bool {
-		if where != nil {
-			ok, err := expr.Truthy(where, env.bind(row, w))
-			if err != nil {
-				scanErr = err
-				return false
+	n := snap.Len()
+	wts := snap.Weights()
+	if k := compileFilter(where, snap, wts); where == nil || k != nil {
+		// Columnar path: one kernel pass, then a tight sum over survivors.
+		if k == nil {
+			for _, w := range wts {
+				total += w
 			}
-			if !ok {
-				return true
+		} else {
+			tern := make([]int8, n)
+			k.eval(tern)
+			for i, t := range tern {
+				if t == ternTrue {
+					total += wts[i]
+				}
 			}
 		}
-		total += w
-		return true
-	})
-	if scanErr != nil {
-		return 0, scanErr
+	} else {
+		env, _ := makeEnv(snap.Schema())
+		for i := 0; i < n; i++ {
+			w := wts[i]
+			ok, err := expr.Truthy(where, env.bind(snap.Row(i), w))
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+			total += w
+		}
 	}
 	if math.IsNaN(total) {
 		return 0, fmt.Errorf("exec: NaN weight sum in %s", t.Name())

@@ -1,0 +1,1515 @@
+// Vectorized query execution over columnar snapshots.
+//
+// The WHERE clause compiles once into a tree of selection kernels that
+// evaluate SQL's three-valued logic over typed column vectors (one int8
+// truth value per row: false/true/null). Group-by keys densify into small
+// integer ids built from dictionary codes and NaN-canonical float bits —
+// never from per-row strings — and aggregates run as tight loops over typed
+// slices with the weight vector.
+//
+// Determinism contract: the vectorized path is byte-identical to the row
+// interpreter on every query it accepts. Group output order is
+// first-appearance order (dense ids are assigned in scan order), float
+// accumulation happens in row order with the same operation sequence the
+// row path uses, and value identity for grouping matches value.HashKey
+// exactly (see value.ScalarBits). Queries using operators the kernels do
+// not cover fall back: unsupported WHERE shapes drop to the interpreted
+// expression tree (per-row) while grouping and aggregation stay columnar,
+// and unsupported aggregate shapes drop to the row path entirely.
+package exec
+
+import (
+	"math"
+	"strings"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// Ternary truth encoding of the filter kernels.
+const (
+	ternFalse int8 = 0
+	ternTrue  int8 = 1
+	ternNull  int8 = 2
+)
+
+// kernel computes a ternary truth vector over all rows of the snapshot.
+// Kernels never error: every expression shape that could raise a runtime
+// error (arithmetic, text truthiness, unknown columns) is rejected at
+// compile time and handled by the interpreted fallback instead.
+type kernel interface {
+	eval(dst []int8)
+}
+
+// colRef is a resolved column operand: either a schema column or the WEIGHT
+// pseudo-column (the effective per-row weight vector, which is never NULL).
+type colRef struct {
+	kind     value.Kind
+	col      *table.Column // nil for WEIGHT
+	isWeight bool
+	weight   []float64 // the effective weight vector when isWeight (may be nil for an empty table)
+}
+
+func (r *colRef) nulls() *table.Column { return r.col }
+
+// class buckets a kind the way value.Compare ranks it.
+func classOf(k value.Kind) value.Class {
+	switch k {
+	case value.KindBool:
+		return value.ClassBool
+	case value.KindInt, value.KindFloat:
+		return value.ClassNum
+	case value.KindText:
+		return value.ClassText
+	default:
+		return value.ClassNull
+	}
+}
+
+type kernelCompiler struct {
+	snap    *table.Snapshot
+	weights []float64
+	n       int
+}
+
+// compileFilter compiles e into a selection kernel, or returns nil when any
+// node falls outside the kernel set (the caller then uses the interpreted
+// evaluator). e may be nil (no filter), which also returns nil.
+func compileFilter(e expr.Expr, snap *table.Snapshot, weights []float64) kernel {
+	if e == nil {
+		return nil
+	}
+	c := &kernelCompiler{snap: snap, weights: weights, n: snap.Len()}
+	return c.compile(e)
+}
+
+func (c *kernelCompiler) resolve(name string) (colRef, bool) {
+	if j, ok := c.snap.Schema().Index(name); ok {
+		return colRef{kind: c.snap.Schema().At(j).Kind, col: c.snap.Col(j)}, true
+	}
+	if strings.EqualFold(name, "WEIGHT") {
+		return colRef{kind: value.KindFloat, isWeight: true, weight: c.weights}, true
+	}
+	return colRef{}, false
+}
+
+// ternTruth converts a constant value to its ternary truth, mirroring
+// expr.Truthy's inner truth() plus NULL propagation. Text is not a boolean
+// (the interpreter raises an error per row), so it is not compilable.
+func ternTruth(v value.Value) (int8, bool) {
+	switch v.Kind() {
+	case value.KindNull:
+		return ternNull, true
+	case value.KindBool:
+		return ternOf(v.AsBool()), true
+	case value.KindInt:
+		return ternOf(v.AsInt() != 0), true
+	case value.KindFloat:
+		return ternOf(v.AsFloat() != 0), true
+	default:
+		return ternFalse, false
+	}
+}
+
+func ternOf(b bool) int8 {
+	if b {
+		return ternTrue
+	}
+	return ternFalse
+}
+
+// foldConst evaluates a column-free subexpression to a constant. Expressions
+// that error (e.g. division by zero) are not foldable; the row interpreter
+// then reproduces the error lazily, per scanned row, exactly as before.
+func foldConst(e expr.Expr) (value.Value, bool) {
+	if len(e.Columns(nil)) != 0 {
+		return value.Null(), false
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		return value.Null(), false
+	}
+	return v, true
+}
+
+func (c *kernelCompiler) compile(e expr.Expr) kernel {
+	if v, ok := foldConst(e); ok {
+		t, ok := ternTruth(v)
+		if !ok {
+			return nil
+		}
+		return &constKernel{v: t}
+	}
+	switch ex := e.(type) {
+	case *expr.Column:
+		return c.compileColTruth(ex.Name)
+	case *expr.Unary:
+		if ex.Neg {
+			// truth(-x) == truth(x) for numeric columns; the negation cannot
+			// change zero-ness and NULL propagates identically.
+			if col, ok := ex.Child.(*expr.Column); ok {
+				if ref, ok := c.resolve(col.Name); ok && classOf(ref.kind) == value.ClassNum {
+					return c.compileColTruth(col.Name)
+				}
+			}
+			return nil
+		}
+		child := c.compile(ex.Child)
+		if child == nil {
+			return nil
+		}
+		return &notKernel{child: child}
+	case *expr.Binary:
+		switch ex.Op {
+		case expr.OpAnd, expr.OpOr:
+			l := c.compile(ex.Left)
+			if l == nil {
+				return nil
+			}
+			r := c.compile(ex.Right)
+			if r == nil {
+				return nil
+			}
+			return &logicKernel{l: l, r: r, and: ex.Op == expr.OpAnd}
+		case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			return c.compileCompare(ex.Op, ex.Left, ex.Right)
+		default:
+			return nil // arithmetic used as a boolean: interpreted fallback
+		}
+	case *expr.In:
+		return c.compileIn(ex)
+	case *expr.Between:
+		return c.compileBetween(ex)
+	case *expr.IsNull:
+		return c.compileIsNull(ex)
+	default:
+		return nil
+	}
+}
+
+func (c *kernelCompiler) compileColTruth(name string) kernel {
+	ref, ok := c.resolve(name)
+	if !ok {
+		return nil
+	}
+	switch {
+	case ref.isWeight:
+		return &truthFloatKernel{xs: ref.weight}
+	case ref.kind == value.KindInt:
+		return &truthIntKernel{xs: ref.col.Ints, col: ref.col}
+	case ref.kind == value.KindFloat:
+		return &truthFloatKernel{xs: ref.col.Floats, col: ref.col}
+	case ref.kind == value.KindBool:
+		return &truthBoolKernel{xs: ref.col.Bools, col: ref.col}
+	default:
+		return nil // truth of TEXT errors per row in the interpreter
+	}
+}
+
+// cmpLUT maps a comparison result c ∈ {-1,0,1} (index c+1) to the ternary
+// outcome of the operator.
+func cmpLUT(op expr.BinOp) [3]int8 {
+	switch op {
+	case expr.OpEq:
+		return [3]int8{0, 1, 0}
+	case expr.OpNe:
+		return [3]int8{1, 0, 1}
+	case expr.OpLt:
+		return [3]int8{1, 0, 0}
+	case expr.OpLe:
+		return [3]int8{1, 1, 0}
+	case expr.OpGt:
+		return [3]int8{0, 0, 1}
+	default: // OpGe
+		return [3]int8{0, 1, 1}
+	}
+}
+
+func mirrorOp(op expr.BinOp) expr.BinOp {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	default:
+		return op
+	}
+}
+
+func (c *kernelCompiler) compileCompare(op expr.BinOp, left, right expr.Expr) kernel {
+	lcol, lIsCol := left.(*expr.Column)
+	rcol, rIsCol := right.(*expr.Column)
+	switch {
+	case lIsCol && rIsCol:
+		lr, ok := c.resolve(lcol.Name)
+		if !ok {
+			return nil
+		}
+		rr, ok := c.resolve(rcol.Name)
+		if !ok {
+			return nil
+		}
+		return c.compileColCol(op, lr, rr)
+	case lIsCol:
+		lr, ok := c.resolve(lcol.Name)
+		if !ok {
+			return nil
+		}
+		v, ok := foldConst(right)
+		if !ok {
+			return nil
+		}
+		return c.compileColLit(op, lr, v)
+	case rIsCol:
+		rr, ok := c.resolve(rcol.Name)
+		if !ok {
+			return nil
+		}
+		v, ok := foldConst(left)
+		if !ok {
+			return nil
+		}
+		return c.compileColLit(mirrorOp(op), rr, v)
+	default:
+		return nil
+	}
+}
+
+func (c *kernelCompiler) compileColLit(op expr.BinOp, ref colRef, lit value.Value) kernel {
+	if lit.IsNull() {
+		// Comparison with NULL is NULL for every row, NULL rows included.
+		return &constKernel{v: ternNull}
+	}
+	lut := cmpLUT(op)
+	refCls, litCls := classOf(ref.kind), classOf(lit.Kind())
+	if refCls != litCls {
+		// Cross-class comparison is decided by the kind rank alone
+		// (value.Compare): constant for every non-null row.
+		cc := -1
+		if refCls > litCls {
+			cc = 1
+		}
+		return &constNullableKernel{v: lut[cc+1], col: ref.nulls()}
+	}
+	switch refCls {
+	case value.ClassNum:
+		if ref.isWeight {
+			lf, _ := lit.Float64()
+			return &cmpFloatLitKernel{xs: ref.weight, lit: lf, lut: lut}
+		}
+		if ref.kind == value.KindInt && lit.Kind() == value.KindInt {
+			// INT vs INT compares exactly (value.Compare avoids float
+			// rounding on large ints).
+			return &cmpIntLitKernel{xs: ref.col.Ints, lit: lit.AsInt(), lut: lut, col: ref.col}
+		}
+		lf, _ := lit.Float64()
+		if ref.kind == value.KindInt {
+			return &cmpIntFloatLitKernel{xs: ref.col.Ints, lit: lf, lut: lut, col: ref.col}
+		}
+		return &cmpFloatLitKernel{xs: ref.col.Floats, lit: lf, lut: lut, col: ref.col}
+	case value.ClassBool:
+		return &cmpBoolLitKernel{xs: ref.col.Bools, lit: lit.AsBool(), lut: lut, col: ref.col}
+	case value.ClassText:
+		ls := lit.AsText()
+		if op == expr.OpEq || op == expr.OpNe {
+			code, found := c.snap.DictLookup(ls)
+			return &cmpTextEqLitKernel{xs: ref.col.Codes, code: code, found: found, eq: op == expr.OpEq, col: ref.col}
+		}
+		// Ordering against a text literal: precompute the outcome per
+		// dictionary code once, then the scan is a table lookup per row.
+		strs := c.snap.DictStrings()
+		tbl := make([]int8, len(strs))
+		for i, s := range strs {
+			tbl[i] = lut[sign(strings.Compare(s, ls))+1]
+		}
+		return &cmpTextTableKernel{xs: ref.col.Codes, tbl: tbl, col: ref.col}
+	default:
+		return nil
+	}
+}
+
+func (c *kernelCompiler) compileColCol(op expr.BinOp, a, b colRef) kernel {
+	lut := cmpLUT(op)
+	ca, cb := classOf(a.kind), classOf(b.kind)
+	if ca != cb {
+		cc := -1
+		if ca > cb {
+			cc = 1
+		}
+		return &constNullable2Kernel{v: lut[cc+1], a: a.nulls(), b: b.nulls()}
+	}
+	switch ca {
+	case value.ClassNum:
+		if a.kind == value.KindInt && b.kind == value.KindInt {
+			return &cmpIntIntColKernel{a: a.col.Ints, b: b.col.Ints, lut: lut, ca: a.col, cb: b.col}
+		}
+		return &cmpFloatFloatColKernel{a: numFloats(a, c.n), b: numFloats(b, c.n), lut: lut, ca: a.nulls(), cb: b.nulls()}
+	case value.ClassBool:
+		return &cmpBoolBoolColKernel{a: a.col.Bools, b: b.col.Bools, lut: lut, ca: a.col, cb: b.col}
+	case value.ClassText:
+		if op == expr.OpEq || op == expr.OpNe {
+			return &cmpTextTextEqColKernel{a: a.col.Codes, b: b.col.Codes, eq: op == expr.OpEq, ca: a.col, cb: b.col}
+		}
+		return &cmpTextTextOrdColKernel{a: a.col.Codes, b: b.col.Codes, strs: c.snap.DictStrings(), lut: lut, ca: a.col, cb: b.col}
+	default:
+		return nil
+	}
+}
+
+// numFloats materializes a numeric operand as a float64 slice (the weight
+// vector, the float column, or a converted int column).
+func numFloats(r colRef, n int) []float64 {
+	if r.isWeight {
+		return r.weight
+	}
+	if r.kind == value.KindFloat {
+		return r.col.Floats
+	}
+	out := make([]float64, n)
+	for i, x := range r.col.Ints {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
+	col, ok := ex.Child.(*expr.Column)
+	if !ok {
+		return nil
+	}
+	ref, ok := c.resolve(col.Name)
+	if !ok {
+		return nil
+	}
+	vals := make([]value.Value, 0, len(ex.List))
+	sawNull := false
+	for _, item := range ex.List {
+		v, ok := foldConst(item)
+		if !ok {
+			return nil
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		vals = append(vals, v)
+	}
+	switch classOf(ref.kind) {
+	case value.ClassNum:
+		// Other classes can never equal a numeric value (kind rank), so
+		// only numeric list items enter the sets.
+		if ref.kind == value.KindInt && !ref.isWeight {
+			// value.Equal compares INT against INT exactly (no float64
+			// rounding on large ints), so INT items get their own exact
+			// set; FLOAT items compare through float64 as the row path
+			// does.
+			intSet := make(map[int64]bool, len(vals))
+			floatSet := make(map[uint64]bool, len(vals))
+			for _, v := range vals {
+				switch v.Kind() {
+				case value.KindInt:
+					intSet[v.AsInt()] = true
+				case value.KindFloat:
+					floatSet[eqBits(v.AsFloat())] = true
+				}
+			}
+			return &inIntKernel{xs: ref.col.Ints, ints: intSet, floats: floatSet, sawNull: sawNull, negate: ex.Negate, col: ref.col}
+		}
+		set := make(map[uint64]bool, len(vals))
+		for _, v := range vals {
+			if classOf(v.Kind()) == value.ClassNum {
+				f, _ := v.Float64()
+				set[eqBits(f)] = true
+			}
+		}
+		if ref.isWeight {
+			return &inFloatKernel{xs: ref.weight, set: set, sawNull: sawNull, negate: ex.Negate}
+		}
+		return &inFloatKernel{xs: ref.col.Floats, set: set, sawNull: sawNull, negate: ex.Negate, col: ref.col}
+	case value.ClassBool:
+		wantT, wantF := false, false
+		for _, v := range vals {
+			if v.Kind() == value.KindBool {
+				if v.AsBool() {
+					wantT = true
+				} else {
+					wantF = true
+				}
+			}
+		}
+		return &inBoolKernel{xs: ref.col.Bools, wantT: wantT, wantF: wantF, sawNull: sawNull, negate: ex.Negate, col: ref.col}
+	case value.ClassText:
+		set := make(map[uint32]bool, len(vals))
+		for _, v := range vals {
+			if v.Kind() == value.KindText {
+				if code, found := c.snap.DictLookup(v.AsText()); found {
+					set[code] = true
+				}
+			}
+		}
+		return &inTextKernel{xs: ref.col.Codes, set: set, sawNull: sawNull, negate: ex.Negate, col: ref.col}
+	default:
+		return nil
+	}
+}
+
+func (c *kernelCompiler) compileBetween(ex *expr.Between) kernel {
+	col, ok := ex.Child.(*expr.Column)
+	if !ok {
+		return nil
+	}
+	ref, ok := c.resolve(col.Name)
+	if !ok {
+		return nil
+	}
+	lo, ok := foldConst(ex.Lo)
+	if !ok {
+		return nil
+	}
+	hi, ok := foldConst(ex.Hi)
+	if !ok {
+		return nil
+	}
+	if lo.IsNull() || hi.IsNull() {
+		// Any NULL bound makes every row NULL (the interpreter checks the
+		// three operands together before comparing).
+		return &constKernel{v: ternNull}
+	}
+	ge := c.compileColLit(expr.OpGe, ref, lo)
+	le := c.compileColLit(expr.OpLe, ref, hi)
+	if ge == nil || le == nil {
+		return nil
+	}
+	var k kernel = &logicKernel{l: ge, r: le, and: true}
+	if ex.Negate {
+		k = &notKernel{child: k}
+	}
+	return k
+}
+
+func (c *kernelCompiler) compileIsNull(ex *expr.IsNull) kernel {
+	col, ok := ex.Child.(*expr.Column)
+	if !ok {
+		return nil
+	}
+	ref, ok := c.resolve(col.Name)
+	if !ok {
+		return nil
+	}
+	return &isNullKernel{col: ref.nulls(), negate: ex.Negate}
+}
+
+// eqBits maps a float64 onto the code space used for IN-list membership:
+// value.Equal semantics, where -0 equals +0 and every NaN equals every NaN
+// (value.Compare returns 0 when neither operand is smaller).
+func eqBits(f float64) uint64 {
+	if f == 0 {
+		return math.Float64bits(0)
+	}
+	return value.NumBits(f)
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// --- kernel implementations ---
+
+type constKernel struct{ v int8 }
+
+func (k *constKernel) eval(dst []int8) {
+	for i := range dst {
+		dst[i] = k.v
+	}
+}
+
+// constNullableKernel is a constant outcome except on NULL rows.
+type constNullableKernel struct {
+	v   int8
+	col *table.Column // nil: no null source
+}
+
+func (k *constNullableKernel) eval(dst []int8) {
+	for i := range dst {
+		dst[i] = k.v
+	}
+	overlayNulls(dst, k.col)
+}
+
+type constNullable2Kernel struct {
+	v    int8
+	a, b *table.Column
+}
+
+func (k *constNullable2Kernel) eval(dst []int8) {
+	for i := range dst {
+		dst[i] = k.v
+	}
+	overlayNulls(dst, k.a)
+	overlayNulls(dst, k.b)
+}
+
+func overlayNulls(dst []int8, col *table.Column) {
+	if col == nil || !col.HasNulls() {
+		return
+	}
+	for i := range dst {
+		if col.Null(i) {
+			dst[i] = ternNull
+		}
+	}
+}
+
+type truthIntKernel struct {
+	xs  []int64
+	col *table.Column
+}
+
+func (k *truthIntKernel) eval(dst []int8) {
+	for i, x := range k.xs {
+		dst[i] = ternOf(x != 0)
+	}
+	overlayNulls(dst, k.col)
+}
+
+type truthFloatKernel struct {
+	xs  []float64
+	col *table.Column
+}
+
+func (k *truthFloatKernel) eval(dst []int8) {
+	for i, x := range k.xs {
+		dst[i] = ternOf(x != 0)
+	}
+	overlayNulls(dst, k.col)
+}
+
+type truthBoolKernel struct {
+	xs  []bool
+	col *table.Column
+}
+
+func (k *truthBoolKernel) eval(dst []int8) {
+	for i, x := range k.xs {
+		dst[i] = ternOf(x)
+	}
+	overlayNulls(dst, k.col)
+}
+
+type notKernel struct{ child kernel }
+
+func (k *notKernel) eval(dst []int8) {
+	k.child.eval(dst)
+	for i, t := range dst {
+		if t != ternNull {
+			dst[i] = 1 - t
+		}
+	}
+}
+
+// logicKernel is three-valued AND/OR.
+type logicKernel struct {
+	l, r kernel
+	and  bool
+}
+
+func (k *logicKernel) eval(dst []int8) {
+	k.l.eval(dst)
+	tmp := make([]int8, len(dst))
+	k.r.eval(tmp)
+	if k.and {
+		for i, a := range dst {
+			b := tmp[i]
+			switch {
+			case a == ternFalse || b == ternFalse:
+				dst[i] = ternFalse
+			case a == ternNull || b == ternNull:
+				dst[i] = ternNull
+			default:
+				dst[i] = ternTrue
+			}
+		}
+		return
+	}
+	for i, a := range dst {
+		b := tmp[i]
+		switch {
+		case a == ternTrue || b == ternTrue:
+			dst[i] = ternTrue
+		case a == ternNull || b == ternNull:
+			dst[i] = ternNull
+		default:
+			dst[i] = ternFalse
+		}
+	}
+}
+
+type cmpIntLitKernel struct {
+	xs  []int64
+	lit int64
+	lut [3]int8
+	col *table.Column
+}
+
+func (k *cmpIntLitKernel) eval(dst []int8) {
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.xs {
+		switch {
+		case x < k.lit:
+			dst[i] = lo
+		case x > k.lit:
+			dst[i] = hi
+		default:
+			dst[i] = eq
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type cmpIntFloatLitKernel struct {
+	xs  []int64
+	lit float64
+	lut [3]int8
+	col *table.Column
+}
+
+func (k *cmpIntFloatLitKernel) eval(dst []int8) {
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.xs {
+		f := float64(x)
+		switch {
+		case f < k.lit:
+			dst[i] = lo
+		case f > k.lit:
+			dst[i] = hi
+		default:
+			dst[i] = eq
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type cmpFloatLitKernel struct {
+	xs  []float64
+	lit float64
+	lut [3]int8
+	col *table.Column
+}
+
+func (k *cmpFloatLitKernel) eval(dst []int8) {
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.xs {
+		// NaN takes the eq branch, matching value.Compare's "neither
+		// smaller" result of 0.
+		switch {
+		case x < k.lit:
+			dst[i] = lo
+		case x > k.lit:
+			dst[i] = hi
+		default:
+			dst[i] = eq
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type cmpBoolLitKernel struct {
+	xs  []bool
+	lit bool
+	lut [3]int8
+	col *table.Column
+}
+
+func (k *cmpBoolLitKernel) eval(dst []int8) {
+	for i, x := range k.xs {
+		dst[i] = k.lut[boolCmp(x, k.lit)+1]
+	}
+	overlayNulls(dst, k.col)
+}
+
+func boolCmp(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+type cmpTextEqLitKernel struct {
+	xs    []uint32
+	code  uint32
+	found bool
+	eq    bool
+	col   *table.Column
+}
+
+func (k *cmpTextEqLitKernel) eval(dst []int8) {
+	miss := ternOf(!k.eq) // literal absent from the dictionary: never equal
+	if !k.found {
+		for i := range dst {
+			dst[i] = miss
+		}
+	} else {
+		hit, other := ternOf(k.eq), ternOf(!k.eq)
+		for i, c := range k.xs {
+			if c == k.code {
+				dst[i] = hit
+			} else {
+				dst[i] = other
+			}
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type cmpTextTableKernel struct {
+	xs  []uint32
+	tbl []int8 // outcome per dictionary code
+	col *table.Column
+}
+
+func (k *cmpTextTableKernel) eval(dst []int8) {
+	for i, c := range k.xs {
+		dst[i] = k.tbl[c]
+	}
+	overlayNulls(dst, k.col)
+}
+
+type cmpIntIntColKernel struct {
+	a, b   []int64
+	lut    [3]int8
+	ca, cb *table.Column
+}
+
+func (k *cmpIntIntColKernel) eval(dst []int8) {
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.a {
+		y := k.b[i]
+		switch {
+		case x < y:
+			dst[i] = lo
+		case x > y:
+			dst[i] = hi
+		default:
+			dst[i] = eq
+		}
+	}
+	overlayNulls(dst, k.ca)
+	overlayNulls(dst, k.cb)
+}
+
+type cmpFloatFloatColKernel struct {
+	a, b   []float64
+	lut    [3]int8
+	ca, cb *table.Column
+}
+
+func (k *cmpFloatFloatColKernel) eval(dst []int8) {
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.a {
+		y := k.b[i]
+		switch {
+		case x < y:
+			dst[i] = lo
+		case x > y:
+			dst[i] = hi
+		default:
+			dst[i] = eq
+		}
+	}
+	overlayNulls(dst, k.ca)
+	overlayNulls(dst, k.cb)
+}
+
+type cmpBoolBoolColKernel struct {
+	a, b   []bool
+	lut    [3]int8
+	ca, cb *table.Column
+}
+
+func (k *cmpBoolBoolColKernel) eval(dst []int8) {
+	for i, x := range k.a {
+		dst[i] = k.lut[boolCmp(x, k.b[i])+1]
+	}
+	overlayNulls(dst, k.ca)
+	overlayNulls(dst, k.cb)
+}
+
+type cmpTextTextEqColKernel struct {
+	a, b   []uint32
+	eq     bool
+	ca, cb *table.Column
+}
+
+func (k *cmpTextTextEqColKernel) eval(dst []int8) {
+	hit, other := ternOf(k.eq), ternOf(!k.eq)
+	for i, x := range k.a {
+		if x == k.b[i] {
+			dst[i] = hit
+		} else {
+			dst[i] = other
+		}
+	}
+	overlayNulls(dst, k.ca)
+	overlayNulls(dst, k.cb)
+}
+
+type cmpTextTextOrdColKernel struct {
+	a, b   []uint32
+	strs   []string
+	lut    [3]int8
+	ca, cb *table.Column
+}
+
+func (k *cmpTextTextOrdColKernel) eval(dst []int8) {
+	for i, x := range k.a {
+		y := k.b[i]
+		if x == y {
+			dst[i] = k.lut[1]
+			continue
+		}
+		dst[i] = k.lut[sign(strings.Compare(k.strs[x], k.strs[y]))+1]
+	}
+	overlayNulls(dst, k.ca)
+	overlayNulls(dst, k.cb)
+}
+
+type isNullKernel struct {
+	col    *table.Column // nil: WEIGHT, never null
+	negate bool
+}
+
+func (k *isNullKernel) eval(dst []int8) {
+	base := ternOf(k.negate) // IS NULL on a non-null row
+	for i := range dst {
+		dst[i] = base
+	}
+	if k.col == nil || !k.col.HasNulls() {
+		return
+	}
+	hit := ternOf(!k.negate)
+	for i := range dst {
+		if k.col.Null(i) {
+			dst[i] = hit
+		}
+	}
+}
+
+// inIntKernel tests INT-column membership with value.Equal semantics: INT
+// list items match exactly on int64, FLOAT items through float64 (exactly
+// the asymmetry value.Compare has).
+type inIntKernel struct {
+	xs      []int64
+	ints    map[int64]bool
+	floats  map[uint64]bool
+	sawNull bool
+	negate  bool
+	col     *table.Column
+}
+
+func (k *inIntKernel) eval(dst []int8) {
+	match, miss := ternOf(!k.negate), ternOf(k.negate)
+	if k.sawNull {
+		miss = ternNull
+	}
+	for i, x := range k.xs {
+		hit := k.ints[x]
+		if !hit && len(k.floats) > 0 {
+			hit = k.floats[eqBits(float64(x))]
+		}
+		if hit {
+			dst[i] = match
+		} else {
+			dst[i] = miss
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type inFloatKernel struct {
+	xs      []float64
+	set     map[uint64]bool
+	sawNull bool
+	negate  bool
+	col     *table.Column
+}
+
+func (k *inFloatKernel) eval(dst []int8) {
+	match, miss := ternOf(!k.negate), ternOf(k.negate)
+	if k.sawNull {
+		miss = ternNull
+	}
+	for i, x := range k.xs {
+		if k.set[eqBits(x)] {
+			dst[i] = match
+		} else {
+			dst[i] = miss
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type inBoolKernel struct {
+	xs           []bool
+	wantT, wantF bool
+	sawNull      bool
+	negate       bool
+	col          *table.Column
+}
+
+func (k *inBoolKernel) eval(dst []int8) {
+	match, miss := ternOf(!k.negate), ternOf(k.negate)
+	if k.sawNull {
+		miss = ternNull
+	}
+	for i, x := range k.xs {
+		if (x && k.wantT) || (!x && k.wantF) {
+			dst[i] = match
+		} else {
+			dst[i] = miss
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+type inTextKernel struct {
+	xs      []uint32
+	set     map[uint32]bool
+	sawNull bool
+	negate  bool
+	col     *table.Column
+}
+
+func (k *inTextKernel) eval(dst []int8) {
+	match, miss := ternOf(!k.negate), ternOf(k.negate)
+	if k.sawNull {
+		miss = ternNull
+	}
+	for i, x := range k.xs {
+		if k.set[x] {
+			dst[i] = match
+		} else {
+			dst[i] = miss
+		}
+	}
+	overlayNulls(dst, k.col)
+}
+
+// --- vectorized aggregation ---
+
+// vecAgg is one vectorizable aggregate: its input is the WEIGHT pseudo
+// column (col == -1), a schema column, or nothing (COUNT(*)).
+type vecAgg struct {
+	kind sql.AggKind
+	star bool
+	col  int
+}
+
+// planVectorAggs decides whether every aggregate item is kernel-shaped.
+// Shapes that can raise runtime errors (arbitrary expressions, SUM/AVG over
+// TEXT, unknown columns — all of which the row path reports lazily, per
+// scanned row) are declined so the row path keeps its exact semantics.
+func planVectorAggs(snap *table.Snapshot, sel *sql.Select) ([]vecAgg, bool) {
+	sc := snap.Schema()
+	out := make([]vecAgg, 0, len(sel.Items))
+	for _, it := range sel.Items {
+		if it.Agg == sql.AggNone {
+			continue
+		}
+		if it.Star {
+			out = append(out, vecAgg{kind: it.Agg, star: true})
+			continue
+		}
+		colEx, ok := it.Expr.(*expr.Column)
+		if !ok {
+			return nil, false
+		}
+		if j, ok := sc.Index(colEx.Name); ok {
+			if (it.Agg == sql.AggSum || it.Agg == sql.AggAvg) && sc.At(j).Kind == value.KindText {
+				return nil, false
+			}
+			out = append(out, vecAgg{kind: it.Agg, col: j})
+			continue
+		}
+		if strings.EqualFold(colEx.Name, "WEIGHT") {
+			out = append(out, vecAgg{kind: it.Agg, col: -1})
+			continue
+		}
+		return nil, false
+	}
+	return out, true
+}
+
+// selectRows computes the selection vector: the indices of rows WHERE keeps,
+// in scan order. The compiled kernel handles the common operators; anything
+// else runs the interpreted expression per row (callers ensure the rest of
+// the query cannot error, so interpreted-filter errors surface at the same
+// row they would on the row path).
+func selectRows(snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32, error) {
+	n := snap.Len()
+	sel := make([]int32, 0, n)
+	if where == nil {
+		for i := 0; i < n; i++ {
+			sel = append(sel, int32(i))
+		}
+		return sel, nil
+	}
+	if k := compileFilter(where, snap, rawW); k != nil {
+		tern := make([]int8, n)
+		k.eval(tern)
+		for i, t := range tern {
+			if t == ternTrue {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel, nil
+	}
+	env, _ := makeEnv(snap.Schema())
+	for i := 0; i < n; i++ {
+		ok, err := expr.Truthy(where, env.bind(snap.Row(i), rawW[i]))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel, nil
+}
+
+// densifyColumn assigns each selected row a dense id for one key column, in
+// first-appearance order. Identity follows HashKey: dictionary code for
+// TEXT, NaN-canonical float64 bits for numerics (so an INT column groups by
+// float64 value, exactly as HashKey formats it), 0/1 for BOOL, one id for
+// NULL.
+func densifyColumn(snap *table.Snapshot, col int, selRows []int32) ([]int32, int32) {
+	c := snap.Col(col)
+	dense := make([]int32, len(selRows))
+	var next int32
+	switch c.Kind {
+	case value.KindText:
+		remap := make([]int32, len(snap.DictStrings())+1)
+		for i := range remap {
+			remap[i] = -1
+		}
+		for k, ri := range selRows {
+			idx := 0 // NULL
+			if !c.Null(int(ri)) {
+				idx = int(c.Codes[ri]) + 1
+			}
+			id := remap[idx]
+			if id < 0 {
+				id = next
+				next++
+				remap[idx] = id
+			}
+			dense[k] = id
+		}
+	case value.KindBool:
+		remap := [3]int32{-1, -1, -1} // null, false, true
+		for k, ri := range selRows {
+			idx := 0
+			if !c.Null(int(ri)) {
+				idx = 1
+				if c.Bools[ri] {
+					idx = 2
+				}
+			}
+			id := remap[idx]
+			if id < 0 {
+				id = next
+				next++
+				remap[idx] = id
+			}
+			dense[k] = id
+		}
+	case value.KindInt:
+		m := make(map[uint64]int32)
+		nullID := int32(-1)
+		for k, ri := range selRows {
+			if c.Null(int(ri)) {
+				if nullID < 0 {
+					nullID = next
+					next++
+				}
+				dense[k] = nullID
+				continue
+			}
+			bits := value.NumBits(float64(c.Ints[ri]))
+			id, ok := m[bits]
+			if !ok {
+				id = next
+				next++
+				m[bits] = id
+			}
+			dense[k] = id
+		}
+	case value.KindFloat:
+		m := make(map[uint64]int32)
+		nullID := int32(-1)
+		for k, ri := range selRows {
+			if c.Null(int(ri)) {
+				if nullID < 0 {
+					nullID = next
+					next++
+				}
+				dense[k] = nullID
+				continue
+			}
+			bits := value.NumBits(c.Floats[ri])
+			id, ok := m[bits]
+			if !ok {
+				id = next
+				next++
+				m[bits] = id
+			}
+			dense[k] = id
+		}
+	}
+	return dense, next
+}
+
+// groupIDs assigns each selected row its final group id, folding multi-key
+// composites pairwise through uint64-keyed maps. Ids are dense and ordered
+// by first appearance, which is exactly the row path's group output order.
+func groupIDs(snap *table.Snapshot, keyIdx []int, selRows []int32) (gids []int32, ngroups int, firstRow []int32) {
+	m := len(selRows)
+	if len(keyIdx) == 0 {
+		if m == 0 {
+			return nil, 0, nil
+		}
+		return make([]int32, m), 1, []int32{selRows[0]}
+	}
+	gids, _ = densifyColumn(snap, keyIdx[0], selRows)
+	for _, kc := range keyIdx[1:] {
+		d, _ := densifyColumn(snap, kc, selRows)
+		pair := make(map[uint64]int32)
+		out := make([]int32, m)
+		var next int32
+		for k := 0; k < m; k++ {
+			key := uint64(uint32(gids[k]))<<32 | uint64(uint32(d[k]))
+			id, ok := pair[key]
+			if !ok {
+				id = next
+				next++
+				pair[key] = id
+			}
+			out[k] = id
+		}
+		gids = out
+	}
+	for k, g := range gids {
+		if int(g) == len(firstRow) {
+			firstRow = append(firstRow, selRows[k])
+		}
+	}
+	return gids, len(firstRow), firstRow
+}
+
+// vecAggState is the accumulator arrays of one aggregate, indexed by group.
+type vecAggState struct {
+	count  []float64
+	sumW   []float64
+	sumWX  []float64
+	minmax []value.Value
+	seen   []bool
+}
+
+func newVecAggState(kind sql.AggKind, n int) *vecAggState {
+	st := &vecAggState{}
+	switch kind {
+	case sql.AggCount:
+		st.count = make([]float64, n)
+	case sql.AggSum, sql.AggAvg:
+		st.sumW = make([]float64, n)
+		st.sumWX = make([]float64, n)
+		st.seen = make([]bool, n)
+	case sql.AggMin, sql.AggMax:
+		st.minmax = make([]value.Value, n)
+		st.seen = make([]bool, n)
+	}
+	return st
+}
+
+func (st *vecAggState) result(kind sql.AggKind, g int) value.Value {
+	switch kind {
+	case sql.AggCount:
+		return value.Float(st.count[g])
+	case sql.AggSum:
+		if !st.seen[g] {
+			return value.Null()
+		}
+		return value.Float(st.sumWX[g])
+	case sql.AggAvg:
+		if !st.seen[g] || st.sumW[g] == 0 {
+			return value.Null()
+		}
+		return value.Float(st.sumWX[g] / st.sumW[g])
+	case sql.AggMin, sql.AggMax:
+		if !st.seen[g] {
+			return value.Null()
+		}
+		return st.minmax[g]
+	default:
+		return value.Null()
+	}
+}
+
+// accumulate runs one aggregate's tight loop over the selected rows.
+// Accumulation order is scan order and the operation sequence matches
+// agg.add exactly, so float results are bit-identical to the row path.
+func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids []int32, selW, rawW []float64) {
+	switch a.kind {
+	case sql.AggCount:
+		if a.star || a.col == -1 {
+			// COUNT(*) has no input; COUNT(WEIGHT) inputs are never null.
+			for k := range selRows {
+				st.count[gids[k]] += selW[k]
+			}
+			return
+		}
+		c := snap.Col(a.col)
+		if !c.HasNulls() {
+			for k := range selRows {
+				st.count[gids[k]] += selW[k]
+			}
+			return
+		}
+		for k, ri := range selRows {
+			if c.Null(int(ri)) {
+				continue
+			}
+			st.count[gids[k]] += selW[k]
+		}
+	case sql.AggSum, sql.AggAvg:
+		if a.col == -1 {
+			for k := range selRows {
+				g, w := gids[k], selW[k]
+				st.sumW[g] += w
+				st.sumWX[g] += w * rawW[selRows[k]]
+				st.seen[g] = true
+			}
+			return
+		}
+		c := snap.Col(a.col)
+		switch c.Kind {
+		case value.KindInt:
+			for k, ri := range selRows {
+				if c.Null(int(ri)) {
+					continue
+				}
+				g, w := gids[k], selW[k]
+				st.sumW[g] += w
+				st.sumWX[g] += w * float64(c.Ints[ri])
+				st.seen[g] = true
+			}
+		case value.KindFloat:
+			for k, ri := range selRows {
+				if c.Null(int(ri)) {
+					continue
+				}
+				g, w := gids[k], selW[k]
+				st.sumW[g] += w
+				st.sumWX[g] += w * c.Floats[ri]
+				st.seen[g] = true
+			}
+		case value.KindBool:
+			for k, ri := range selRows {
+				if c.Null(int(ri)) {
+					continue
+				}
+				g, w := gids[k], selW[k]
+				x := 0.0
+				if c.Bools[ri] {
+					x = 1
+				}
+				st.sumW[g] += w
+				st.sumWX[g] += w * x // full multiply keeps NaN/±0 flow identical
+				st.seen[g] = true
+			}
+		}
+	case sql.AggMin, sql.AggMax:
+		wantLess := a.kind == sql.AggMin
+		for k, ri := range selRows {
+			var v value.Value
+			if a.col == -1 {
+				v = value.Float(rawW[ri])
+			} else {
+				v = snap.Row(int(ri))[a.col]
+			}
+			if v.IsNull() {
+				continue
+			}
+			g := gids[k]
+			if !st.seen[g] {
+				st.minmax[g] = v
+				st.seen[g] = true
+				continue
+			}
+			c := value.Compare(v, st.minmax[g])
+			if (wantLess && c < 0) || (!wantLess && c > 0) {
+				st.minmax[g] = v
+			}
+		}
+	}
+}
+
+// runAggregateVector answers an aggregate query on the columnar path.
+// handled=false means the shape is not kernel-covered and the caller must
+// use the row path.
+func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
+	keyIdx, err := resolveGroupKeys(snap, sel)
+	if err != nil {
+		// Eager validation errors are identical on both paths.
+		return nil, true, err
+	}
+	vaggs, ok := planVectorAggs(snap, sel)
+	if !ok {
+		return nil, false, nil
+	}
+	rawW := snap.Weights()
+	if opts.WeightOverride != nil {
+		rawW = opts.WeightOverride
+	}
+	selRows, err := selectRows(snap, sel.Where, rawW)
+	if err != nil {
+		return nil, true, err
+	}
+	selW := make([]float64, len(selRows))
+	if opts.Weighted {
+		for k, ri := range selRows {
+			selW[k] = rawW[ri]
+		}
+	} else {
+		for k := range selW {
+			selW[k] = 1
+		}
+	}
+	gids, ngroups, firstRow := groupIDs(snap, keyIdx, selRows)
+	// A global aggregate over zero selected rows still yields one row of
+	// empty aggregates.
+	emptyGlobal := ngroups == 0 && len(sel.GroupBy) == 0
+	nst := ngroups
+	if emptyGlobal {
+		nst = 1
+	}
+	states := make([]*vecAggState, len(vaggs))
+	for i, a := range vaggs {
+		states[i] = newVecAggState(a.kind, nst)
+		accumulate(a, states[i], snap, selRows, gids, selW, rawW)
+	}
+
+	res = &Result{}
+	for _, it := range sel.Items {
+		res.Columns = append(res.Columns, it.Name())
+	}
+	outSchema := outputSchema(res.Columns)
+	keyPos := itemKeyPositions(sel)
+	total := ngroups
+	if emptyGlobal {
+		total = 1
+	}
+	for g := 0; g < total; g++ {
+		row := make([]value.Value, 0, len(sel.Items))
+		ai := 0
+		for ii, it := range sel.Items {
+			if it.Agg == sql.AggNone {
+				row = append(row, snap.Row(int(firstRow[g]))[keyIdx[keyPos[ii]]])
+			} else {
+				row = append(row, states[ai].result(vaggs[ai].kind, g))
+				ai++
+			}
+		}
+		if sel.Having != nil {
+			ok, err := expr.Truthy(sel.Having, &expr.Binding{Schema: outSchema, Row: row})
+			if err != nil {
+				return nil, true, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := orderAndLimit(res, sel, outSchema); err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}
+
+// runProjectionVector answers a non-aggregate query with a kernel-compiled
+// filter. Item evaluation stays row-at-a-time (outputs are materialized
+// rows either way), so it only engages when the filter itself compiles —
+// otherwise the row path is equivalent.
+func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
+	if sel.Where == nil {
+		return nil, false, nil
+	}
+	rawW := snap.Weights()
+	if opts.WeightOverride != nil {
+		rawW = opts.WeightOverride
+	}
+	k := compileFilter(sel.Where, snap, rawW)
+	if k == nil {
+		return nil, false, nil
+	}
+	n := snap.Len()
+	tern := make([]int8, n)
+	k.eval(tern)
+
+	// Bindings only need the WEIGHT extension when a select item actually
+	// references it; otherwise rows bind in place with zero copying.
+	needW := false
+	for _, it := range sel.Items {
+		if it.Star {
+			continue
+		}
+		for _, cn := range it.Expr.Columns(nil) {
+			if strings.EqualFold(cn, "WEIGHT") {
+				needW = true
+			}
+		}
+	}
+	env, _ := makeEnv(snap.Schema())
+	res = &Result{Columns: projectionColumns(snap, sel)}
+	for i := 0; i < n; i++ {
+		if tern[i] != ternTrue {
+			continue
+		}
+		row := snap.Row(i)
+		var b *expr.Binding
+		if needW {
+			b = env.bind(row, rawW[i])
+		} else {
+			b = &expr.Binding{Schema: snap.Schema(), Row: row}
+		}
+		out, err := projectRow(sel, row, b)
+		if err != nil {
+			return nil, true, err
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if sel.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	if err := orderAndLimit(res, sel, snap.Schema()); err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}

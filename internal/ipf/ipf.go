@@ -75,7 +75,11 @@ func Fit(sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]f
 		return nil, Result{}, fmt.Errorf("ipf: empty sample %s", sample.Name())
 	}
 
-	// Pre-bucket tuple indices by marginal cell.
+	// Pre-bucket tuple indices by marginal cell, keying on value codes over
+	// the columnar snapshot: one snapshot (single lock acquisition) serves
+	// every marginal, and per-row work is an array load plus one small-struct
+	// map probe instead of building a HashKey string.
+	snap := sample.Snapshot()
 	groups := make([][]cellGroup, len(marginals))
 	var unreachable, reachableTotal float64
 	totals := make([]float64, len(marginals))
@@ -89,46 +93,43 @@ func Fit(sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]f
 			}
 			idxs[ai] = j
 		}
-		byKey := map[string]*cellGroup{}
-		cellList := m.Cells()
-		order := m.CellKeys()
-		for ci, k := range order {
-			byKey[k] = &cellGroup{target: cellList[ci].Count}
+		// Row codes per attribute, snapped to the marginal's bin grid.
+		rowCls := make([][]value.Class, len(idxs))
+		rowBits := make([][]uint64, len(idxs))
+		for ai, j := range idxs {
+			rowCls[ai], rowBits[ai] = snap.BinnedCodes(j, m.BinWidth(ai))
 		}
-		row := 0
-		var missed bool
-		var keyErr error
-		sample.Scan(func(r []value.Value, _ float64) bool {
-			vals := make([]value.Value, len(idxs))
-			for ai, j := range idxs {
-				vals[ai] = r[j]
+		// Seed one slot per marginal cell, in cell order; cells whose TEXT
+		// value the sample never interned cannot match any row and stay
+		// unreachable.
+		cells := m.Cells()
+		slots := make([]*cellGroup, 0, len(cells))
+		byCode := make(map[table.CellCode]*cellGroup, len(cells))
+		for ci := range cells {
+			g := &cellGroup{target: cells[ci].Count}
+			slots = append(slots, g)
+			if code, ok := snap.CellCodeOf(cells[ci].Vals); ok {
+				byCode[code] = g
 			}
-			k, err := m.KeyFor(vals)
-			if err != nil {
-				keyErr = err
-				return false
+		}
+		for i := 0; i < n; i++ {
+			code := table.CellCode{C0: rowCls[0][i], B0: rowBits[0][i]}
+			if len(idxs) == 2 {
+				code.C1, code.B1 = rowCls[1][i], rowBits[1][i]
 			}
-			g, ok := byKey[k]
+			g, ok := byCode[code]
 			if !ok {
 				// Tuple outside every marginal cell: it gets zero target,
 				// i.e. IPF drives its weight to 0. Record as its own cell.
-				g = &cellGroup{target: 0}
-				byKey[k] = g
-				order = append(order, k)
-				missed = true
+				g = &cellGroup{}
+				byCode[code] = g
+				slots = append(slots, g)
 			}
-			g.rows = append(g.rows, row)
-			row++
-			return true
-		})
-		if keyErr != nil {
-			return nil, Result{}, keyErr
+			g.rows = append(g.rows, i)
 		}
-		_ = missed
-		gl := make([]cellGroup, 0, len(order))
+		gl := make([]cellGroup, 0, len(slots))
 		var reach float64
-		for _, k := range order {
-			g := byKey[k]
+		for _, g := range slots {
 			if len(g.rows) == 0 {
 				unreachable += g.target
 				continue

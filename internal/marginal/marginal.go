@@ -259,6 +259,12 @@ func FromTable(name string, t *table.Table, attrs []string) (*Marginal, error) {
 
 // FromTableBinned is FromTable with per-attribute bin widths (attribute name
 // → width; attributes absent from the map use exact values).
+//
+// It groups rows into cells by value-code tuples over the table's columnar
+// snapshot (dictionary codes for TEXT, NaN-canonical float bits for
+// numerics) instead of building a cellKey string per row; cell order,
+// values, and counts are identical to per-row Add calls — counts accumulate
+// per cell in the same row order.
 func FromTableBinned(name string, t *table.Table, attrs []string, widths map[string]float64) (*Marginal, error) {
 	m, err := New(name, attrs)
 	if err != nil {
@@ -277,20 +283,44 @@ func FromTableBinned(name string, t *table.Table, attrs []string, widths map[str
 		}
 		idxs[i] = j
 	}
-	var addErr error
-	t.Scan(func(row []value.Value, w float64) bool {
-		vals := make([]value.Value, len(idxs))
-		for i, j := range idxs {
-			vals[i] = row[j]
+	snap := t.Snapshot()
+	n := snap.Len()
+	rowCls := make([][]value.Class, len(idxs))
+	rowBits := make([][]uint64, len(idxs))
+	for ai, j := range idxs {
+		rowCls[ai], rowBits[ai] = snap.BinnedCodes(j, m.bins[ai])
+	}
+	byCode := make(map[table.CellCode]int)
+	var cellVals [][]value.Value
+	var counts []float64
+	wts := snap.Weights()
+	rawVals := make([]value.Value, len(idxs))
+	for i := 0; i < n; i++ {
+		key := table.CellCode{C0: rowCls[0][i], B0: rowBits[0][i]}
+		if len(idxs) == 2 {
+			key.C1, key.B1 = rowCls[1][i], rowBits[1][i]
 		}
-		if err := m.Add(vals, w); err != nil {
-			addErr = err
-			return false
+		ci, ok := byCode[key]
+		if !ok {
+			row := snap.Row(i)
+			for ai, j := range idxs {
+				rawVals[ai] = row[j]
+			}
+			snapped, err := m.SnapVals(rawVals)
+			if err != nil {
+				return nil, err
+			}
+			ci = len(cellVals)
+			byCode[key] = ci
+			cellVals = append(cellVals, snapped)
+			counts = append(counts, 0)
 		}
-		return true
-	})
-	if addErr != nil {
-		return nil, addErr
+		counts[ci] += wts[i]
+	}
+	for ci, vals := range cellVals {
+		k := cellKey(vals)
+		m.cells[k] = &Cell{Vals: vals, Count: counts[ci]}
+		m.order = append(m.order, k)
 	}
 	return m, nil
 }

@@ -324,3 +324,72 @@ func TestFromTableBinned(t *testing.T) {
 		t.Errorf("binned from-table: len=%d", m.Len())
 	}
 }
+
+// TestFromTableBinnedMatchesPerRowAdd: the code-tuple grouping in
+// FromTableBinned must reproduce the per-row Add construction exactly —
+// same cell keys, same order, same snapped values, same counts.
+func TestFromTableBinnedMatchesPerRowAdd(t *testing.T) {
+	sc := schema.MustNew(
+		schema.Attribute{Name: "g", Kind: value.KindText},
+		schema.Attribute{Name: "v", Kind: value.KindFloat},
+	)
+	tbl := table.New("t", sc)
+	vals := []struct {
+		g string
+		v float64
+		w float64
+	}{
+		{"a", 0.1, 1}, {"b", 0.49, 2}, {"a", 0.51, 0.5}, {"a", 0.1, 3},
+		{"c", -0.2, 1.5}, {"b", 0.49, 1}, {"a", 1.9, 2.5},
+	}
+	for _, r := range vals {
+		if err := tbl.AppendWeighted([]value.Value{value.Text(r.g), value.Float(r.v)}, r.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Add a NULL-bearing row: both constructions must key it identically.
+	if err := tbl.AppendWeighted([]value.Value{value.Null(), value.Null()}, 2); err != nil {
+		t.Fatal(err)
+	}
+	widths := map[string]float64{"v": 0.5}
+
+	got, err := FromTableBinned("m", tbl, []string{"g", "v"}, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the historical construction, one Add per row.
+	want, err := New("m", []string{"g", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.SetBinWidth("v", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	snap := tbl.Snapshot()
+	for i := 0; i < snap.Len(); i++ {
+		row := snap.Row(i)
+		if err := want.Add([]value.Value{row[0], row[1]}, snap.Weight(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gk, wk := got.CellKeys(), want.CellKeys()
+	if len(gk) != len(wk) {
+		t.Fatalf("cell count %d != %d", len(gk), len(wk))
+	}
+	gc, wc := got.Cells(), want.Cells()
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Errorf("cell %d: key order diverged", i)
+		}
+		if gc[i].Count != wc[i].Count {
+			t.Errorf("cell %d: count %g != %g", i, gc[i].Count, wc[i].Count)
+		}
+		for d := range gc[i].Vals {
+			if gc[i].Vals[d].HashKey() != wc[i].Vals[d].HashKey() {
+				t.Errorf("cell %d dim %d: value %s != %s", i, d, gc[i].Vals[d], wc[i].Vals[d])
+			}
+		}
+	}
+}

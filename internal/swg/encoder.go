@@ -192,23 +192,93 @@ func (e *Encoder) EncodeRow(row []value.Value) ([]float64, error) {
 	return out, nil
 }
 
-// EncodeTable encodes every row of the sample.
+// EncodeTable encodes every row of the sample. It runs column-at-a-time
+// over the table's snapshot: categorical TEXT attributes one-hot directly
+// from dictionary codes through a precomputed code→level table instead of
+// re-hashing strings per row, and continuous attributes scale straight off
+// the typed column vectors. Results are element-identical to encoding each
+// row with EncodeRow.
 func (e *Encoder) EncodeTable(t *table.Table) ([][]float64, error) {
-	out := make([][]float64, 0, t.Len())
-	var scanErr error
-	t.Scan(func(row []value.Value, _ float64) bool {
-		v, err := e.EncodeRow(row)
-		if err != nil {
-			scanErr = err
-			return false
+	snap := t.Snapshot()
+	n := snap.Len()
+	out := make([][]float64, n)
+	flat := make([]float64, n*e.Dim)
+	for i := range out {
+		out[i] = flat[i*e.Dim : (i+1)*e.Dim : (i+1)*e.Dim]
+	}
+	for ai := range e.Attrs {
+		sp := &e.Attrs[ai]
+		col := snap.Col(ai)
+		if err := e.encodeColumn(sp, snap, col, out); err != nil {
+			return nil, err
 		}
-		out = append(out, v)
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
 	}
 	return out, nil
+}
+
+// encodeColumn fills one attribute's encoded block for every row.
+func (e *Encoder) encodeColumn(sp *AttrSpec, snap *table.Snapshot, col *table.Column, out [][]float64) error {
+	n := len(out)
+	if !sp.Categorical {
+		// Continuous: (f − Min)/(Max − Min), NULL scaling to NaN exactly as
+		// value.Float64 coerces NULL.
+		for i := 0; i < n; i++ {
+			var f float64
+			switch {
+			case col.Null(i):
+				f = math.NaN()
+			case col.Kind == value.KindInt:
+				f = float64(col.Ints[i])
+			default:
+				f = col.Floats[i]
+			}
+			out[i][sp.Offset] = (f - sp.Min) / (sp.Max - sp.Min)
+		}
+		return nil
+	}
+	if col.Kind == value.KindBool {
+		tIdx, tOK := sp.catIdx[value.Bool(true).HashKey()]
+		fIdx, fOK := sp.catIdx[value.Bool(false).HashKey()]
+		for i := 0; i < n; i++ {
+			if col.Null(i) {
+				return fmt.Errorf("swg: unseen categorical value %s for %q", value.Null(), sp.Name)
+			}
+			if col.Bools[i] {
+				if !tOK {
+					return fmt.Errorf("swg: unseen categorical value %s for %q", value.Bool(true), sp.Name)
+				}
+				out[i][sp.Offset+tIdx] = 1
+			} else {
+				if !fOK {
+					return fmt.Errorf("swg: unseen categorical value %s for %q", value.Bool(false), sp.Name)
+				}
+				out[i][sp.Offset+fIdx] = 1
+			}
+		}
+		return nil
+	}
+	// TEXT: resolve every dictionary code to its one-hot level once.
+	strs := snap.DictStrings()
+	codeToCat := make([]int32, len(strs))
+	for c, s := range strs {
+		if idx, ok := sp.catIdx[value.Text(s).HashKey()]; ok {
+			codeToCat[c] = int32(idx)
+		} else {
+			codeToCat[c] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		if col.Null(i) {
+			return fmt.Errorf("swg: unseen categorical value %s for %q", value.Null(), sp.Name)
+		}
+		code := col.Codes[i]
+		cat := codeToCat[code]
+		if cat < 0 {
+			return fmt.Errorf("swg: unseen categorical value %s for %q", value.Text(strs[code]), sp.Name)
+		}
+		out[i][sp.Offset+int(cat)] = 1
+	}
+	return nil
 }
 
 // DecodeRow converts one generated vector back into a tuple, forcing

@@ -1,0 +1,362 @@
+// Columnar storage: typed column vectors maintained alongside the row view,
+// a per-table dictionary for TEXT attributes, and the immutable Snapshot the
+// executor scans without per-row locking.
+//
+// Locking contract (see also the Table doc): a Snapshot captures slice
+// headers under one RLock. Because the table is append-only (rows are never
+// mutated in place and appends past the captured length are invisible to the
+// snapshot), a snapshot stays valid while writers append — but weight
+// mutation (SetWeight/SetWeights/ResetWeights) and Truncate write in place,
+// so those writers must be externally serialized against snapshot readers.
+// The engine provides that serialization: DDL/DML runs under the engine
+// write lock while queries hold the read lock.
+package table
+
+import (
+	"math"
+	"sync"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/value"
+)
+
+// Dict is an append-only string interner. Codes are dense, start at 0, and
+// never change, so snapshots taken at different times agree on every code
+// they both know. One Dict is shared by a table, its clones, and all its
+// snapshots.
+type Dict struct {
+	mu    sync.RWMutex
+	codes map[string]uint32
+	strs  []string
+}
+
+// NewDict creates an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]uint32)}
+}
+
+// Code interns s and returns its code.
+func (d *Dict) Code(s string) uint32 {
+	d.mu.Lock()
+	c, ok := d.codes[s]
+	if !ok {
+		c = uint32(len(d.strs))
+		d.codes[s] = c
+		d.strs = append(d.strs, s)
+	}
+	d.mu.Unlock()
+	return c
+}
+
+// Lookup returns the code of s without interning it.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	return c, ok
+}
+
+// Strings returns the code→string table as of now. The returned slice is
+// append-only shared storage and must not be modified.
+func (d *Dict) Strings() []string {
+	d.mu.RLock()
+	s := d.strs
+	d.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.strs)
+	d.mu.RUnlock()
+	return n
+}
+
+// Column is one attribute's typed vector. Exactly one of the payload slices
+// is populated, chosen by the schema kind; NULL positions carry the zero
+// payload and are flagged in the Nulls bitmap.
+type Column struct {
+	Kind   value.Kind
+	Ints   []int64   // KindInt
+	Floats []float64 // KindFloat
+	Bools  []bool    // KindBool
+	Codes  []uint32  // KindText, dictionary codes
+	Nulls  []uint64  // null bitmap (64 rows per word); nil when the column has no NULLs
+}
+
+// Null reports whether row i is NULL.
+func (c *Column) Null(i int) bool {
+	if c.Nulls == nil {
+		return false
+	}
+	w := i >> 6
+	if w >= len(c.Nulls) {
+		return false
+	}
+	return c.Nulls[w]&(1<<(uint(i)&63)) != 0
+}
+
+// HasNulls reports whether any row is NULL.
+func (c *Column) HasNulls() bool { return c.Nulls != nil }
+
+func (c *Column) setNull(i int) {
+	w := i >> 6
+	for len(c.Nulls) <= w {
+		c.Nulls = append(c.Nulls, 0)
+	}
+	c.Nulls[w] |= 1 << (uint(i) & 63)
+}
+
+// appendValue extends the column with row value v (already schema-coerced).
+func (c *Column) appendValue(i int, v value.Value, dict *Dict) {
+	if v.IsNull() {
+		c.setNull(i)
+		switch c.Kind {
+		case value.KindInt:
+			c.Ints = append(c.Ints, 0)
+		case value.KindFloat:
+			c.Floats = append(c.Floats, 0)
+		case value.KindBool:
+			c.Bools = append(c.Bools, false)
+		case value.KindText:
+			c.Codes = append(c.Codes, 0)
+		}
+		return
+	}
+	switch c.Kind {
+	case value.KindInt:
+		c.Ints = append(c.Ints, v.AsInt())
+	case value.KindFloat:
+		c.Floats = append(c.Floats, v.AsFloat())
+	case value.KindBool:
+		c.Bools = append(c.Bools, v.AsBool())
+	case value.KindText:
+		c.Codes = append(c.Codes, dict.Code(v.AsText()))
+	}
+}
+
+// newColumns builds empty typed columns for a schema.
+func newColumns(sc *schema.Schema) []Column {
+	cols := make([]Column, sc.Len())
+	for i := range cols {
+		cols[i].Kind = sc.At(i).Kind
+	}
+	return cols
+}
+
+// Snapshot is an immutable view of a table at one instant: the row view, the
+// weight vector, and the typed columns, captured under a single lock
+// acquisition. Scans over a snapshot touch no locks at all.
+type Snapshot struct {
+	name     string
+	sc       *schema.Schema
+	rows     [][]value.Value
+	wts      []float64
+	cols     []Column
+	dict     *Dict
+	dictStrs []string // code→string table frozen at snapshot time
+}
+
+// Snapshot captures the table's current contents with one RLock. The
+// returned view is safe to read concurrently with appends; in-place weight
+// mutation must be externally serialized (the engine write lock does this).
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.RLock()
+	s := &Snapshot{
+		name: t.name,
+		sc:   t.schema,
+		rows: t.rows,
+		wts:  t.wts,
+		dict: t.dict,
+	}
+	n := len(t.rows)
+	s.cols = make([]Column, len(t.cols))
+	for i := range t.cols {
+		c := t.cols[i]
+		s.cols[i] = Column{
+			Kind: c.Kind,
+			// The null bitmap is copied, not clipped: a later append of a
+			// NULL row in the same 64-row word would otherwise mutate a
+			// word this snapshot reads (payload slices only ever gain
+			// elements past n, so clipping suffices for them).
+			Nulls:  append([]uint64(nil), c.Nulls...),
+			Ints:   clip(c.Ints, n),
+			Floats: clip(c.Floats, n),
+			Bools:  clip(c.Bools, n),
+			Codes:  clip(c.Codes, n),
+		}
+		if len(s.cols[i].Nulls) == 0 {
+			s.cols[i].Nulls = nil
+		}
+	}
+	t.mu.RUnlock()
+	s.dictStrs = t.dict.Strings()
+	return s
+}
+
+// clip caps a payload slice at the snapshot length so later appends cannot
+// be observed (nil stays nil).
+func clip[T any](v []T, n int) []T {
+	if v == nil {
+		return nil
+	}
+	return v[:n:n]
+}
+
+// Name returns the relation name.
+func (s *Snapshot) Name() string { return s.name }
+
+// Schema returns the relation schema.
+func (s *Snapshot) Schema() *schema.Schema { return s.sc }
+
+// Len returns the number of rows in the snapshot.
+func (s *Snapshot) Len() int { return len(s.rows) }
+
+// Row returns the i-th row. The returned slice must not be modified.
+func (s *Snapshot) Row(i int) []value.Value { return s.rows[i] }
+
+// Weight returns the i-th tuple weight.
+func (s *Snapshot) Weight(i int) float64 { return s.wts[i] }
+
+// Weights returns the snapshot's weight vector. The slice is shared with the
+// table and must be treated as read-only.
+func (s *Snapshot) Weights() []float64 { return s.wts }
+
+// Col returns the typed column at schema position i.
+func (s *Snapshot) Col(i int) *Column { return &s.cols[i] }
+
+// DictStr resolves a text dictionary code captured in this snapshot.
+func (s *Snapshot) DictStr(code uint32) string { return s.dictStrs[code] }
+
+// DictStrings returns the frozen code→string table (index = code).
+func (s *Snapshot) DictStrings() []string { return s.dictStrs }
+
+// DictLookup returns the dictionary code of str, if it was ever interned.
+// A miss means no row of any snapshot of this table stores str.
+func (s *Snapshot) DictLookup(str string) (uint32, bool) { return s.dict.Lookup(str) }
+
+// Codes materializes the (class, bits) code of every row of column col into
+// a pair of parallel slices: cls[i] partitions by HashKey tag class and
+// bits[i] distinguishes values within the class (dictionary code for TEXT,
+// NaN-canonical float bits for numerics, 0/1 for BOOL). Two rows have equal
+// (cls, bits) pairs exactly when their HashKeys are equal, so these codes
+// can key group-by and marginal-cell hash tables directly.
+func (s *Snapshot) Codes(col int) (cls []value.Class, bits []uint64) {
+	c := &s.cols[col]
+	n := s.Len()
+	cls = make([]value.Class, n)
+	bits = make([]uint64, n)
+	switch c.Kind {
+	case value.KindInt:
+		for i, x := range c.Ints {
+			cls[i] = value.ClassNum
+			bits[i] = value.NumBits(float64(x))
+		}
+	case value.KindFloat:
+		for i, x := range c.Floats {
+			cls[i] = value.ClassNum
+			bits[i] = value.NumBits(x)
+		}
+	case value.KindBool:
+		for i, b := range c.Bools {
+			cls[i] = value.ClassBool
+			if b {
+				bits[i] = 1
+			}
+		}
+	case value.KindText:
+		for i, code := range c.Codes {
+			cls[i] = value.ClassText
+			bits[i] = uint64(code)
+		}
+	}
+	if c.Nulls != nil {
+		for i := 0; i < n; i++ {
+			if c.Null(i) {
+				cls[i] = value.ClassNull
+				bits[i] = 0
+			}
+		}
+	}
+	return cls, bits
+}
+
+// CellCode keys a 1- or 2-attribute marginal cell by value codes (class +
+// 64-bit payload per attribute) instead of a concatenated HashKey string.
+// Code equality matches cellKey-string equality exactly; both ipf and
+// marginal bucket tuples with it, so the coding scheme lives in one place.
+type CellCode struct {
+	C0, C1 value.Class
+	B0, B1 uint64
+}
+
+// CodeOf codes one value against this snapshot's dictionary, matching the
+// per-row codes from Codes/BinnedCodes. ok=false means a TEXT value no row
+// of this table ever stored — such a value can never match any row.
+func (s *Snapshot) CodeOf(v value.Value) (cls value.Class, bits uint64, ok bool) {
+	if cls, bits, ok = v.ScalarBits(); ok {
+		return cls, bits, true
+	}
+	c, found := s.DictLookup(v.AsText())
+	if !found {
+		return value.ClassText, 0, false
+	}
+	return value.ClassText, uint64(c), true
+}
+
+// CellCodeOf codes a 1- or 2-value cell tuple; ok=false when any component
+// is unmatchable (see CodeOf).
+func (s *Snapshot) CellCodeOf(vals []value.Value) (CellCode, bool) {
+	var code CellCode
+	cls, bits, ok := s.CodeOf(vals[0])
+	if !ok {
+		return code, false
+	}
+	code.C0, code.B0 = cls, bits
+	if len(vals) == 2 {
+		cls, bits, ok = s.CodeOf(vals[1])
+		if !ok {
+			return code, false
+		}
+		code.C1, code.B1 = cls, bits
+	}
+	return code, true
+}
+
+// BinnedCodes is Codes with numeric values snapped to histogram bin
+// midpoints first: (⌊v/width⌋+0.5)·width, the same expression
+// marginal.SnapVals uses, so a binned row code equals the code of its
+// snapped cell value. Non-numeric columns and width 0 defer to Codes.
+func (s *Snapshot) BinnedCodes(col int, width float64) (cls []value.Class, bits []uint64) {
+	c := &s.cols[col]
+	if width == 0 || (c.Kind != value.KindInt && c.Kind != value.KindFloat) {
+		return s.Codes(col)
+	}
+	n := s.Len()
+	cls = make([]value.Class, n)
+	bits = make([]uint64, n)
+	snapf := func(f float64) uint64 {
+		return value.NumBits((math.Floor(f/width) + 0.5) * width)
+	}
+	if c.Kind == value.KindInt {
+		for i, x := range c.Ints {
+			cls[i] = value.ClassNum
+			bits[i] = snapf(float64(x))
+		}
+	} else {
+		for i, x := range c.Floats {
+			cls[i] = value.ClassNum
+			bits[i] = snapf(x)
+		}
+	}
+	if c.Nulls != nil {
+		for i := 0; i < n; i++ {
+			if c.Null(i) {
+				cls[i] = value.ClassNull
+				bits[i] = 0
+			}
+		}
+	}
+	return cls, bits
+}

@@ -1,0 +1,180 @@
+package table
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/value"
+)
+
+var snapSchema = schema.MustNew(
+	schema.Attribute{Name: "c", Kind: value.KindText},
+	schema.Attribute{Name: "x", Kind: value.KindInt},
+	schema.Attribute{Name: "y", Kind: value.KindFloat},
+	schema.Attribute{Name: "b", Kind: value.KindBool},
+)
+
+func snapFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl := New("t", snapSchema)
+	rows := [][]value.Value{
+		{value.Text("red"), value.Int(1), value.Float(0.5), value.Bool(true)},
+		{value.Text("blue"), value.Int(2), value.Null(), value.Bool(false)},
+		{value.Null(), value.Null(), value.Float(-1.25), value.Null()},
+		{value.Text("red"), value.Int(1), value.Float(0.5), value.Bool(true)},
+	}
+	for i, r := range rows {
+		if err := tbl.AppendWeighted(r, float64(i)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// TestSnapshotIsStableAcrossAppends: a snapshot captures a fixed prefix; rows
+// appended afterwards are invisible to it, and a fresh snapshot sees them.
+func TestSnapshotIsStableAcrossAppends(t *testing.T) {
+	tbl := snapFixture(t)
+	s := tbl.Snapshot()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if err := tbl.Append([]value.Value{value.Text("green"), value.Int(9), value.Float(9), value.Bool(false)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("old snapshot grew to %d rows", s.Len())
+	}
+	if got := len(s.Col(0).Codes); got != 4 {
+		t.Fatalf("old snapshot text column has %d codes", got)
+	}
+	s2 := tbl.Snapshot()
+	if s2.Len() != 5 {
+		t.Fatalf("new snapshot Len = %d, want 5", s2.Len())
+	}
+	if s2.DictStr(s2.Col(0).Codes[4]) != "green" {
+		t.Fatalf("appended text decodes to %q", s2.DictStr(s2.Col(0).Codes[4]))
+	}
+}
+
+// TestSnapshotColumnsMirrorRows: typed columns, null bitmaps, and the
+// dictionary must agree with the row view element-for-element.
+func TestSnapshotColumnsMirrorRows(t *testing.T) {
+	tbl := snapFixture(t)
+	s := tbl.Snapshot()
+	for i := 0; i < s.Len(); i++ {
+		row := s.Row(i)
+		for ci := 0; ci < snapSchema.Len(); ci++ {
+			col := s.Col(ci)
+			if row[ci].IsNull() != col.Null(i) {
+				t.Fatalf("row %d col %d: null flag mismatch", i, ci)
+			}
+			if row[ci].IsNull() {
+				continue
+			}
+			switch col.Kind {
+			case value.KindText:
+				if s.DictStr(col.Codes[i]) != row[ci].AsText() {
+					t.Errorf("row %d: text %q decodes %q", i, row[ci].AsText(), s.DictStr(col.Codes[i]))
+				}
+			case value.KindInt:
+				if col.Ints[i] != row[ci].AsInt() {
+					t.Errorf("row %d: int %d vs %d", i, col.Ints[i], row[ci].AsInt())
+				}
+			case value.KindFloat:
+				if col.Floats[i] != row[ci].AsFloat() {
+					t.Errorf("row %d: float %g vs %g", i, col.Floats[i], row[ci].AsFloat())
+				}
+			case value.KindBool:
+				if col.Bools[i] != row[ci].AsBool() {
+					t.Errorf("row %d: bool mismatch", i)
+				}
+			}
+		}
+		if s.Weight(i) != float64(i)+0.5 {
+			t.Errorf("weight %d = %g", i, s.Weight(i))
+		}
+	}
+	// Dictionary interning: equal strings share one code.
+	c0 := s.Col(0)
+	if c0.Codes[0] != c0.Codes[3] {
+		t.Error("equal strings got different dictionary codes")
+	}
+	if c0.Codes[0] == c0.Codes[1] {
+		t.Error("distinct strings share a dictionary code")
+	}
+}
+
+// TestSnapshotCodesMatchHashKeys: the (class, bits) codes must induce
+// exactly the HashKey equivalence relation, row against row.
+func TestSnapshotCodesMatchHashKeys(t *testing.T) {
+	tbl := snapFixture(t)
+	s := tbl.Snapshot()
+	for ci := 0; ci < snapSchema.Len(); ci++ {
+		cls, bits := s.Codes(ci)
+		for i := 0; i < s.Len(); i++ {
+			for j := 0; j < s.Len(); j++ {
+				codeEq := cls[i] == cls[j] && bits[i] == bits[j]
+				keyEq := s.Row(i)[ci].HashKey() == s.Row(j)[ci].HashKey()
+				if codeEq != keyEq {
+					t.Errorf("col %d rows %d,%d: codeEq=%v keyEq=%v (%s vs %s)",
+						ci, i, j, codeEq, keyEq, s.Row(i)[ci], s.Row(j)[ci])
+				}
+			}
+		}
+	}
+}
+
+// TestBinnedCodesMatchMidpoints: binned codes equal the codes of the
+// SnapVals-style midpoint values.
+func TestBinnedCodesMatchMidpoints(t *testing.T) {
+	tbl := New("t", snapSchema)
+	for _, y := range []float64{0.01, 0.49, 0.5, 0.99, -0.3, 7.77} {
+		if err := tbl.Append([]value.Value{value.Text("s"), value.Int(int64(y * 10)), value.Float(y), value.Bool(true)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tbl.Snapshot()
+	const w = 0.5
+	cls, bits := s.BinnedCodes(2, w)
+	for i := 0; i < s.Len(); i++ {
+		if cls[i] != value.ClassNum {
+			t.Fatalf("row %d: class %v", i, cls[i])
+		}
+		f := s.Col(2).Floats[i]
+		// The contract is equality with the midpoint value's own code.
+		wantCls, wantBits, _ := value.Float((math.Floor(f/w) + 0.5) * w).ScalarBits()
+		if cls[i] != wantCls || bits[i] != wantBits {
+			t.Errorf("row %d: binned code mismatch for %g", i, f)
+		}
+	}
+}
+
+// TestSnapshotSafeAgainstConcurrentNullAppend: appending a NULL row must
+// not mutate bitmap words a live snapshot reads (run under -race).
+func TestSnapshotSafeAgainstConcurrentNullAppend(t *testing.T) {
+	tbl := snapFixture(t) // rows 1-2 already carry NULLs in-word
+	s := tbl.Snapshot()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if err := tbl.Append([]value.Value{value.Null(), value.Null(), value.Null(), value.Null()}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		for ci := 0; ci < snapSchema.Len(); ci++ {
+			col := s.Col(ci)
+			for r := 0; r < s.Len(); r++ {
+				if col.Null(r) != s.Row(r)[ci].IsNull() {
+					t.Fatalf("snapshot null flag drifted at row %d col %d", r, ci)
+				}
+			}
+		}
+	}
+	<-done
+}

@@ -14,20 +14,32 @@ import (
 	"mosaic/internal/value"
 )
 
-// Table is an append-only in-memory relation with per-tuple weights.
-// It is safe for concurrent readers; writers must be externally serialized
-// against readers (the engine holds a catalog lock during DDL/DML).
+// Table is an append-only in-memory relation with per-tuple weights. Rows
+// are stored twice: as the row view ([]value.Value per tuple, the mutation
+// and compatibility surface) and as typed column vectors (the scan surface,
+// see columns.go), both maintained on every append.
+//
+// Locking contract: the table is safe for concurrent readers; writers must
+// be externally serialized against readers (the engine holds its write lock
+// during DDL/DML while queries share the read lock). Hot loops should not
+// call Row/Weight per index — each call takes the RLock — but should take a
+// Snapshot once and scan it lock-free; Snapshot stays valid across appends
+// (appends land past its captured length) but not across in-place weight
+// mutation or Truncate, which the engine-level serialization prevents from
+// overlapping queries.
 type Table struct {
 	mu     sync.RWMutex
 	name   string
 	schema *schema.Schema
 	rows   [][]value.Value
 	wts    []float64
+	cols   []Column
+	dict   *Dict
 }
 
 // New creates an empty table with the given name and schema.
 func New(name string, s *schema.Schema) *Table {
-	return &Table{name: name, schema: s}
+	return &Table{name: name, schema: s, cols: newColumns(s), dict: NewDict()}
 }
 
 // Name returns the relation name.
@@ -58,8 +70,12 @@ func (t *Table) AppendWeighted(row []value.Value, w float64) error {
 		return fmt.Errorf("table %s: negative weight %g", t.name, w)
 	}
 	t.mu.Lock()
+	i := len(t.rows)
 	t.rows = append(t.rows, vr)
 	t.wts = append(t.wts, w)
+	for ci := range t.cols {
+		t.cols[ci].appendValue(i, vr[ci], t.dict)
+	}
 	t.mu.Unlock()
 	return nil
 }
@@ -193,11 +209,14 @@ func (t *Table) FloatColumn(name string) ([]float64, error) {
 	return out, nil
 }
 
-// Clone deep-copies the table under a new name, preserving weights.
+// Clone deep-copies the table under a new name, preserving weights. The
+// clone shares the source's string dictionary (codes are append-only, so
+// sharing is safe and keeps clone codes compatible with source snapshots).
 func (t *Table) Clone(name string) *Table {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	nt := New(name, t.schema)
+	nt.dict = t.dict
 	nt.rows = make([][]value.Value, len(t.rows))
 	nt.wts = make([]float64, len(t.wts))
 	for i, r := range t.rows {
@@ -206,6 +225,15 @@ func (t *Table) Clone(name string) *Table {
 		nt.rows[i] = rr
 	}
 	copy(nt.wts, t.wts)
+	for ci := range t.cols {
+		c := &t.cols[ci]
+		nc := &nt.cols[ci]
+		nc.Ints = append([]int64(nil), c.Ints...)
+		nc.Floats = append([]float64(nil), c.Floats...)
+		nc.Bools = append([]bool(nil), c.Bools...)
+		nc.Codes = append([]uint32(nil), c.Codes...)
+		nc.Nulls = append([]uint64(nil), c.Nulls...)
+	}
 	return nt
 }
 
@@ -214,5 +242,6 @@ func (t *Table) Truncate() {
 	t.mu.Lock()
 	t.rows = nil
 	t.wts = nil
+	t.cols = newColumns(t.schema)
 	t.mu.Unlock()
 }

@@ -107,6 +107,10 @@ type Options struct {
 	SWG SWGConfig
 	// IPF tunes SEMI-OPEN fitting.
 	IPF IPFOptions
+	// RowExec forces the legacy row-at-a-time executor, bypassing the
+	// vectorized columnar path. Answers are byte-identical either way; the
+	// switch exists for differential testing and benchmarking.
+	RowExec bool
 }
 
 // DB is a Mosaic database instance. It is safe for concurrent use: queries
@@ -134,6 +138,7 @@ func Open(opts *Options) *DB {
 		Workers:       o.Workers,
 		SWG:           o.SWG,
 		IPF:           o.IPF,
+		RowExec:       o.RowExec,
 	}}
 	db.engine.Store(core.NewEngine(db.opts))
 	return db

@@ -13,8 +13,10 @@ import (
 	"time"
 
 	"mosaic/internal/exec"
+	"mosaic/internal/marginal"
 	"mosaic/internal/schema"
 	"mosaic/internal/sql"
+	"mosaic/internal/swg"
 	"mosaic/internal/table"
 	"mosaic/internal/value"
 )
@@ -91,8 +93,10 @@ func buildExecTable(cfg ExecConfig) (*table.Table, error) {
 	return t, nil
 }
 
-// execBenchCases: scan-filter, group-by at three cardinalities, and the
-// headline 1M-row weighted group-by the acceptance gate tracks.
+// execBenchCases: scan-filter, group-by at three cardinalities, the headline
+// 1M-row weighted group-by, columnar sort / top-K / DISTINCT, and the
+// arithmetic WHERE kernels. "orderby-topk" is the acceptance gate for the
+// heap path: 1M-row ORDER BY ... LIMIT 10 must beat the row engine ≥ 5×.
 var execBenchCases = []struct{ name, query string }{
 	{"scan-filter", "SELECT COUNT(*) FROM t WHERE x > 500"},
 	{"scan-filter-text", "SELECT COUNT(*) FROM t WHERE c10 != 'g3' AND y < 75"},
@@ -101,29 +105,42 @@ var execBenchCases = []struct{ name, query string }{
 	{"groupby-100k", "SELECT c100k, COUNT(*), AVG(y) FROM t GROUP BY c100k"},
 	{"weighted-groupby", "SELECT c1k, COUNT(*), SUM(x), AVG(y) FROM t GROUP BY c1k"},
 	{"weighted-global", "SELECT COUNT(*), SUM(x), AVG(y), MIN(x), MAX(y) FROM t"},
+	{"orderby-topk", "SELECT c1k, x, y FROM t ORDER BY y DESC, x LIMIT 10"},
+	{"orderby-topk-filter", "SELECT c10, y FROM t WHERE x > 250 ORDER BY y LIMIT 100"},
+	{"orderby-full", "SELECT y FROM t ORDER BY y"},
+	{"distinct-1k", "SELECT DISTINCT c1k FROM t"},
+	{"distinct-orderby", "SELECT DISTINCT c10, c1k FROM t ORDER BY c10, c1k DESC LIMIT 50"},
+	{"arith-where", "SELECT COUNT(*) FROM t WHERE x * 2 > y + 500"},
+	{"arith-agg", "SELECT c10, SUM(x * 2), AVG(y / 2) FROM t GROUP BY c10"},
 }
 
-// timeRuns measures the median-free mean ms/op over enough iterations to
-// fill a modest time budget (minimum 3 runs).
+// timeRuns measures the mean ms/op of a query over enough iterations to
+// fill a modest time budget (minimum 3 runs, maximum 50).
 func timeRuns(t *table.Table, sel *sql.Select, opts exec.Options) (float64, *exec.Result, error) {
 	res, err := exec.Run(t, sel, opts) // warm-up, also the verification answer
 	if err != nil {
 		return 0, nil, err
 	}
+	ms, err := timeBudget(func() error {
+		_, err := exec.Run(t, sel, opts)
+		return err
+	})
+	return ms, res, err
+}
+
+// timeBudget runs fn repeatedly — at least 3 times, at most 50, stopping
+// once 600ms have elapsed — and returns the mean ms per run.
+func timeBudget(fn func() error) (float64, error) {
 	const budget = 600 * time.Millisecond
-	const minRuns = 3
-	var runs int
+	runs := 0
 	start := time.Now()
-	for runs = 0; runs < minRuns || time.Since(start) < budget; runs++ {
-		if _, err := exec.Run(t, sel, opts); err != nil {
-			return 0, nil, err
+	for runs < 3 || (time.Since(start) < budget && runs < 50) {
+		if err := fn(); err != nil {
+			return 0, err
 		}
-		if runs >= 50 {
-			break
-		}
+		runs++
 	}
-	ms := float64(time.Since(start).Microseconds()) / 1000 / float64(runs)
-	return ms, res, nil
+	return float64(time.Since(start).Microseconds()) / 1000 / float64(runs), nil
 }
 
 // RunExecMicro measures the executor paths against each other.
@@ -164,5 +181,110 @@ func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
 			Match:   rowRes.String() == vecRes.String(),
 		})
 	}
+	genCase, err := runOpenGenCase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Cases = append(out.Cases, genCase)
+	// The byte-verification is the point of the exercise: a divergence
+	// between the two executors (or the two decode paths) must fail the
+	// run, not just flip a JSON field — CI leans on this as a differential
+	// check.
+	for _, c := range out.Cases {
+		if !c.Match {
+			return nil, fmt.Errorf("bench exec %s: row and vectorized answers DIVERGED (query: %s)", c.Name, c.Query)
+		}
+	}
 	return out, nil
+}
+
+// runOpenGenCase races the two OPEN replicate materialization paths on one
+// pre-generated encoded batch: the retired row-append decode (per-row
+// validation, locking, dictionary lookups) against the column-native decode
+// that writes straight into typed column builders. The generator network is
+// untrained — decode cost does not depend on the weights — and byte-equality
+// of the two tables is verified before timing is reported.
+func runOpenGenCase(cfg ExecConfig) (ExecCase, error) {
+	sampleN := 2000
+	genN := cfg.Rows / 5
+	if genN < 1000 {
+		genN = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := schema.MustNew(
+		schema.Attribute{Name: "c", Kind: value.KindText},
+		schema.Attribute{Name: "x", Kind: value.KindInt},
+		schema.Attribute{Name: "y", Kind: value.KindFloat},
+	)
+	sample := table.New("s", sc)
+	for i := 0; i < sampleN; i++ {
+		row := []value.Value{
+			value.Text(fmt.Sprintf("g%d", rng.Intn(10))),
+			value.Int(int64(rng.Intn(1000))),
+			value.Float(rng.Float64() * 100),
+		}
+		if err := sample.Append(row); err != nil {
+			return ExecCase{}, err
+		}
+	}
+	mc, err := marginal.FromTable("mc", sample, []string{"c"})
+	if err != nil {
+		return ExecCase{}, err
+	}
+	model, err := swg.New(sample, []*marginal.Marginal{mc}, swg.Config{
+		Hidden: []int{8}, Latent: 2, Projections: 4, Epochs: 1, BatchSize: 512, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return ExecCase{}, err
+	}
+	enc := model.GenerateEncodedSeeded(genN, cfg.Seed)
+
+	rowT, err := model.DecodeTableRowAppend("g", enc)
+	if err != nil {
+		return ExecCase{}, err
+	}
+	colT, err := model.DecodeTable("g", enc, 1)
+	if err != nil {
+		return ExecCase{}, err
+	}
+	match := tablesEqual(rowT, colT)
+
+	rowMs, err := timeBudget(func() error { _, err := model.DecodeTableRowAppend("g", enc); return err })
+	if err != nil {
+		return ExecCase{}, err
+	}
+	vecMs, err := timeBudget(func() error { _, err := model.DecodeTable("g", enc, 1); return err })
+	if err != nil {
+		return ExecCase{}, err
+	}
+	return ExecCase{
+		Name:    "open-gen-decode",
+		Query:   fmt.Sprintf("swg decode of %d generated tuples: row-append vs column-native", genN),
+		Rows:    genN,
+		Groups:  genN,
+		RowMs:   rowMs,
+		VecMs:   vecMs,
+		Speedup: rowMs / vecMs,
+		Match:   match,
+	}, nil
+}
+
+// tablesEqual compares two tables value-for-value (rows, weights, kinds).
+func tablesEqual(a, b *table.Table) bool {
+	if a.Len() != b.Len() || !a.Schema().Equal(b.Schema()) {
+		return false
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for i := 0; i < sa.Len(); i++ {
+		if sa.Weight(i) != sb.Weight(i) {
+			return false
+		}
+		ra, rb := sa.Row(i), sb.Row(i)
+		for j := range ra {
+			if ra[j].Kind() != rb[j].Kind() || !value.Equal(ra[j], rb[j]) {
+				return false
+			}
+		}
+	}
+	return true
 }

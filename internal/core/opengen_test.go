@@ -1,0 +1,90 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var updateOpenGolden = flag.Bool("update-open-golden", false, "rewrite testdata/opengen_golden.txt from the current engine output")
+
+// openGenQueries drive every OPEN generation surface: grouped aggregates,
+// global aggregates, a derived population, and the non-aggregate replicate
+// path (which returns generated tuples directly, so any drift in the
+// column-native generation bytes shows up immediately).
+var openGenQueries = []string{
+	`SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp`,
+	`SELECT OPEN v, COUNT(*) AS cnt, AVG(z) FROM World GROUP BY v ORDER BY v`,
+	`SELECT OPEN COUNT(*), AVG(z), MIN(v), MAX(z) FROM World WHERE grp != 'b'`,
+	`SELECT OPEN COUNT(*) FROM Agroup`,
+	`SELECT OPEN grp, v, z FROM World LIMIT 6`,
+}
+
+// renderOpenGen renders all OPEN answers of one engine into the golden
+// format: bit-exact per-value rendering (renderRows), one block per query.
+func renderOpenGen(t *testing.T, e *Engine) string {
+	t.Helper()
+	var b strings.Builder
+	for _, q := range openGenQueries {
+		b.WriteString("-- ")
+		b.WriteString(q)
+		b.WriteString("\n")
+		b.WriteString(renderRows(query(t, e, q)))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestOpenGenerationGolden is the seeded-determinism regression gate for
+// column-native OPEN generation: answers must be identical for every worker
+// count AND identical to the committed golden file, which was produced by
+// the pre-change row-append generation path. A diff here means generation
+// bytes drifted across PRs — never acceptable for a fixed seed.
+//
+// The golden pins float-exact output and therefore assumes amd64 float
+// semantics (the committed file and CI agree); other architectures only
+// check cross-worker agreement.
+func TestOpenGenerationGolden(t *testing.T) {
+	rendered := map[int]string{}
+	for _, workers := range []int{1, 2, 4} {
+		e := columnarWorld(t, false)
+		e.opts.Workers = workers
+		rendered[workers] = renderOpenGen(t, e)
+	}
+	for _, workers := range []int{2, 4} {
+		if rendered[workers] != rendered[1] {
+			t.Fatalf("workers=%d OPEN generation differs from workers=1:\n%s\nvs\n%s",
+				workers, rendered[workers], rendered[1])
+		}
+	}
+	// The row executor must see the very same generated tables.
+	eRow := columnarWorld(t, true)
+	if got := renderOpenGen(t, eRow); got != rendered[1] {
+		t.Fatalf("row-executor engine renders different OPEN answers:\n%s\nvs\n%s", got, rendered[1])
+	}
+
+	goldenPath := filepath.Join("testdata", "opengen_golden.txt")
+	if *updateOpenGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(rendered[1]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-open-golden to create): %v", err)
+	}
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden comparison pinned to amd64 float semantics, running on %s", runtime.GOARCH)
+	}
+	if string(want) != rendered[1] {
+		t.Fatalf("OPEN generation drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", rendered[1], want)
+	}
+}

@@ -443,15 +443,14 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 
 // openReplicate generates OPEN replicate r and answers q over it. Eval-mode
 // generation is read-only on the model, so replicates run concurrently.
+// Generation is column-native: sampled tuples decode straight into typed
+// column builders at their final uniform weight popTotal/n ("uniformly
+// reweight the generated sample to match the size of the population"), so
+// the replicate table is born columnar with no per-row append and no second
+// reweighting pass.
 func (e *Engine) openReplicate(ctx *planContext, model *swg.Model, q *sql.Select, r, n int, popTotal float64) (*exec.Result, error) {
-	gen, err := model.GenerateSeeded(fmt.Sprintf("%s_gen%d", ctx.sample.Name, r), n, replicateSeed(e.opts.Seed, r))
+	gen, err := model.GenerateSeededWeighted(fmt.Sprintf("%s_gen%d", ctx.sample.Name, r), n, replicateSeed(e.opts.Seed, r), popTotal/float64(n))
 	if err != nil {
-		return nil, err
-	}
-	// Uniform reweighting of the generated sample to the population size
-	// ("uniformly reweight the generated sample to match the size of the
-	// population").
-	if err := gen.ResetWeights(popTotal / float64(n)); err != nil {
 		return nil, err
 	}
 	return exec.Run(gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})

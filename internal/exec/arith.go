@@ -1,0 +1,409 @@
+// Arithmetic vector kernels: +, -, *, /, % over typed columns.
+//
+// A numVec is one numeric operand of a WHERE comparison (or an aggregate
+// input) materialized as a typed vector: int64 when the whole expression
+// stays in exact integer arithmetic, float64 otherwise, with null and error
+// bitmaps on the side. The compiler mirrors expr.evalArith exactly — INT op
+// INT stays int64 (including wraparound) except division, everything else
+// computes through float64 in the interpreter's operand order — so results
+// are bit-identical to the row path. The only dynamic error arithmetic over
+// numeric columns can raise is division by zero; rows that would raise it
+// carry an error bit, which the consuming kernels turn into ternErr.
+package exec
+
+import (
+	"errors"
+	"math"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/value"
+)
+
+// errDivisionByZero is the vectorized twin of the interpreter's division
+// error; the messages must match byte for byte (the differential harness
+// compares error strings across the two executors).
+var errDivisionByZero = errors.New("expr: division by zero")
+
+// numVec is a materialized numeric operand: exactly one of ints/floats is
+// set. Bitmaps are 64 rows per word; nil means "no bits set". Payload and
+// bitmap slices may be shared with the snapshot's columns and must not be
+// mutated.
+type numVec struct {
+	isInt  bool
+	ints   []int64
+	floats []float64
+	nulls  []uint64
+	errs   []uint64 // rows that raise "expr: division by zero"
+}
+
+func bitGet(bm []uint64, i int) bool {
+	if bm == nil {
+		return false
+	}
+	w := i >> 6
+	if w >= len(bm) {
+		return false
+	}
+	return bm[w]&(1<<(uint(i)&63)) != 0
+}
+
+func bitSet(bm []uint64, i int) {
+	bm[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func newBitmap(n int) []uint64 { return make([]uint64, (n+63)/64) }
+
+// orBits merges two bitmaps (either may be nil, lengths may differ).
+func orBits(a, b []uint64, n int) []uint64 {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := newBitmap(n)
+	copy(out, a)
+	for i := range b {
+		if i < len(out) {
+			out[i] |= b[i]
+		}
+	}
+	return out
+}
+
+// overlayBits writes v into dst wherever the bitmap is set.
+func overlayBits(dst []int8, bm []uint64, v int8) {
+	if bm == nil {
+		return
+	}
+	for i := range dst {
+		if bitGet(bm, i) {
+			dst[i] = v
+		}
+	}
+}
+
+// floatView returns the vector's values as float64s, converting an int
+// vector once (the coercion value.Compare applies to mixed comparisons).
+func (v *numVec) floatView() []float64 {
+	if !v.isInt {
+		return v.floats
+	}
+	out := make([]float64, len(v.ints))
+	for i, x := range v.ints {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// compileNum compiles e into a numeric vector, or returns nil when e falls
+// outside the arithmetic kernel set (non-numeric operands, unknown columns,
+// aggregates — the caller then declines and the interpreter reproduces the
+// exact per-row semantics, including lazy errors).
+func (c *kernelCompiler) compileNum(e expr.Expr) *numVec {
+	if v, ok := foldConst(e); ok {
+		return c.numConst(v)
+	}
+	switch ex := e.(type) {
+	case *expr.Column:
+		ref, ok := c.resolve(ex.Name)
+		if !ok {
+			return nil
+		}
+		switch {
+		case ref.isWeight:
+			return &numVec{floats: ref.weight}
+		case ref.kind == value.KindInt:
+			return &numVec{isInt: true, ints: ref.col.Ints, nulls: ref.col.Nulls}
+		case ref.kind == value.KindFloat:
+			return &numVec{floats: ref.col.Floats, nulls: ref.col.Nulls}
+		default:
+			return nil // arithmetic on BOOL/TEXT errors per row: interpreted fallback
+		}
+	case *expr.Unary:
+		if !ex.Neg {
+			return nil // NOT yields BOOL; arithmetic on it errors per row
+		}
+		child := c.compileNum(ex.Child)
+		if child == nil {
+			return nil
+		}
+		out := &numVec{isInt: child.isInt, nulls: child.nulls, errs: child.errs}
+		if child.isInt {
+			out.ints = make([]int64, len(child.ints))
+			for i, x := range child.ints {
+				out.ints[i] = -x
+			}
+		} else {
+			out.floats = make([]float64, len(child.floats))
+			for i, x := range child.floats {
+				out.floats[i] = -x
+			}
+		}
+		return out
+	case *expr.Binary:
+		switch ex.Op {
+		case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv, expr.OpMod:
+		default:
+			return nil // comparisons/logic yield BOOL
+		}
+		l := c.compileNum(ex.Left)
+		if l == nil {
+			return nil
+		}
+		r := c.compileNum(ex.Right)
+		if r == nil {
+			return nil
+		}
+		return c.numArith(ex.Op, l, r)
+	default:
+		return nil
+	}
+}
+
+// numConst broadcasts a constant. NULL becomes an all-null vector (NULL
+// propagates through arithmetic, so payload values are never observed).
+func (c *kernelCompiler) numConst(v value.Value) *numVec {
+	n := c.n
+	switch v.Kind() {
+	case value.KindInt:
+		xs := make([]int64, n)
+		x := v.AsInt()
+		for i := range xs {
+			xs[i] = x
+		}
+		return &numVec{isInt: true, ints: xs}
+	case value.KindFloat:
+		xs := make([]float64, n)
+		x := v.AsFloat()
+		for i := range xs {
+			xs[i] = x
+		}
+		return &numVec{floats: xs}
+	case value.KindNull:
+		nulls := newBitmap(n)
+		for i := range nulls {
+			nulls[i] = ^uint64(0)
+		}
+		return &numVec{floats: make([]float64, n), nulls: nulls}
+	default:
+		return nil // BOOL/TEXT constants are not arithmetic operands
+	}
+}
+
+// numArith applies one arithmetic operator elementwise, mirroring
+// expr.evalArith: NULL-before-error (a NULL operand yields NULL even when
+// the divisor is zero), exact int64 arithmetic for INT op INT except /, and
+// float64 otherwise.
+func (c *kernelCompiler) numArith(op expr.BinOp, l, r *numVec) *numVec {
+	n := c.n
+	out := &numVec{
+		nulls: orBits(l.nulls, r.nulls, n),
+		errs:  orBits(l.errs, r.errs, n),
+	}
+	if l.isInt && r.isInt && op != expr.OpDiv {
+		out.isInt = true
+		out.ints = make([]int64, n)
+		switch op {
+		case expr.OpAdd:
+			for i := range out.ints {
+				out.ints[i] = l.ints[i] + r.ints[i]
+			}
+		case expr.OpSub:
+			for i := range out.ints {
+				out.ints[i] = l.ints[i] - r.ints[i]
+			}
+		case expr.OpMul:
+			for i := range out.ints {
+				out.ints[i] = l.ints[i] * r.ints[i]
+			}
+		case expr.OpMod:
+			out.errs = ownBits(out.errs, n)
+			for i := range out.ints {
+				if r.ints[i] == 0 {
+					if !bitGet(out.nulls, i) {
+						bitSet(out.errs, i)
+					}
+					continue
+				}
+				out.ints[i] = l.ints[i] % r.ints[i]
+			}
+		}
+		return out
+	}
+	lf, rf := l.floatView(), r.floatView()
+	out.floats = make([]float64, n)
+	switch op {
+	case expr.OpAdd:
+		for i := range out.floats {
+			out.floats[i] = lf[i] + rf[i]
+		}
+	case expr.OpSub:
+		for i := range out.floats {
+			out.floats[i] = lf[i] - rf[i]
+		}
+	case expr.OpMul:
+		for i := range out.floats {
+			out.floats[i] = lf[i] * rf[i]
+		}
+	case expr.OpDiv, expr.OpMod:
+		mod := op == expr.OpMod
+		out.errs = ownBits(out.errs, n)
+		for i := range out.floats {
+			if rf[i] == 0 {
+				if !bitGet(out.nulls, i) {
+					bitSet(out.errs, i)
+				}
+				continue
+			}
+			if mod {
+				out.floats[i] = math.Mod(lf[i], rf[i])
+			} else {
+				out.floats[i] = lf[i] / rf[i]
+			}
+		}
+	}
+	return out
+}
+
+// ownBits returns a full-width, privately owned copy of bm (which may be nil
+// or shared with a child vector) so the caller can set bits into it.
+func ownBits(bm []uint64, n int) []uint64 {
+	out := newBitmap(n)
+	copy(out, bm)
+	return out
+}
+
+// --- kernels over numeric vectors ---
+
+// cmpNumNumKernel compares two numeric vectors with value.Compare semantics:
+// exact int64 when both sides stayed integer, float64 (NaN comparing equal
+// to everything, like the interpreter's "neither smaller") otherwise.
+type cmpNumNumKernel struct {
+	a, b *numVec
+	lut  [3]int8
+}
+
+func (k *cmpNumNumKernel) eval(dst []int8) {
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	if k.a.isInt && k.b.isInt {
+		for i := range dst {
+			x, y := k.a.ints[i], k.b.ints[i]
+			switch {
+			case x < y:
+				dst[i] = lo
+			case x > y:
+				dst[i] = hi
+			default:
+				dst[i] = eq
+			}
+		}
+	} else {
+		xf, yf := k.a.floatView(), k.b.floatView()
+		for i := range dst {
+			x, y := xf[i], yf[i]
+			switch {
+			case x < y:
+				dst[i] = lo
+			case x > y:
+				dst[i] = hi
+			default:
+				dst[i] = eq
+			}
+		}
+	}
+	overlayBits(dst, k.a.nulls, ternNull)
+	overlayBits(dst, k.b.nulls, ternNull)
+	overlayBits(dst, k.a.errs, ternErr)
+	overlayBits(dst, k.b.errs, ternErr)
+}
+
+// truthNumKernel is WHERE truthiness of an arithmetic expression.
+type truthNumKernel struct{ v *numVec }
+
+func (k *truthNumKernel) eval(dst []int8) {
+	if k.v.isInt {
+		for i, x := range k.v.ints {
+			dst[i] = ternOf(x != 0)
+		}
+	} else {
+		for i, x := range k.v.floats {
+			dst[i] = ternOf(x != 0)
+		}
+	}
+	overlayBits(dst, k.v.nulls, ternNull)
+	overlayBits(dst, k.v.errs, ternErr)
+}
+
+// inNumKernel is IN-list membership of an arithmetic expression, with the
+// same exact-int/float asymmetry — and NaN rules — as inIntKernel and
+// inFloatKernel.
+type inNumKernel struct {
+	v       *numVec
+	ints    map[int64]bool
+	floats  map[uint64]bool
+	anyNum  bool
+	nanItem bool
+	sawNull bool
+	negate  bool
+}
+
+func (k *inNumKernel) eval(dst []int8) {
+	match, miss := ternOf(!k.negate), ternOf(k.negate)
+	if k.sawNull {
+		miss = ternNull
+	}
+	if k.v.isInt {
+		for i, x := range k.v.ints {
+			hit := k.nanItem || k.ints[x]
+			if !hit && len(k.floats) > 0 {
+				hit = k.floats[eqBits(float64(x))]
+			}
+			if hit {
+				dst[i] = match
+			} else {
+				dst[i] = miss
+			}
+		}
+	} else {
+		for i, x := range k.v.floats {
+			if k.nanItem || k.floats[eqBits(x)] || (k.anyNum && math.IsNaN(x)) {
+				dst[i] = match
+			} else {
+				dst[i] = miss
+			}
+		}
+	}
+	overlayBits(dst, k.v.nulls, ternNull)
+	overlayBits(dst, k.v.errs, ternErr)
+}
+
+// isNullNumKernel is IS [NOT] NULL over an arithmetic expression.
+type isNullNumKernel struct {
+	v      *numVec
+	negate bool
+}
+
+func (k *isNullNumKernel) eval(dst []int8) {
+	base := ternOf(k.negate)
+	for i := range dst {
+		dst[i] = base
+	}
+	overlayBits(dst, k.v.nulls, ternOf(!k.negate))
+	overlayBits(dst, k.v.errs, ternErr)
+}
+
+// constWithErrsKernel is a constant outcome except on error rows (a BETWEEN
+// with a NULL bound over an arithmetic child: the child still evaluates
+// first, so its division errors must surface).
+type constWithErrsKernel struct {
+	v    int8
+	errs []uint64
+}
+
+func (k *constWithErrsKernel) eval(dst []int8) {
+	for i := range dst {
+		dst[i] = k.v
+	}
+	overlayBits(dst, k.errs, ternErr)
+}

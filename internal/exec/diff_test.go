@@ -109,8 +109,31 @@ var diffWheres = []string{
 	"WHERE -x",
 	"WHERE 1",
 	"WHERE NULL",
-	"WHERE x + 1 > y", // arithmetic: interpreted fallback
+	// Arithmetic kernels (and their fallback edges).
+	"WHERE x + 1 > y",
+	"WHERE x * 2 > y + 1",
 	"WHERE (x * 2) IN (4, 8)",
+	"WHERE x % 5 = 0",
+	"WHERE (x + y) / 2 >= 1",
+	"WHERE x / 4 > 10 OR y * -1 < 0",
+	"WHERE -(x + 1) < 0",
+	"WHERE x + 1 IS NULL",
+	"WHERE x + 1 IS NOT NULL",
+	"WHERE x * 2 BETWEEN 10 AND 100",
+	"WHERE y - 0.5 NOT BETWEEN 0 AND 1",
+	"WHERE x * 2 BETWEEN NULL AND 100",
+	"WHERE x + NULL > 3",
+	"WHERE x + y",
+	"WHERE x - x",
+	"WHERE 2 + 3 > 4",              // constant-folds to TRUE
+	"WHERE x / n > 2",              // n has zeros: division-by-zero error on both paths
+	"WHERE n IS NULL OR x / n > 2", // error suppressed only where short-circuited? no: OR evaluates both arms
+	"WHERE x > 0 AND x / 0 > 1",    // constant zero divisor behind an AND
+	"WHERE x % n = 1",              // modulo by zero error
+	"WHERE x / 0 > 1",
+	"WHERE WEIGHT * 2 > 1",
+	"WHERE x + c > 1",  // arithmetic on TEXT: lazy per-row error on both paths
+	"WHERE b + 1 > 0",  // arithmetic on BOOL: lazy per-row error on both paths
 	"WHERE nosuch > 1", // unknown column: lazy per-row error on both paths
 }
 
@@ -131,9 +154,39 @@ var diffShapes = []string{
 	"SELECT c, n, b, COUNT(*) FROM t %s GROUP BY c, n, b",
 	"SELECT b, MIN(y), MAX(n) FROM t %s GROUP BY b ORDER BY b DESC",
 	"SELECT c FROM t %s GROUP BY c",
-	"SELECT AVG(c) FROM t %s",     // SUM/AVG over TEXT: lazy error, row path on both sides
-	"SELECT SUM(x + y) FROM t %s", // non-column aggregate input: row path
+	"SELECT AVG(c) FROM t %s", // SUM/AVG over TEXT: lazy error, row path on both sides
 	"SELECT c, COUNT(*) FROM t %s GROUP BY c HAVING c > 'g2'",
+	// Columnar ORDER BY / top-K: every kind as a key, ties, DESC, NULL
+	// ordering, LIMIT 0 / 1 / oversized, and computed-item fallbacks.
+	"SELECT x, y FROM t %s ORDER BY y LIMIT 10",
+	"SELECT * FROM t %s ORDER BY y DESC, x LIMIT 3",
+	"SELECT c, x FROM t %s ORDER BY c, x DESC",
+	"SELECT x FROM t %s ORDER BY x LIMIT 0",
+	"SELECT x FROM t %s ORDER BY x LIMIT 1",
+	"SELECT n, b FROM t %s ORDER BY n DESC, b LIMIT 1000000",
+	"SELECT c, WEIGHT FROM t %s ORDER BY WEIGHT DESC, c LIMIT 6",
+	"SELECT b, c FROM t %s ORDER BY b, c DESC LIMIT 8",
+	"SELECT x AS a, y AS a FROM t %s ORDER BY a LIMIT 5", // duplicate output name: first wins
+	"SELECT x + 1 AS z, y FROM t %s ORDER BY z LIMIT 5",  // computed item: materialized sort
+	"SELECT x, y FROM t %s ORDER BY x + 1 LIMIT 5",       // expression key: generic fallback
+	"SELECT x FROM t %s ORDER BY nosuch",                 // unresolvable key: same lazy error
+	"SELECT * FROM t %s LIMIT 2",
+	// Columnar DISTINCT (densified) and its fallbacks.
+	"SELECT DISTINCT c FROM t %s ORDER BY c DESC LIMIT 4",
+	"SELECT DISTINCT n, b FROM t %s",
+	"SELECT DISTINCT y FROM t %s ORDER BY y LIMIT 1000000",
+	"SELECT DISTINCT * FROM t %s ORDER BY x LIMIT 7",
+	"SELECT DISTINCT c, WEIGHT FROM t %s ORDER BY c LIMIT 5", // WEIGHT item: dedup fallback
+	"SELECT DISTINCT x %% 3 AS r FROM t %s ORDER BY r",       // computed item: dedup fallback
+	// Aggregate ORDER BY + LIMIT rides the generic top-K heap.
+	"SELECT y, COUNT(*) AS cnt FROM t %s GROUP BY y ORDER BY cnt DESC, y LIMIT 4",
+	"SELECT x, AVG(y) AS m FROM t %s GROUP BY x ORDER BY m LIMIT 6",
+	// Arithmetic aggregate inputs on the vectorized path.
+	"SELECT SUM(x + y) FROM t %s",
+	"SELECT c, SUM(x * 2), AVG(y / 2), MIN(x - n), MAX(x %% 7) FROM t %s GROUP BY c",
+	"SELECT COUNT(y * 2), SUM(WEIGHT + 1) FROM t %s",
+	"SELECT SUM(x / n) FROM t %s", // division by zero in the aggregate input
+	"SELECT c, MIN(x + NULL) FROM t %s GROUP BY c",
 }
 
 // runBoth executes sel on both executor paths and requires byte-identical
@@ -194,6 +247,83 @@ func TestRowVsVectorGrid(t *testing.T) {
 	}
 }
 
+// nanTable is diffTable with NaN values mixed into the float column — the
+// one value under which value.Compare is not a strict weak order, so it
+// stresses the sort paths' NaN guards (heap top-K must refuse; the
+// permutation sort must still match the row engine's stable sort bit for
+// bit) and NaN group identity.
+func nanTable(tb testing.TB, n int, seed int64) *table.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	t := table.New("t", diffSchema)
+	for i := 0; i < n; i++ {
+		row := make([]value.Value, 5)
+		row[0] = value.Text(fmt.Sprintf("g%d", rng.Intn(4)))
+		row[1] = value.Int(int64(rng.Intn(20) - 10))
+		switch rng.Intn(4) {
+		case 0:
+			row[2] = value.Float(math.NaN())
+		case 1:
+			row[2] = value.Null()
+		default:
+			row[2] = value.Float(float64(rng.Intn(16)) / 4)
+		}
+		row[3] = value.Bool(rng.Intn(2) == 0)
+		row[4] = value.Int(int64(rng.Intn(3)))
+		if err := t.AppendWeighted(row, float64(rng.Intn(4))/2); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return t
+}
+
+// TestRowVsVectorNaN runs the sort/distinct/arith shapes over a table whose
+// float column contains NaNs (and, separately, a NaN weight override).
+func TestRowVsVectorNaN(t *testing.T) {
+	tbl := nanTable(t, 300, 11)
+	shapes := []string{
+		"SELECT x, y FROM t %s ORDER BY y LIMIT 10",
+		"SELECT * FROM t %s ORDER BY y DESC, x LIMIT 5",
+		"SELECT y FROM t %s ORDER BY y",
+		"SELECT DISTINCT y FROM t %s",
+		"SELECT DISTINCT y FROM t %s ORDER BY y LIMIT 3",
+		"SELECT y, COUNT(*) FROM t %s GROUP BY y ORDER BY y LIMIT 7",
+		"SELECT c, AVG(y) AS m FROM t %s GROUP BY c ORDER BY m LIMIT 2", // NaN aggregate keys hit the generic guard
+		"SELECT SUM(y * 2), MIN(y + 1) FROM t %s",
+		"SELECT c, WEIGHT FROM t %s ORDER BY WEIGHT, c LIMIT 4",
+	}
+	wheres := []string{
+		"", "WHERE y = y", "WHERE y * 2 > 1", "WHERE x % 3 = 0",
+		// NaN membership: under value.Equal a NaN child matches ANY numeric
+		// item, so the hash-set kernels need their NaN flags.
+		"WHERE y IN (1.5, 2)",
+		"WHERE y NOT IN (1.5, 2)",
+		"WHERE y * 1 IN (1.5, 2)",
+		"WHERE y IN (1.5, NULL)",
+		"WHERE y IN ('a', TRUE)", // no numeric item: NaN must NOT match
+		// A NaN list item (Inf - Inf folds to NaN) matches every numeric
+		// child, float and int alike.
+		"WHERE y IN (2, 1e308 * 2 - 1e308 * 2)",
+		"WHERE x IN (1e308 * 2 - 1e308 * 2)",
+		"WHERE x * 1 IN (7, 1e308 * 2 - 1e308 * 2)",
+		"WHERE y BETWEEN 1e308 * 2 - 1e308 * 2 AND 5",
+	}
+	nanOverride := make([]float64, 300)
+	for i := range nanOverride {
+		nanOverride[i] = float64(i%5) / 2
+		if i%17 == 0 {
+			nanOverride[i] = math.NaN()
+		}
+	}
+	for _, shape := range shapes {
+		for _, where := range wheres {
+			src := fmt.Sprintf(shape, where)
+			runBoth(t, tbl, src, Options{Weighted: true})
+			runBoth(t, tbl, src, Options{Weighted: true, WeightOverride: nanOverride})
+		}
+	}
+}
+
 // FuzzRowVsVector feeds arbitrary SQL through both executors; any accepted
 // SELECT must produce identical outcomes. Seeded from the grid plus the
 // parser fuzz corpus style of inputs.
@@ -206,6 +336,9 @@ func FuzzRowVsVector(f *testing.F) {
 	f.Add("SELECT OPEN c, COUNT(*) FROM t GROUP BY c")
 	f.Add("SELECT x FROM t WHERE x IN (1, 'one', TRUE, NULL)")
 	f.Add("SELECT MAX(c) FROM t WHERE c BETWEEN 'a' AND 'z' GROUP BY b")
+	f.Add("SELECT DISTINCT c, b FROM t WHERE x % 3 = 1 ORDER BY c DESC, b LIMIT 4")
+	f.Add("SELECT x, y FROM t WHERE x * 2 > y + 1 ORDER BY y DESC, x LIMIT 7")
+	f.Add("SELECT SUM(x / n), MIN(x % 7) FROM t GROUP BY b ORDER BY MIN(x % 7) LIMIT 2")
 	tbl := diffTable(f, 200, 7)
 	f.Fuzz(func(t *testing.T, src string) {
 		sel, err := sql.ParseQuery(src)
@@ -227,6 +360,34 @@ func FuzzRowVsVector(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestAggErrOrderWithInterpretedFilter pins the error-ordering rule for
+// vectorized aggregate inputs: when the WHERE needs the interpreted fallback
+// (here: TEXT arithmetic in one OR arm) and the aggregate input can divide
+// by zero, only the row path's interleaved evaluation knows which error
+// surfaces first — row 0 passes WHERE via short-circuit and its aggregate
+// input divides by zero, while row 1's WHERE raises the TEXT error. The
+// vectorized path must fall back rather than evaluate the whole WHERE
+// first.
+func TestAggErrOrderWithInterpretedFilter(t *testing.T) {
+	tbl := table.New("t", diffSchema)
+	rows := [][]value.Value{
+		// c, x, y, b, n — row 0: WHERE left arm 20/5 > 2 short-circuits TRUE,
+		// SUM(x / y) hits 20/0.
+		{value.Text("g"), value.Int(20), value.Float(0), value.Bool(true), value.Int(5)},
+		// row 1: left arm 1/1 > 2 is FALSE, right arm c + 1 errors on TEXT.
+		{value.Text("g"), value.Int(1), value.Float(1), value.Bool(true), value.Int(1)},
+	}
+	for _, r := range rows {
+		if err := tbl.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runBoth(t, tbl, "SELECT SUM(x / y) FROM t WHERE x / n > 2 OR c + 1 > 0", Options{Weighted: true})
+	// Same shape with a kernel-compilable filter: both errors are
+	// division-by-zero, so the vectorized path may serve it.
+	runBoth(t, tbl, "SELECT SUM(x / y) FROM t WHERE x / n > 2 OR x > 0", Options{Weighted: true})
 }
 
 // TestInExactIntMembership pins value.Equal's exact INT-vs-INT comparison

@@ -111,6 +111,7 @@ func RunSnapshot(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, 
 	if opts.WeightOverride != nil && len(opts.WeightOverride) != snap.Len() {
 		return nil, fmt.Errorf("exec: weight override has %d entries for %d rows", len(opts.WeightOverride), snap.Len())
 	}
+	sel = foldSelect(sel)
 	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
 		if !opts.ForceRow {
 			if res, handled, err := runAggregateVector(snap, sel, opts); handled {
@@ -125,6 +126,64 @@ func RunSnapshot(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, 
 		}
 	}
 	return runProjection(snap, sel, opts)
+}
+
+// foldSelect constant-folds every evaluable expression of sel once per
+// query — WHERE, HAVING, ORDER BY keys, and select items — so both executor
+// paths evaluate pre-folded trees. Folding never changes semantics
+// (expr.Fold leaves erroring constants and short-circuit behavior intact)
+// and never changes output column names: an item whose expression folds gets
+// its original rendering pinned as an alias first. sel is not mutated; the
+// original is returned unchanged when nothing folds.
+func foldSelect(sel *sql.Select) *sql.Select {
+	out := *sel
+	changed := false
+	if sel.Where != nil {
+		if f := expr.Fold(sel.Where); f != sel.Where {
+			out.Where = f
+			changed = true
+		}
+	}
+	if sel.Having != nil {
+		if f := expr.Fold(sel.Having); f != sel.Having {
+			out.Having = f
+			changed = true
+		}
+	}
+	orderCopied := false
+	for i, o := range sel.OrderBy {
+		if f := expr.Fold(o.Expr); f != o.Expr {
+			if !orderCopied {
+				out.OrderBy = append([]sql.OrderItem(nil), sel.OrderBy...)
+				orderCopied = true
+			}
+			out.OrderBy[i].Expr = f
+			changed = true
+		}
+	}
+	itemsCopied := false
+	for i, it := range sel.Items {
+		if it.Expr == nil {
+			continue
+		}
+		f := expr.Fold(it.Expr)
+		if f == it.Expr {
+			continue
+		}
+		if !itemsCopied {
+			out.Items = append([]sql.SelectItem(nil), sel.Items...)
+			itemsCopied = true
+		}
+		if out.Items[i].Alias == "" {
+			out.Items[i].Alias = it.Name()
+		}
+		out.Items[i].Expr = f
+		changed = true
+	}
+	if !changed {
+		return sel
+	}
+	return &out
 }
 
 // bindingSchema exposes WEIGHT as a pseudo-column so predicates and
@@ -522,6 +581,10 @@ func outputSchema(cols []string) *schema.Schema {
 // result's output columns. The OPEN path combines per-replicate answers
 // first and only then applies these clauses: running them per replicate
 // would drop groups before the intersect-and-average protocol sees them.
+//
+// Sorting obeys the engine-wide tie-break contract (see orderAndLimit): rows
+// with equal ORDER BY keys keep their pre-sort order, so OPEN answers sort
+// exactly like single-engine answers over the same combined rows.
 func ApplyPostAggregation(res *Result, sel *sql.Select) error {
 	if sel.Having != nil {
 		outSchema := outputSchema(res.Columns)
@@ -540,9 +603,27 @@ func ApplyPostAggregation(res *Result, sel *sql.Select) error {
 	return orderAndLimit(res, sel, nil)
 }
 
+// orderAndLimit sorts and truncates a materialized result.
+//
+// Tie-break contract: the sort is STABLE. Rows whose ORDER BY keys all
+// compare equal under value.Compare keep their relative pre-sort order —
+// scan order for projections, first-occurrence order after DISTINCT, group
+// first-appearance order for aggregates, replicate-0 group order for OPEN
+// combines. Every sort in the engine (this one, the columnar permutation
+// sort, and the bounded top-K heap) implements this same contract, which is
+// what makes the executors byte-identical and ORDER BY ... LIMIT k equal to
+// the k-prefix of the unlimited query.
 func orderAndLimit(res *Result, sel *sql.Select, sc *schema.Schema) error {
 	if len(sel.OrderBy) > 0 {
 		outSchema := outputSchema(res.Columns)
+		// Bounded-heap top-K: selecting k of n beats sorting n when k is
+		// small. topKRows refuses (and the lazy stable sort below runs)
+		// whenever its answer could differ: inextractable keys or NaNs.
+		if sel.Limit >= 0 && sel.Limit < len(res.Rows) {
+			if topKRows(res, sel, sc, outSchema) {
+				return nil
+			}
+		}
 		var sortErr error
 		sort.SliceStable(res.Rows, func(i, j int) bool {
 			for _, o := range sel.OrderBy {
@@ -644,6 +725,9 @@ func SumWeights(t *table.Table, where expr.Expr) (float64, error) {
 			tern := make([]int8, n)
 			k.eval(tern)
 			for i, t := range tern {
+				if t == ternErr {
+					return 0, errDivisionByZero
+				}
 				if t == ternTrue {
 					total += wts[i]
 				}

@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// TestSortStabilityContract pins the engine-wide tie-break contract (see
+// orderAndLimit): rows with equal ORDER BY keys keep their pre-sort order on
+// every sorting surface — the row engine, the columnar permutation sort, the
+// bounded top-K heap, and ApplyPostAggregation (the OPEN combine path).
+func TestSortStabilityContract(t *testing.T) {
+	tbl := table.New("t", metaSchema)
+	// key cycles 2,1,0,2,1,0,... so each key value collects ids in ascending
+	// order; id is the tie witness.
+	for i := 0; i < 60; i++ {
+		err := tbl.Append([]value.Value{
+			value.Int(int64(i)),
+			value.Text(fmt.Sprintf("k%d", 2-(i%3))),
+			value.Int(int64(2 - (i % 3))),
+			value.Float(float64(2 - (i % 3))),
+			value.Bool(i%3 == 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// For every key column and both directions, ties must list ids ascending
+	// (their scan order), on both executors, with and without LIMIT.
+	keyCol := map[string]int{"c": 1, "x": 2, "y": 3}
+	for _, key := range []string{"c", "x", "y"} {
+		for _, dir := range []string{"", " DESC"} {
+			for _, limit := range []string{"", " LIMIT 7"} {
+				src := fmt.Sprintf("SELECT id, c, x, y FROM t ORDER BY %s%s%s", key, dir, limit)
+				for _, forceRow := range []bool{false, true} {
+					res := mustRun(t, tbl, src, forceRow)
+					for i := 1; i < len(res.Rows); i++ {
+						prev, row := res.Rows[i-1], res.Rows[i]
+						if value.Equal(prev[keyCol[key]], row[keyCol[key]]) && prev[0].AsInt() >= row[0].AsInt() {
+							t.Fatalf("%q (forceRow=%v): tie broken out of scan order: id %d after %d",
+								src, forceRow, row[0].AsInt(), prev[0].AsInt())
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// ApplyPostAggregation must apply the identical contract to a
+	// materialized result (the OPEN path sorts combined answers with it).
+	sel, err := sql.ParseQuery("SELECT k, id FROM t ORDER BY k LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Result {
+		res := &Result{Columns: []string{"k", "id"}}
+		for i := 0; i < 20; i++ {
+			res.Rows = append(res.Rows, []value.Value{value.Int(int64(2 - (i % 3))), value.Int(int64(i))})
+		}
+		return res
+	}
+	limited := mk()
+	if err := ApplyPostAggregation(limited, sel); err != nil {
+		t.Fatal(err)
+	}
+	selFull := *sel
+	selFull.Limit = -1
+	full := mk()
+	if err := ApplyPostAggregation(full, &selFull); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range limited.Rows {
+		want := full.Rows[i]
+		if row[0].AsInt() != want[0].AsInt() || row[1].AsInt() != want[1].AsInt() {
+			t.Fatalf("ApplyPostAggregation LIMIT row %d = (%v,%v), full sort prefix has (%v,%v)",
+				i, row[0], row[1], want[0], want[1])
+		}
+	}
+	for i := 1; i < len(full.Rows); i++ {
+		a, b := full.Rows[i-1], full.Rows[i]
+		if a[0].AsInt() == b[0].AsInt() && a[1].AsInt() > b[1].AsInt() {
+			t.Fatalf("ApplyPostAggregation tie broken out of input order at row %d", i)
+		}
+	}
+}
+
+// TestBoundedTopKMatchesSortPrefix property-checks the heap against a full
+// sort under random total orders.
+func TestBoundedTopKMatchesSortPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		k := rng.Intn(60)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(8) // heavy ties
+		}
+		less := func(a, b int) bool {
+			if keys[a] != keys[b] {
+				return keys[a] < keys[b]
+			}
+			return a < b
+		}
+		got := boundedTopK(n, k, less)
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return keys[want[a]] < keys[want[b]] })
+		if k < n {
+			want = want[:k]
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d (n=%d k=%d): topK %v != sort prefix %v", trial, n, k, got, want)
+		}
+	}
+}
+
+// TestFoldedConstantItemKeepsName: constant folding must never rename output
+// columns (the fold pins the original rendering as an alias).
+func TestFoldedConstantItemKeepsName(t *testing.T) {
+	tbl := metaTable(t, 3, 1)
+	res := mustRun(t, tbl, "SELECT 1 + 2, id FROM t ORDER BY id LIMIT 2", false)
+	if res.Columns[0] != "(1 + 2)" {
+		t.Fatalf("folded item renamed: %q", res.Columns[0])
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("folded item value wrong: %+v", res.Rows)
+	}
+	if !strings.Contains(res.String(), "(1 + 2)") {
+		t.Fatalf("rendered header lost the original expression: %s", res.String())
+	}
+}

@@ -28,17 +28,26 @@ import (
 	"mosaic/internal/value"
 )
 
-// Ternary truth encoding of the filter kernels.
+// Ternary truth encoding of the filter kernels, extended with a fourth
+// "error" state for the arithmetic kernels. Rows marked ternErr are rows
+// where the interpreter would raise a runtime error mid-scan; the scan
+// surfaces that error (see selectRows) instead of producing a result.
 const (
 	ternFalse int8 = 0
 	ternTrue  int8 = 1
 	ternNull  int8 = 2
+	ternErr   int8 = 3
 )
 
 // kernel computes a ternary truth vector over all rows of the snapshot.
-// Kernels never error: every expression shape that could raise a runtime
-// error (arithmetic, text truthiness, unknown columns) is rejected at
-// compile time and handled by the interpreted fallback instead.
+// Kernels never return Go errors: expression shapes whose errors are decided
+// by static column kinds (text truthiness, arithmetic on BOOL, unknown
+// columns) are rejected at compile time and handled by the interpreted
+// fallback, while the single dynamic error the kernel set can raise —
+// division by zero, the only runtime error arithmetic over numeric columns
+// admits — is tracked per row as ternErr and propagated through the logic
+// kernels with the interpreter's exact short-circuit rules (a FALSE left arm
+// of an AND suppresses errors in the right arm, etc.).
 type kernel interface {
 	eval(dst []int8)
 }
@@ -154,6 +163,9 @@ func (c *kernelCompiler) compile(e expr.Expr) kernel {
 					return c.compileColTruth(col.Name)
 				}
 			}
+			if v := c.compileNum(ex); v != nil {
+				return &truthNumKernel{v: v}
+			}
 			return nil
 		}
 		child := c.compile(ex.Child)
@@ -176,7 +188,11 @@ func (c *kernelCompiler) compile(e expr.Expr) kernel {
 		case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
 			return c.compileCompare(ex.Op, ex.Left, ex.Right)
 		default:
-			return nil // arithmetic used as a boolean: interpreted fallback
+			// Arithmetic used as a boolean: WHERE x + y.
+			if v := c.compileNum(ex); v != nil {
+				return &truthNumKernel{v: v}
+			}
+			return nil
 		}
 	case *expr.In:
 		return c.compileIn(ex)
@@ -247,38 +263,35 @@ func (c *kernelCompiler) compileCompare(op expr.BinOp, left, right expr.Expr) ke
 	rcol, rIsCol := right.(*expr.Column)
 	switch {
 	case lIsCol && rIsCol:
-		lr, ok := c.resolve(lcol.Name)
-		if !ok {
-			return nil
+		lr, lok := c.resolve(lcol.Name)
+		rr, rok := c.resolve(rcol.Name)
+		if lok && rok {
+			return c.compileColCol(op, lr, rr)
 		}
-		rr, ok := c.resolve(rcol.Name)
-		if !ok {
-			return nil
-		}
-		return c.compileColCol(op, lr, rr)
+		return nil // unknown column: lazy per-row error on the fallback
 	case lIsCol:
-		lr, ok := c.resolve(lcol.Name)
-		if !ok {
-			return nil
+		if lr, ok := c.resolve(lcol.Name); ok {
+			if v, ok := foldConst(right); ok {
+				return c.compileColLit(op, lr, v)
+			}
 		}
-		v, ok := foldConst(right)
-		if !ok {
-			return nil
-		}
-		return c.compileColLit(op, lr, v)
 	case rIsCol:
-		rr, ok := c.resolve(rcol.Name)
-		if !ok {
-			return nil
+		if rr, ok := c.resolve(rcol.Name); ok {
+			if v, ok := foldConst(left); ok {
+				return c.compileColLit(mirrorOp(op), rr, v)
+			}
 		}
-		v, ok := foldConst(left)
-		if !ok {
-			return nil
-		}
-		return c.compileColLit(mirrorOp(op), rr, v)
-	default:
+	}
+	// At least one side is a computed expression: numeric vector compare.
+	l := c.compileNum(left)
+	if l == nil {
 		return nil
 	}
+	r := c.compileNum(right)
+	if r == nil {
+		return nil
+	}
+	return &cmpNumNumKernel{a: l, b: r, lut: cmpLUT(op)}
 }
 
 func (c *kernelCompiler) compileColLit(op expr.BinOp, ref colRef, lit value.Value) kernel {
@@ -379,14 +392,6 @@ func numFloats(r colRef, n int) []float64 {
 }
 
 func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
-	col, ok := ex.Child.(*expr.Column)
-	if !ok {
-		return nil
-	}
-	ref, ok := c.resolve(col.Name)
-	if !ok {
-		return nil
-	}
 	vals := make([]value.Value, 0, len(ex.List))
 	sawNull := false
 	for _, item := range ex.List {
@@ -400,10 +405,48 @@ func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
 		}
 		vals = append(vals, v)
 	}
+	col, ok := ex.Child.(*expr.Column)
+	if !ok {
+		// Computed membership test: (x*2) IN (4, 8).
+		v := c.compileNum(ex.Child)
+		if v == nil {
+			return nil
+		}
+		k := &inNumKernel{v: v, sawNull: sawNull, negate: ex.Negate, floats: map[uint64]bool{}}
+		if v.isInt {
+			k.ints = map[int64]bool{}
+			for _, item := range vals {
+				switch item.Kind() {
+				case value.KindInt:
+					k.ints[item.AsInt()] = true
+				case value.KindFloat:
+					k.floats[eqBits(item.AsFloat())] = true
+				}
+			}
+		} else {
+			for _, item := range vals {
+				if classOf(item.Kind()) == value.ClassNum {
+					f, _ := item.Float64()
+					k.floats[eqBits(f)] = true
+				}
+			}
+		}
+		k.anyNum, k.nanItem = numListTraits(vals)
+		return k
+	}
+	ref, ok := c.resolve(col.Name)
+	if !ok {
+		return nil
+	}
 	switch classOf(ref.kind) {
 	case value.ClassNum:
 		// Other classes can never equal a numeric value (kind rank), so
-		// only numeric list items enter the sets.
+		// only numeric list items enter the sets. NaN needs its own flags:
+		// under value.Equal a NaN equals EVERY numeric (Compare finds
+		// neither smaller), so a NaN child matches any numeric item and a
+		// NaN item matches any numeric child — hash sets alone cannot say
+		// that (see numListTraits).
+		anyNum, nanItem := numListTraits(vals)
 		if ref.kind == value.KindInt && !ref.isWeight {
 			// value.Equal compares INT against INT exactly (no float64
 			// rounding on large ints), so INT items get their own exact
@@ -419,7 +462,7 @@ func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
 					floatSet[eqBits(v.AsFloat())] = true
 				}
 			}
-			return &inIntKernel{xs: ref.col.Ints, ints: intSet, floats: floatSet, sawNull: sawNull, negate: ex.Negate, col: ref.col}
+			return &inIntKernel{xs: ref.col.Ints, ints: intSet, floats: floatSet, nanItem: nanItem, sawNull: sawNull, negate: ex.Negate, col: ref.col}
 		}
 		set := make(map[uint64]bool, len(vals))
 		for _, v := range vals {
@@ -429,9 +472,9 @@ func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
 			}
 		}
 		if ref.isWeight {
-			return &inFloatKernel{xs: ref.weight, set: set, sawNull: sawNull, negate: ex.Negate}
+			return &inFloatKernel{xs: ref.weight, set: set, anyNum: anyNum, nanItem: nanItem, sawNull: sawNull, negate: ex.Negate}
 		}
-		return &inFloatKernel{xs: ref.col.Floats, set: set, sawNull: sawNull, negate: ex.Negate, col: ref.col}
+		return &inFloatKernel{xs: ref.col.Floats, set: set, anyNum: anyNum, nanItem: nanItem, sawNull: sawNull, negate: ex.Negate, col: ref.col}
 	case value.ClassBool:
 		wantT, wantF := false, false
 		for _, v := range vals {
@@ -460,14 +503,6 @@ func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
 }
 
 func (c *kernelCompiler) compileBetween(ex *expr.Between) kernel {
-	col, ok := ex.Child.(*expr.Column)
-	if !ok {
-		return nil
-	}
-	ref, ok := c.resolve(col.Name)
-	if !ok {
-		return nil
-	}
 	lo, ok := foldConst(ex.Lo)
 	if !ok {
 		return nil
@@ -476,16 +511,42 @@ func (c *kernelCompiler) compileBetween(ex *expr.Between) kernel {
 	if !ok {
 		return nil
 	}
-	if lo.IsNull() || hi.IsNull() {
-		// Any NULL bound makes every row NULL (the interpreter checks the
-		// three operands together before comparing).
-		return &constKernel{v: ternNull}
+	if col, ok := ex.Child.(*expr.Column); ok {
+		ref, ok := c.resolve(col.Name)
+		if !ok {
+			return nil
+		}
+		if lo.IsNull() || hi.IsNull() {
+			// Any NULL bound makes every row NULL (the interpreter checks
+			// the three operands together before comparing).
+			return &constKernel{v: ternNull}
+		}
+		ge := c.compileColLit(expr.OpGe, ref, lo)
+		le := c.compileColLit(expr.OpLe, ref, hi)
+		if ge == nil || le == nil {
+			return nil
+		}
+		var k kernel = &logicKernel{l: ge, r: le, and: true}
+		if ex.Negate {
+			k = &notKernel{child: k}
+		}
+		return k
 	}
-	ge := c.compileColLit(expr.OpGe, ref, lo)
-	le := c.compileColLit(expr.OpLe, ref, hi)
-	if ge == nil || le == nil {
+	// Computed child: x*2 BETWEEN 10 AND 100. The child evaluates before the
+	// NULL-bound check, so its division errors still surface.
+	v := c.compileNum(ex.Child)
+	if v == nil {
 		return nil
 	}
+	if lo.IsNull() || hi.IsNull() {
+		return &constWithErrsKernel{v: ternNull, errs: v.errs}
+	}
+	lv, hv := c.numConst(lo), c.numConst(hi)
+	if lv == nil || hv == nil {
+		return nil // non-numeric bound on a computed child: interpreted fallback
+	}
+	ge := &cmpNumNumKernel{a: v, b: lv, lut: cmpLUT(expr.OpGe)}
+	le := &cmpNumNumKernel{a: v, b: hv, lut: cmpLUT(expr.OpLe)}
 	var k kernel = &logicKernel{l: ge, r: le, and: true}
 	if ex.Negate {
 		k = &notKernel{child: k}
@@ -496,7 +557,12 @@ func (c *kernelCompiler) compileBetween(ex *expr.Between) kernel {
 func (c *kernelCompiler) compileIsNull(ex *expr.IsNull) kernel {
 	col, ok := ex.Child.(*expr.Column)
 	if !ok {
-		return nil
+		// Computed child: x + y IS NULL.
+		v := c.compileNum(ex.Child)
+		if v == nil {
+			return nil
+		}
+		return &isNullNumKernel{v: v, negate: ex.Negate}
 	}
 	ref, ok := c.resolve(col.Name)
 	if !ok {
@@ -614,13 +680,17 @@ type notKernel struct{ child kernel }
 func (k *notKernel) eval(dst []int8) {
 	k.child.eval(dst)
 	for i, t := range dst {
-		if t != ternNull {
+		if t == ternFalse || t == ternTrue {
 			dst[i] = 1 - t
 		}
 	}
 }
 
-// logicKernel is three-valued AND/OR.
+// logicKernel is three-valued AND/OR, with error rows following the
+// interpreter's left-to-right short-circuit: a FALSE left arm of AND (TRUE
+// for OR) short-circuits before the right arm is evaluated, so right-arm
+// errors are suppressed on those rows; everywhere else an error in either
+// arm aborts, left arm first.
 type logicKernel struct {
 	l, r kernel
 	and  bool
@@ -634,7 +704,13 @@ func (k *logicKernel) eval(dst []int8) {
 		for i, a := range dst {
 			b := tmp[i]
 			switch {
-			case a == ternFalse || b == ternFalse:
+			case a == ternErr:
+				dst[i] = ternErr
+			case a == ternFalse:
+				dst[i] = ternFalse
+			case b == ternErr:
+				dst[i] = ternErr
+			case b == ternFalse:
 				dst[i] = ternFalse
 			case a == ternNull || b == ternNull:
 				dst[i] = ternNull
@@ -647,7 +723,13 @@ func (k *logicKernel) eval(dst []int8) {
 	for i, a := range dst {
 		b := tmp[i]
 		switch {
-		case a == ternTrue || b == ternTrue:
+		case a == ternErr:
+			dst[i] = ternErr
+		case a == ternTrue:
+			dst[i] = ternTrue
+		case b == ternErr:
+			dst[i] = ternErr
+		case b == ternTrue:
 			dst[i] = ternTrue
 		case a == ternNull || b == ternNull:
 			dst[i] = ternNull
@@ -911,13 +993,32 @@ func (k *isNullKernel) eval(dst []int8) {
 	}
 }
 
+// numListTraits inspects the numeric items of an IN list: whether any
+// exist at all, and whether one of them is NaN (which, under value.Equal,
+// matches every numeric child).
+func numListTraits(vals []value.Value) (anyNum, nanItem bool) {
+	for _, v := range vals {
+		if classOf(v.Kind()) != value.ClassNum {
+			continue
+		}
+		anyNum = true
+		f, _ := v.Float64()
+		if math.IsNaN(f) {
+			nanItem = true
+		}
+	}
+	return anyNum, nanItem
+}
+
 // inIntKernel tests INT-column membership with value.Equal semantics: INT
 // list items match exactly on int64, FLOAT items through float64 (exactly
-// the asymmetry value.Compare has).
+// the asymmetry value.Compare has), and a NaN item matches every child
+// (value.Compare(x, NaN) finds neither smaller, so Equal is true).
 type inIntKernel struct {
 	xs      []int64
 	ints    map[int64]bool
 	floats  map[uint64]bool
+	nanItem bool
 	sawNull bool
 	negate  bool
 	col     *table.Column
@@ -929,7 +1030,7 @@ func (k *inIntKernel) eval(dst []int8) {
 		miss = ternNull
 	}
 	for i, x := range k.xs {
-		hit := k.ints[x]
+		hit := k.nanItem || k.ints[x]
 		if !hit && len(k.floats) > 0 {
 			hit = k.floats[eqBits(float64(x))]
 		}
@@ -945,6 +1046,8 @@ func (k *inIntKernel) eval(dst []int8) {
 type inFloatKernel struct {
 	xs      []float64
 	set     map[uint64]bool
+	anyNum  bool // a NaN child matches as soon as any numeric item exists
+	nanItem bool // a NaN item matches every child
 	sawNull bool
 	negate  bool
 	col     *table.Column
@@ -956,7 +1059,7 @@ func (k *inFloatKernel) eval(dst []int8) {
 		miss = ternNull
 	}
 	for i, x := range k.xs {
-		if k.set[eqBits(x)] {
+		if k.nanItem || k.set[eqBits(x)] || (k.anyNum && math.IsNaN(x)) {
 			dst[i] = match
 		} else {
 			dst[i] = miss
@@ -1014,19 +1117,25 @@ func (k *inTextKernel) eval(dst []int8) {
 // --- vectorized aggregation ---
 
 // vecAgg is one vectorizable aggregate: its input is the WEIGHT pseudo
-// column (col == -1), a schema column, or nothing (COUNT(*)).
+// column (col == -1), a schema column, a compiled arithmetic expression
+// (vec != nil), or nothing (COUNT(*)).
 type vecAgg struct {
 	kind sql.AggKind
 	star bool
 	col  int
+	vec  *numVec
 }
 
-// planVectorAggs decides whether every aggregate item is kernel-shaped.
-// Shapes that can raise runtime errors (arbitrary expressions, SUM/AVG over
-// TEXT, unknown columns — all of which the row path reports lazily, per
-// scanned row) are declined so the row path keeps its exact semantics.
-func planVectorAggs(snap *table.Snapshot, sel *sql.Select) ([]vecAgg, bool) {
-	sc := snap.Schema()
+// planVectorAggs decides whether every aggregate item is kernel-shaped:
+// a plain column, WEIGHT, COUNT(*), or an arithmetic expression the numeric
+// compiler covers. Shapes whose runtime errors the kernels cannot reproduce
+// (SUM/AVG over TEXT, unknown columns, non-arithmetic expressions — all of
+// which the row path reports lazily, per scanned row) are declined so the
+// row path keeps its exact semantics; a compiled arithmetic input's only
+// dynamic error is division by zero, which the accumulator surfaces for
+// selected rows (see checkAggErrs).
+func planVectorAggs(comp *kernelCompiler, sel *sql.Select) ([]vecAgg, bool) {
+	sc := comp.snap.Schema()
 	out := make([]vecAgg, 0, len(sel.Items))
 	for _, it := range sel.Items {
 		if it.Agg == sql.AggNone {
@@ -1036,24 +1145,60 @@ func planVectorAggs(snap *table.Snapshot, sel *sql.Select) ([]vecAgg, bool) {
 			out = append(out, vecAgg{kind: it.Agg, star: true})
 			continue
 		}
-		colEx, ok := it.Expr.(*expr.Column)
-		if !ok {
+		if colEx, ok := it.Expr.(*expr.Column); ok {
+			if j, ok := sc.Index(colEx.Name); ok {
+				if (it.Agg == sql.AggSum || it.Agg == sql.AggAvg) && sc.At(j).Kind == value.KindText {
+					return nil, false
+				}
+				out = append(out, vecAgg{kind: it.Agg, col: j})
+				continue
+			}
+			if strings.EqualFold(colEx.Name, "WEIGHT") {
+				out = append(out, vecAgg{kind: it.Agg, col: -1})
+				continue
+			}
 			return nil, false
 		}
-		if j, ok := sc.Index(colEx.Name); ok {
-			if (it.Agg == sql.AggSum || it.Agg == sql.AggAvg) && sc.At(j).Kind == value.KindText {
-				return nil, false
-			}
-			out = append(out, vecAgg{kind: it.Agg, col: j})
-			continue
+		v := comp.compileNum(it.Expr)
+		if v == nil {
+			return nil, false
 		}
-		if strings.EqualFold(colEx.Name, "WEIGHT") {
-			out = append(out, vecAgg{kind: it.Agg, col: -1})
-			continue
-		}
-		return nil, false
+		out = append(out, vecAgg{kind: it.Agg, vec: v})
 	}
 	return out, true
+}
+
+// aggsCanErr reports whether any compiled aggregate input has a
+// division-by-zero bit set on any row.
+func aggsCanErr(vaggs []vecAgg, n int) bool {
+	for _, a := range vaggs {
+		if a.vec == nil || a.vec.errs == nil {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if bitGet(a.vec.errs, i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAggErrs surfaces the division-by-zero error of a compiled aggregate
+// input, exactly when the row path would: on the first selected row whose
+// input expression errors (rows filtered out by WHERE never evaluate).
+func checkAggErrs(vaggs []vecAgg, selRows []int32) error {
+	for _, a := range vaggs {
+		if a.vec == nil || a.vec.errs == nil {
+			continue
+		}
+		for _, ri := range selRows {
+			if bitGet(a.vec.errs, int(ri)) {
+				return errDivisionByZero
+			}
+		}
+	}
+	return nil
 }
 
 // selectRows computes the selection vector: the indices of rows WHERE keeps,
@@ -1074,6 +1219,12 @@ func selectRows(snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32,
 		tern := make([]int8, n)
 		k.eval(tern)
 		for i, t := range tern {
+			if t == ternErr {
+				// The row interpreter evaluates WHERE over every row in scan
+				// order and aborts at the first error; the only dynamic error
+				// the kernel set admits is division by zero.
+				return nil, errDivisionByZero
+			}
 			if t == ternTrue {
 				sel = append(sel, int32(i))
 			}
@@ -1277,9 +1428,18 @@ func (st *vecAggState) result(kind sql.AggKind, g int) value.Value {
 func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids []int32, selW, rawW []float64) {
 	switch a.kind {
 	case sql.AggCount:
-		if a.star || a.col == -1 {
+		if a.star || (a.col == -1 && a.vec == nil) {
 			// COUNT(*) has no input; COUNT(WEIGHT) inputs are never null.
 			for k := range selRows {
+				st.count[gids[k]] += selW[k]
+			}
+			return
+		}
+		if a.vec != nil {
+			for k, ri := range selRows {
+				if bitGet(a.vec.nulls, int(ri)) {
+					continue
+				}
 				st.count[gids[k]] += selW[k]
 			}
 			return
@@ -1298,6 +1458,24 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 			st.count[gids[k]] += selW[k]
 		}
 	case sql.AggSum, sql.AggAvg:
+		if a.vec != nil {
+			for k, ri := range selRows {
+				if bitGet(a.vec.nulls, int(ri)) {
+					continue
+				}
+				g, w := gids[k], selW[k]
+				x := 0.0
+				if a.vec.isInt {
+					x = float64(a.vec.ints[ri])
+				} else {
+					x = a.vec.floats[ri]
+				}
+				st.sumW[g] += w
+				st.sumWX[g] += w * x
+				st.seen[g] = true
+			}
+			return
+		}
 		if a.col == -1 {
 			for k := range selRows {
 				g, w := gids[k], selW[k]
@@ -1348,9 +1526,19 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 		wantLess := a.kind == sql.AggMin
 		for k, ri := range selRows {
 			var v value.Value
-			if a.col == -1 {
+			switch {
+			case a.vec != nil:
+				if bitGet(a.vec.nulls, int(ri)) {
+					continue
+				}
+				if a.vec.isInt {
+					v = value.Int(a.vec.ints[ri])
+				} else {
+					v = value.Float(a.vec.floats[ri])
+				}
+			case a.col == -1:
 				v = value.Float(rawW[ri])
-			} else {
+			default:
 				v = snap.Row(int(ri))[a.col]
 			}
 			if v.IsNull() {
@@ -1379,16 +1567,30 @@ func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (re
 		// Eager validation errors are identical on both paths.
 		return nil, true, err
 	}
-	vaggs, ok := planVectorAggs(snap, sel)
-	if !ok {
-		return nil, false, nil
-	}
 	rawW := snap.Weights()
 	if opts.WeightOverride != nil {
 		rawW = opts.WeightOverride
 	}
+	comp := &kernelCompiler{snap: snap, weights: rawW, n: snap.Len()}
+	vaggs, ok := planVectorAggs(comp, sel)
+	if !ok {
+		return nil, false, nil
+	}
+	// When a compiled aggregate input can error (division-by-zero bits) AND
+	// the filter needs the interpreted fallback, only the row path's
+	// interleaved evaluation (WHERE row i, then aggregate row i) can decide
+	// whether the filter's error or the aggregate's surfaces first — an
+	// interpreted filter can raise errors other than division by zero, so
+	// the messages differ. A kernel filter's only error is the same
+	// division-by-zero, making the order indistinguishable.
+	if sel.Where != nil && aggsCanErr(vaggs, snap.Len()) && compileFilter(sel.Where, snap, rawW) == nil {
+		return nil, false, nil
+	}
 	selRows, err := selectRows(snap, sel.Where, rawW)
 	if err != nil {
+		return nil, true, err
+	}
+	if err := checkAggErrs(vaggs, selRows); err != nil {
 		return nil, true, err
 	}
 	selW := make([]float64, len(selRows))
@@ -1453,25 +1655,123 @@ func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (re
 	return res, true, nil
 }
 
-// runProjectionVector answers a non-aggregate query with a kernel-compiled
-// filter. Item evaluation stays row-at-a-time (outputs are materialized
-// rows either way), so it only engages when the filter itself compiles —
-// otherwise the row path is equivalent.
+// runProjectionVector answers a non-aggregate query on the columnar path:
+// the WHERE compiles into selection kernels, DISTINCT densifies through the
+// group-id machinery, and ORDER BY permutes row indices over typed columns —
+// with a bounded top-K heap when LIMIT is present — so only the surviving
+// rows ever materialize. Item evaluation stays row-at-a-time (outputs are
+// materialized rows either way).
+//
+// Engagement rules keep error semantics exactly row-identical:
+//   - Computed select items can raise per-row errors in materialization
+//     order, so the sort-first / limit-first shortcuts (which would skip
+//     materializing some rows) require every item to be a star, a plain
+//     column, or WEIGHT.
+//   - When the filter kernel flags a division-by-zero row AND a computed
+//     item exists, only the interleaved row path can decide which error
+//     comes first, so the whole query falls back.
+//   - An interpreted (non-kernel) filter evaluates all rows before any
+//     materialization; it engages only via the DISTINCT/sort conditions,
+//     which imply error-free items.
 func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
-	if sel.Where == nil {
-		return nil, false, nil
-	}
 	rawW := snap.Weights()
 	if opts.WeightOverride != nil {
 		rawW = opts.WeightOverride
 	}
-	k := compileFilter(sel.Where, snap, rawW)
-	if k == nil {
-		return nil, false, nil
-	}
 	n := snap.Len()
-	tern := make([]int8, n)
-	k.eval(tern)
+
+	outCols, sources := projectionSources(snap, sel)
+	errFree := true
+	for _, s := range sources {
+		if s == srcComputed {
+			errFree = false
+		}
+	}
+
+	// Which post-processing steps can run columnar?
+	var sortKeys []vecSortKey
+	sortOK := false
+	if len(sel.OrderBy) > 0 && errFree {
+		sortKeys, sortOK = resolveVecSortKeys(snap, sel, outCols, sources, rawW)
+	}
+	distinctOK := sel.Distinct
+	for _, s := range sources {
+		if s < 0 {
+			distinctOK = false
+		}
+	}
+	sortFirst := sortOK && (!sel.Distinct || distinctOK)
+
+	var k kernel
+	if sel.Where != nil {
+		k = compileFilter(sel.Where, snap, rawW)
+	}
+	switch {
+	case sel.Where != nil && k != nil:
+		// Kernel filter: always worth the columnar path.
+	case (sel.Distinct && distinctOK) || sortFirst:
+		// Columnar DISTINCT/sort still pays off over an interpreted (or
+		// absent) filter. Both conditions imply error-free items (distinctOK
+		// excludes computed sources; sortFirst requires sortOK, computed
+		// only under errFree), so evaluating the whole WHERE before any
+		// materialization cannot reorder errors.
+	default:
+		return nil, false, nil // the row path is equivalent
+	}
+
+	// Selection vector.
+	var selRows []int32
+	if k != nil {
+		tern := make([]int8, n)
+		k.eval(tern)
+		selRows = make([]int32, 0, n)
+		for i, t := range tern {
+			if t == ternErr {
+				if !errFree {
+					return nil, false, nil
+				}
+				return nil, true, errDivisionByZero
+			}
+			if t == ternTrue {
+				selRows = append(selRows, int32(i))
+			}
+		}
+	} else {
+		selRows, err = selectRows(snap, sel.Where, rawW)
+		if err != nil {
+			return nil, true, err
+		}
+	}
+
+	// DISTINCT: densify the item columns to group ids; the first-appearance
+	// representatives are exactly dedupRows' first occurrences.
+	cand := selRows
+	if sel.Distinct && distinctOK {
+		_, _, cand = groupIDs(snap, sources, selRows)
+	}
+
+	// ORDER BY / LIMIT on row indices, before materialization.
+	postDone := false
+	if sortFirst {
+		switch {
+		case sel.Limit == 0:
+			cand = nil
+		case sel.Limit > 0 && sel.Limit < len(cand) && keysTotalOrder(sortKeys, cand):
+			cand = topKCandidates(sortKeys, cand, sel.Limit)
+		default:
+			sortCandidates(sortKeys, cand)
+			if sel.Limit >= 0 && len(cand) > sel.Limit {
+				cand = cand[:sel.Limit]
+			}
+		}
+		postDone = true
+	} else if len(sel.OrderBy) == 0 && errFree && sel.Limit >= 0 && (!sel.Distinct || distinctOK) {
+		// LIMIT without ORDER BY: keep the first k candidates.
+		if len(cand) > sel.Limit {
+			cand = cand[:sel.Limit]
+		}
+		postDone = true
+	}
 
 	// Bindings only need the WEIGHT extension when a select item actually
 	// references it; otherwise rows bind in place with zero copying.
@@ -1487,15 +1787,12 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 		}
 	}
 	env, _ := makeEnv(snap.Schema())
-	res = &Result{Columns: projectionColumns(snap, sel)}
-	for i := 0; i < n; i++ {
-		if tern[i] != ternTrue {
-			continue
-		}
-		row := snap.Row(i)
+	res = &Result{Columns: outCols}
+	for _, ri := range cand {
+		row := snap.Row(int(ri))
 		var b *expr.Binding
 		if needW {
-			b = env.bind(row, rawW[i])
+			b = env.bind(row, rawW[ri])
 		} else {
 			b = &expr.Binding{Schema: snap.Schema(), Row: row}
 		}
@@ -1505,8 +1802,11 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 		}
 		res.Rows = append(res.Rows, out)
 	}
-	if sel.Distinct {
+	if sel.Distinct && !distinctOK {
 		res.Rows = dedupRows(res.Rows)
+	}
+	if postDone {
+		return res, true, nil
 	}
 	if err := orderAndLimit(res, sel, snap.Schema()); err != nil {
 		return nil, true, err

@@ -2,13 +2,14 @@
 // the planner, and the executor, together with a row-at-a-time evaluator.
 //
 // Supported forms: column references, literals, unary minus/NOT, binary
-// arithmetic (+ - * /), comparisons (= != < <= > >=), AND/OR, IN (value
+// arithmetic (+ - * / %), comparisons (= != < <= > >=), AND/OR, IN (value
 // list), and BETWEEN. Three-valued NULL logic follows SQL: any comparison
 // with NULL is NULL, NULL AND FALSE is FALSE, NULL OR TRUE is TRUE.
 package expr
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"mosaic/internal/schema"
@@ -71,6 +72,7 @@ const (
 	OpSub
 	OpMul
 	OpDiv
+	OpMod
 	OpEq
 	OpNe
 	OpLt
@@ -82,7 +84,7 @@ const (
 )
 
 var binOpNames = map[BinOp]string{
-	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
 	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
 	OpAnd: "AND", OpOr: "OR",
 }
@@ -111,7 +113,7 @@ func (e *Binary) Eval(b *Binding) (value.Value, error) {
 		return value.Null(), err
 	}
 	switch e.Op {
-	case OpAdd, OpSub, OpMul, OpDiv:
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		return evalArith(e.Op, lv, rv)
 	default:
 		return evalCompare(e.Op, lv, rv)
@@ -383,6 +385,11 @@ func evalArith(op BinOp, a, b value.Value) (value.Value, error) {
 			return value.Int(ai - bi), nil
 		case OpMul:
 			return value.Int(ai * bi), nil
+		case OpMod:
+			if bi == 0 {
+				return value.Null(), fmt.Errorf("expr: division by zero")
+			}
+			return value.Int(ai % bi), nil
 		}
 	}
 	af, _ := a.Float64()
@@ -399,6 +406,11 @@ func evalArith(op BinOp, a, b value.Value) (value.Value, error) {
 			return value.Null(), fmt.Errorf("expr: division by zero")
 		}
 		return value.Float(af / bf), nil
+	case OpMod:
+		if bf == 0 {
+			return value.Null(), fmt.Errorf("expr: division by zero")
+		}
+		return value.Float(math.Mod(af, bf)), nil
 	default:
 		return value.Null(), fmt.Errorf("expr: %s is not arithmetic", op)
 	}

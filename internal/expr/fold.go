@@ -1,0 +1,100 @@
+package expr
+
+// Fold returns e with every column-free subexpression that evaluates without
+// error replaced by its literal value. Folding is purely an evaluation-time
+// optimization and never changes semantics: subtrees that would raise a
+// runtime error (e.g. 1/0, arithmetic on TEXT) are left in place so the
+// error still surfaces lazily, per evaluated row, exactly as before — and a
+// column-free AND/OR folds only as a whole, through Eval's own short-circuit
+// rules, so 3VL outcomes are preserved bit for bit. Nodes without foldable
+// children are returned unchanged (pointer-identical), letting callers detect
+// no-op folds cheaply.
+func Fold(e Expr) Expr {
+	folded, _ := fold(e)
+	return folded
+}
+
+// fold rewrites bottom-up and reports whether the result is column-free.
+// Column-freeness (not fold success) is what propagates upward: a column-free
+// subtree that errors stays unfolded, but its parent may still fold — e.g.
+// FALSE AND 1/0 > 1 short-circuits to FALSE under Eval's own rules.
+func fold(e Expr) (Expr, bool) {
+	switch ex := e.(type) {
+	case *Literal:
+		return ex, true
+	case *Column:
+		return ex, false
+	case *Unary:
+		child, constC := fold(ex.Child)
+		out := e
+		if child != ex.Child {
+			out = &Unary{Neg: ex.Neg, Child: child}
+		}
+		return tryEval(out, constC)
+	case *Binary:
+		l, constL := fold(ex.Left)
+		r, constR := fold(ex.Right)
+		out := e
+		if l != ex.Left || r != ex.Right {
+			out = &Binary{Op: ex.Op, Left: l, Right: r}
+		}
+		return tryEval(out, constL && constR)
+	case *In:
+		child, constC := fold(ex.Child)
+		list := ex.List
+		constList := true
+		copied := false
+		for i, item := range ex.List {
+			fi, ci := fold(item)
+			constList = constList && ci
+			if fi != item {
+				if !copied {
+					list = append([]Expr(nil), ex.List...)
+					copied = true
+				}
+				list[i] = fi
+			}
+		}
+		out := e
+		if child != ex.Child || copied {
+			out = &In{Child: child, List: list, Negate: ex.Negate}
+		}
+		return tryEval(out, constC && constList)
+	case *Between:
+		child, constC := fold(ex.Child)
+		lo, constLo := fold(ex.Lo)
+		hi, constHi := fold(ex.Hi)
+		out := e
+		if child != ex.Child || lo != ex.Lo || hi != ex.Hi {
+			out = &Between{Child: child, Lo: lo, Hi: hi, Negate: ex.Negate}
+		}
+		return tryEval(out, constC && constLo && constHi)
+	case *IsNull:
+		child, constC := fold(ex.Child)
+		out := e
+		if child != ex.Child {
+			out = &IsNull{Child: child, Negate: ex.Negate}
+		}
+		return tryEval(out, constC)
+	default:
+		return e, false
+	}
+}
+
+// tryEval collapses a column-free node to a literal when evaluation succeeds.
+func tryEval(e Expr, isConst bool) (Expr, bool) {
+	if !isConst {
+		return e, false
+	}
+	if _, already := e.(*Literal); already {
+		return e, true
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		// Erroring constants (division by zero, arithmetic on TEXT) stay
+		// unfolded — the evaluator must keep raising the error lazily — but
+		// they remain column-free, so an enclosing short-circuit can fold.
+		return e, true
+	}
+	return &Literal{Val: v}, true
+}

@@ -1,0 +1,92 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/value"
+)
+
+func TestModulo(t *testing.T) {
+	b := bind(7, 2.5, "x", true)
+	if got := eval(t, Bin(OpMod, Col("i"), Lit(value.Int(4))), b); got.Kind() != value.KindInt || got.AsInt() != 3 {
+		t.Errorf("7 %% 4 = %v", got)
+	}
+	if got := eval(t, Bin(OpMod, Lit(value.Int(-7)), Lit(value.Int(4))), b); got.AsInt() != -3 {
+		t.Errorf("-7 %% 4 = %v (Go truncated semantics expected)", got)
+	}
+	if got := eval(t, Bin(OpMod, Col("f"), Lit(value.Int(2))), b); got.Kind() != value.KindFloat || got.AsFloat() != math.Mod(2.5, 2) {
+		t.Errorf("2.5 %% 2 = %v", got)
+	}
+	if got := eval(t, Bin(OpMod, Col("i"), Lit(value.Null())), b); !got.IsNull() {
+		t.Errorf("7 %% NULL = %v, want NULL", got)
+	}
+	for _, zero := range []Expr{Lit(value.Int(0)), Lit(value.Float(0))} {
+		if _, err := Bin(OpMod, Col("i"), zero).Eval(b); err == nil || err.Error() != "expr: division by zero" {
+			t.Errorf("i %% %s error = %v, want division by zero", zero, err)
+		}
+	}
+	if _, err := Bin(OpMod, Col("s"), Lit(value.Int(2))).Eval(b); err == nil {
+		t.Error("TEXT %% INT should error")
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{Bin(OpAdd, Lit(value.Int(2)), Lit(value.Int(3))), value.Int(5)},
+		{Bin(OpMul, Lit(value.Float(1.5)), Lit(value.Int(4))), value.Float(6)},
+		{Bin(OpMod, Lit(value.Int(9)), Lit(value.Int(4))), value.Int(1)},
+		{Bin(OpGt, Lit(value.Int(2)), Lit(value.Int(1))), value.Bool(true)},
+		{&Unary{Neg: true, Child: Bin(OpAdd, Lit(value.Int(1)), Lit(value.Int(2)))}, value.Int(-3)},
+		{&IsNull{Child: Lit(value.Null())}, value.Bool(true)},
+		{&Between{Child: Lit(value.Int(2)), Lo: Lit(value.Int(1)), Hi: Lit(value.Int(3))}, value.Bool(true)},
+		{&In{Child: Lit(value.Int(2)), List: []Expr{Lit(value.Int(1)), Lit(value.Int(2))}}, value.Bool(true)},
+		// A column-free AND folds through Eval's own short-circuit: the
+		// erroring right side is never evaluated, exactly as at runtime.
+		{Bin(OpAnd, Lit(value.Bool(false)), Bin(OpGt, Bin(OpDiv, Lit(value.Int(1)), Lit(value.Int(0))), Lit(value.Int(1)))), value.Bool(false)},
+	}
+	for _, c := range cases {
+		got := Fold(c.e)
+		lit, ok := got.(*Literal)
+		if !ok {
+			t.Errorf("Fold(%s) = %s, want literal", c.e, got)
+			continue
+		}
+		if !value.Equal(lit.Val, c.want) || lit.Val.Kind() != c.want.Kind() {
+			t.Errorf("Fold(%s) = %s, want %s", c.e, lit.Val, c.want)
+		}
+	}
+}
+
+func TestFoldPreservesErrorsAndColumns(t *testing.T) {
+	// Erroring constants stay unfolded so the error surfaces lazily.
+	divZero := Bin(OpDiv, Lit(value.Int(1)), Lit(value.Int(0)))
+	if _, ok := Fold(divZero).(*Literal); ok {
+		t.Error("1/0 must not fold")
+	}
+	// Column references are untouched (pointer-identical when nothing folds).
+	e := Bin(OpGt, Col("x"), Col("y"))
+	if Fold(e) != e {
+		t.Error("no-op fold should return the same node")
+	}
+	// Constant subtrees under a column comparison fold in place.
+	folded := Fold(Bin(OpGt, Col("x"), Bin(OpAdd, Lit(value.Int(1)), Lit(value.Int(2)))))
+	bin := folded.(*Binary)
+	if lit, ok := bin.Right.(*Literal); !ok || lit.Val.AsInt() != 3 {
+		t.Errorf("right side should fold to 3, got %s", bin.Right)
+	}
+	if _, ok := bin.Left.(*Column); !ok {
+		t.Errorf("left column should survive, got %s", bin.Left)
+	}
+	// Folding is semantics-preserving on a mixed tree.
+	b := bind(10, 0.5, "x", true)
+	orig := Bin(OpAnd, Bin(OpGt, Col("i"), Bin(OpMul, Lit(value.Int(2)), Lit(value.Int(3)))), Lit(value.Bool(true)))
+	v1, err1 := orig.Eval(b)
+	v2, err2 := Fold(orig).Eval(b)
+	if err1 != nil || err2 != nil || !value.Equal(v1, v2) {
+		t.Errorf("fold changed semantics: %v/%v vs %v/%v", v1, err1, v2, err2)
+	}
+}

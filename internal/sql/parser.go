@@ -1047,7 +1047,7 @@ func (p *parser) parseMultiplicative() (expr.Expr, error) {
 	}
 	for {
 		t := p.peek()
-		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/" && t.text != "%") {
 			return left, nil
 		}
 		p.advance()
@@ -1056,8 +1056,11 @@ func (p *parser) parseMultiplicative() (expr.Expr, error) {
 			return nil, err
 		}
 		op := expr.OpMul
-		if t.text == "/" {
+		switch t.text {
+		case "/":
 			op = expr.OpDiv
+		case "%":
+			op = expr.OpMod
 		}
 		left = expr.Bin(op, left, right)
 	}

@@ -109,6 +109,14 @@ func TestParseExpressionPrecedence(t *testing.T) {
 	if got := e.String(); got != "(((a > 1) AND (b < 2)) OR (NOT (c = 3)))" {
 		t.Errorf("logic precedence = %s", got)
 	}
+	// Modulo binds like * and /.
+	e, err = ParseExpr("a + b % 3 * c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.String(); got != "(a + ((b % 3) * c))" {
+		t.Errorf("modulo precedence = %s", got)
+	}
 }
 
 func TestParseInBetween(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"mosaic/internal/marginal"
 	"mosaic/internal/nn"
 	"mosaic/internal/table"
+	"mosaic/internal/value"
 	"mosaic/internal/wasserstein"
 )
 
@@ -467,9 +468,12 @@ func (m *Model) generateEncodedFrom(rng *rand.Rand, n int) [][]float64 {
 	return out
 }
 
-// decodeToTable materializes encoded vectors as a weight-1 tuple table,
-// decoding categorical blocks to their argmax level.
-func (m *Model) decodeToTable(name string, enc [][]float64) (*table.Table, error) {
+// DecodeTableRowAppend materializes encoded vectors as a weight-1 tuple
+// table by decoding and appending one row at a time. It is the retired
+// generation path, kept as the reference implementation: DecodeTable must
+// produce byte-identical tables (the swg and core test suites pin this),
+// and the executor benchmarks race the two.
+func (m *Model) DecodeTableRowAppend(name string, enc [][]float64) (*table.Table, error) {
 	t := table.New(name, m.Enc.Schema)
 	for _, v := range enc {
 		row, err := m.Enc.DecodeRow(v)
@@ -483,6 +487,147 @@ func (m *Model) decodeToTable(name string, enc [][]float64) (*table.Table, error
 	return t, nil
 }
 
+// DecodeTable materializes encoded vectors as a tuple table with every row
+// at weight w, writing sampled tuples straight into typed column builders
+// (dictionary codes for TEXT levels, payload slices for continuous
+// attributes) so replicate tables are born columnar: no per-row validation,
+// no per-row locking, no per-row dictionary map lookups. Each categorical
+// level coerces and interns exactly once, on first use — preserving the
+// row-append path's lazy coercion-error behavior — and the row view is
+// assembled from those shared level values, so the resulting table is
+// value-identical to DecodeTableRowAppend (rows, kinds, weights, typed
+// columns). Dictionary code NUMBERING may differ when the schema has two or
+// more TEXT attributes (this path interns per attribute, row-append interns
+// row-major); codes are snapshot-internal, so no query output can observe
+// the difference.
+func (m *Model) DecodeTable(name string, enc [][]float64, w float64) (*table.Table, error) {
+	if w < 0 {
+		return nil, fmt.Errorf("table %s: negative weight %g", name, w)
+	}
+	for _, v := range enc {
+		// Same validation (and message) DecodeRow applies per row.
+		if len(v) != m.Enc.Dim {
+			return nil, fmt.Errorf("swg: vector has %d dims, encoder has %d", len(v), m.Enc.Dim)
+		}
+	}
+	sc := m.Enc.Schema
+	n := len(enc)
+	rows := make([][]value.Value, n)
+	flat := make([]value.Value, n*sc.Len())
+	for i := range rows {
+		rows[i] = flat[i*sc.Len() : (i+1)*sc.Len() : (i+1)*sc.Len()]
+	}
+	cols := make([]table.Column, sc.Len())
+	dict := table.NewDict()
+	for ai := range m.Enc.Attrs {
+		sp := &m.Enc.Attrs[ai]
+		kind := sc.At(ai).Kind
+		cols[ai].Kind = kind
+		if err := decodeColumn(sp, ai, kind, enc, rows, &cols[ai], dict, name); err != nil {
+			return nil, err
+		}
+	}
+	wts := make([]float64, n)
+	for i := range wts {
+		wts[i] = w
+	}
+	return table.FromColumns(name, sc, cols, rows, wts, dict)
+}
+
+// decodeColumn fills one attribute's typed column and row-view slot for
+// every generated row, mirroring Encoder.DecodeRow exactly: categorical
+// blocks force to their argmax level, continuous values clamp to [0,1] and
+// unscale, INT attributes round to the nearest whole number.
+func decodeColumn(sp *AttrSpec, pos int, kind value.Kind, enc [][]float64, rows [][]value.Value, col *table.Column, dict *table.Dict, name string) error {
+	n := len(enc)
+	if sp.Categorical {
+		// Per-level caches, filled on first argmax hit: the coerced value
+		// (the same coercion Append's schema validation applied) and, for
+		// TEXT, the dictionary code. Lazy filling keeps the coercion-error
+		// surface identical to the row-append path — a bad level only errors
+		// if some row actually selects it. Codes intern in this attribute's
+		// first-use order (see the DecodeTable doc on code numbering).
+		levels := make([]value.Value, len(sp.Cats))
+		haveLevel := make([]bool, len(sp.Cats))
+		codes := make([]uint32, len(sp.Cats))
+		switch kind {
+		case value.KindText:
+			col.Codes = make([]uint32, n)
+		case value.KindBool:
+			col.Bools = make([]bool, n)
+		case value.KindInt:
+			col.Ints = make([]int64, n)
+		case value.KindFloat:
+			col.Floats = make([]float64, n)
+		}
+		for i, vec := range enc {
+			best, bestV := 0, math.Inf(-1)
+			for j := 0; j < sp.Width; j++ {
+				if v := vec[sp.Offset+j]; v > bestV {
+					bestV = v
+					best = j
+				}
+			}
+			if !haveLevel[best] {
+				cv, err := value.Coerce(sp.Cats[best], kind)
+				if err != nil {
+					return fmt.Errorf("table %s: schema: attribute %q: %v", name, sp.Name, err)
+				}
+				levels[best] = cv
+				if kind == value.KindText {
+					codes[best] = dict.Code(cv.AsText())
+				}
+				haveLevel[best] = true
+			}
+			cv := levels[best]
+			rows[i][pos] = cv
+			switch kind {
+			case value.KindText:
+				col.Codes[i] = codes[best]
+			case value.KindBool:
+				col.Bools[i] = cv.AsBool()
+			case value.KindInt:
+				col.Ints[i] = cv.AsInt()
+			case value.KindFloat:
+				col.Floats[i] = cv.AsFloat()
+			}
+		}
+		return nil
+	}
+	// Continuous: clamp, unscale, and (for INT) round — DecodeRow's exact
+	// arithmetic, always yielding the schema kind, so no coercion applies.
+	if kind == value.KindInt {
+		col.Ints = make([]int64, n)
+		for i, vec := range enc {
+			f := vec[sp.Offset]
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			x := int64(math.Round(sp.Min + f*(sp.Max-sp.Min)))
+			col.Ints[i] = x
+			rows[i][pos] = value.Int(x)
+		}
+		return nil
+	}
+	col.Floats = make([]float64, n)
+	for i, vec := range enc {
+		f := vec[sp.Offset]
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		x := sp.Min + f*(sp.Max-sp.Min)
+		col.Floats[i] = x
+		rows[i][pos] = value.Float(x)
+	}
+	return nil
+}
+
 // GenerateEncoded produces n encoded vectors from the trained generator,
 // advancing the model's training RNG stream.
 func (m *Model) GenerateEncoded(n int) [][]float64 {
@@ -491,7 +636,7 @@ func (m *Model) GenerateEncoded(n int) [][]float64 {
 
 // Generate produces a generated sample table of n tuples with weight 1.
 func (m *Model) Generate(name string, n int) (*table.Table, error) {
-	return m.decodeToTable(name, m.GenerateEncoded(n))
+	return m.DecodeTable(name, m.GenerateEncoded(n), 1)
 }
 
 // GenerateEncodedSeeded produces n encoded vectors from an independent RNG
@@ -508,7 +653,15 @@ func (m *Model) GenerateEncodedSeeded(n int, seed int64) [][]float64 {
 // not advance the model's training RNG, so replicate r of an OPEN query can
 // be generated on any goroutine in any order and still be deterministic.
 func (m *Model) GenerateSeeded(name string, n int, seed int64) (*table.Table, error) {
-	return m.decodeToTable(name, m.GenerateEncodedSeeded(n, seed))
+	return m.GenerateSeededWeighted(name, n, seed, 1)
+}
+
+// GenerateSeededWeighted is GenerateSeeded with every generated tuple at
+// weight w instead of 1 — the OPEN path's uniform reweighting to the
+// population size happens at build time rather than as a second pass over
+// the replicate table.
+func (m *Model) GenerateSeededWeighted(name string, n int, seed int64, w float64) (*table.Table, error) {
+	return m.DecodeTable(name, m.GenerateEncodedSeeded(n, seed), w)
 }
 
 // Loss evaluates Eq. 1 on a fresh eval-mode batch (no parameter update);

@@ -13,6 +13,7 @@
 package table
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -143,6 +144,59 @@ func newColumns(sc *schema.Schema) []Column {
 		cols[i].Kind = sc.At(i).Kind
 	}
 	return cols
+}
+
+// FromColumns assembles a table directly from fully-built typed columns —
+// the bulk-load path for generators that produce columnar data natively
+// (e.g. swg's decoded samples), skipping the per-row Append pipeline
+// (per-row validation, locking, and dictionary map lookups).
+//
+// The caller owns the invariants a per-row Append would have enforced: rows
+// must be the row view of cols (same values in the same order, already
+// schema-coerced), every TEXT code must be interned in dict, and weights
+// must be non-negative. Shape mismatches (column count, kind, payload
+// length, weight count) are rejected; value-level consistency between rows
+// and cols is trusted. The returned table owns the given slices.
+func FromColumns(name string, sc *schema.Schema, cols []Column, rows [][]value.Value, wts []float64, dict *Dict) (*Table, error) {
+	n := len(rows)
+	if len(wts) != n {
+		return nil, fmt.Errorf("table %s: %d weights for %d rows", name, len(wts), n)
+	}
+	if len(cols) != sc.Len() {
+		return nil, fmt.Errorf("table %s: %d columns for %d attributes", name, len(cols), sc.Len())
+	}
+	for i := range cols {
+		c := &cols[i]
+		if c.Kind != sc.At(i).Kind {
+			return nil, fmt.Errorf("table %s: column %d is %s, schema says %s", name, i, c.Kind, sc.At(i).Kind)
+		}
+		var got int
+		switch c.Kind {
+		case value.KindInt:
+			got = len(c.Ints)
+		case value.KindFloat:
+			got = len(c.Floats)
+		case value.KindBool:
+			got = len(c.Bools)
+		case value.KindText:
+			got = len(c.Codes)
+		}
+		if got != n {
+			return nil, fmt.Errorf("table %s: column %d has %d values for %d rows", name, i, got, n)
+		}
+		if len(c.Nulls) == 0 {
+			c.Nulls = nil
+		}
+	}
+	for i, w := range wts {
+		if w < 0 {
+			return nil, fmt.Errorf("table %s: negative weight %g at row %d", name, w, i)
+		}
+	}
+	if dict == nil {
+		dict = NewDict()
+	}
+	return &Table{name: name, schema: sc, rows: rows, wts: wts, cols: cols, dict: dict}, nil
 }
 
 // Snapshot is an immutable view of a table at one instant: the row view, the

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"mosaic"
+	"mosaic/internal/value"
 	"mosaic/internal/wire"
 )
 
@@ -101,18 +102,82 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
-// QueryContext runs a single SELECT on the server.
+// QueryContext runs a single SELECT on the server. Cancelling ctx (or
+// letting its deadline expire) cancels the statement server-side too: the
+// server threads the request context into the engine, so abandoned queries
+// stop consuming server CPU.
 func (c *Client) QueryContext(ctx context.Context, query string) (*mosaic.Result, error) {
-	var w wire.Result
-	if err := c.do(ctx, http.MethodPost, "/v1/query", wire.QueryRequest{Query: query}, &w); err != nil {
-		return nil, err
-	}
-	return wire.DecodeResult(&w)
+	return c.QueryParamsContext(ctx, query)
 }
 
 // Query runs a single SELECT on the server.
 func (c *Client) Query(query string) (*mosaic.Result, error) {
 	return c.QueryContext(context.Background(), query)
+}
+
+// QueryParamsContext runs a parameterized SELECT: params bind the query's
+// `?` placeholders in order. Values travel in the tagged wire encoding, so
+// the answer is byte-identical to the same query with the literals inlined.
+func (c *Client) QueryParamsContext(ctx context.Context, query string, params ...any) (*mosaic.Result, error) {
+	cells, err := encodeParams(params)
+	if err != nil {
+		return nil, err
+	}
+	var w wire.Result
+	if err := c.do(ctx, http.MethodPost, "/v1/query", wire.QueryRequest{Query: query, Params: cells}, &w); err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(&w)
+}
+
+// QueryParams runs a parameterized SELECT (see QueryParamsContext).
+func (c *Client) QueryParams(query string, params ...any) (*mosaic.Result, error) {
+	return c.QueryParamsContext(context.Background(), query, params...)
+}
+
+// encodeParams coerces Go-native parameters to wire cells.
+func encodeParams(params []any) ([]wire.Cell, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	vals := make([]mosaic.Value, len(params))
+	for i, p := range params {
+		v, err := value.FromRaw(p)
+		if err != nil {
+			return nil, fmt.Errorf("mosaic client: parameter %d: %v", i+1, err)
+		}
+		vals[i] = v
+	}
+	return wire.EncodeValues(vals), nil
+}
+
+// Stmt is a prepared-statement-style handle: the query text is fixed at
+// Prepare time and parameters bind per execution, mirroring
+// mosaic.DB.Prepare's API shape over HTTP. The handle is connection-free;
+// each execution travels as one parameterized /v1/query request (the wire
+// protocol is stateless, so the parse/plan amortization lives in-process on
+// the server side, not per handle).
+type Stmt struct {
+	c     *Client
+	query string
+}
+
+// Prepare returns a prepared-statement-style handle for query.
+func (c *Client) Prepare(query string) *Stmt {
+	return &Stmt{c: c, query: query}
+}
+
+// Text returns the statement's SQL text.
+func (s *Stmt) Text() string { return s.query }
+
+// Query executes the statement with params bound to its placeholders.
+func (s *Stmt) Query(params ...any) (*mosaic.Result, error) {
+	return s.c.QueryParams(s.query, params...)
+}
+
+// QueryContext is Query with a cancellation context.
+func (s *Stmt) QueryContext(ctx context.Context, params ...any) (*mosaic.Result, error) {
+	return s.c.QueryParamsContext(ctx, s.query, params...)
 }
 
 // RunContext executes a semicolon-separated script and returns the result of
@@ -144,9 +209,21 @@ func (c *Client) Exec(script string) error {
 	return err
 }
 
+// ExecContext is Exec with a cancellation context.
+func (c *Client) ExecContext(ctx context.Context, script string) error {
+	_, err := c.RunContext(ctx, script)
+	return err
+}
+
 // Scalar runs a query expected to return a single 1×1 numeric answer.
-func (c *Client) Scalar(query string) (float64, error) {
-	res, err := c.Query(query)
+// Optional params bind `?` placeholders.
+func (c *Client) Scalar(query string, params ...any) (float64, error) {
+	return c.ScalarContext(context.Background(), query, params...)
+}
+
+// ScalarContext is Scalar with a cancellation context.
+func (c *Client) ScalarContext(ctx context.Context, query string, params ...any) (float64, error) {
+	res, err := c.QueryParamsContext(ctx, query, params...)
 	if err != nil {
 		return 0, err
 	}

@@ -18,11 +18,12 @@
 // vectorized columnar engine on one synthetic table (-rows, default 1M):
 // scan-filter, group-by at cardinalities 10/1k/100k, weighted aggregates,
 // ORDER BY with the bounded top-K heap, columnar DISTINCT, the arithmetic
-// WHERE kernels, and the column-native OPEN decode (row-append vs
-// straight-into-columns generation), verifying byte-identical answers on
-// every case. -json writes the machine-readable report (committed as
-// BENCH_exec.json at the repo root so the speedup trajectory is tracked PR
-// over PR):
+// WHERE kernels (scalar-broadcast constants), the column-native OPEN decode
+// (row-append vs straight-into-columns generation), and prepared-statement
+// amortization (per-call parse+plan vs a reused mosaic.Stmt), verifying
+// byte-identical answers on every case. -json writes the machine-readable
+// report (committed as BENCH_exec.json at the repo root so the speedup
+// trajectory is tracked PR over PR):
 //
 //	mosaic-bench -exp exec -rows 1000000 -json BENCH_exec.json
 //

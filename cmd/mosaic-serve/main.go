@@ -14,6 +14,13 @@
 // snapshot on SIGINT/SIGTERM before exiting — so a kill + restart preserves
 // the catalog, rows, metadata, and sample weights exactly. Positional
 // scripts run after the boot restore (useful to seed a fresh instance).
+//
+// -request-timeout is a real bound on server-side work, not just on the
+// response: a request that exceeds it answers 504 AND is cancelled inside
+// the engine (training, generation, fitting, and scans all checkpoint the
+// request context), freeing its admission slot immediately. /statsz reports
+// these under "cancelled". Clients can also cancel early by dropping the
+// connection or using mosaic/client's *Context methods.
 package main
 
 import (

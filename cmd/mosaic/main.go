@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	mosaic [-seed N] [-open-samples N] [-workers N] [-remote URL] [file.sql ...]
+//	mosaic [-seed N] [-open-samples N] [-workers N] [-remote URL]
+//	       [-timeout D] [file.sql ...]
 //
 // With file arguments, each script executes in order against one shared
 // database and SELECT results print to stdout. Without arguments, mosaic
@@ -13,23 +14,31 @@
 // instead of an in-process engine: statements travel over the HTTP API and
 // results come back byte-for-byte identical to local execution (the engine
 // flags are then ignored — the server's options apply).
+//
+// -timeout bounds each submitted script with a context deadline: an
+// overrunning statement (e.g. a cold OPEN query) is cancelled — locally the
+// engine aborts at its next checkpoint, remotely the server cancels the
+// statement — and the shell stays usable.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mosaic"
 	"mosaic/client"
 )
 
 // runner abstracts the two backends of the shell: an in-process mosaic.DB or
-// a remote mosaic-serve driven through mosaic/client.
+// a remote mosaic-serve driven through mosaic/client. Both honor the
+// script context end to end.
 type runner interface {
-	Run(script string) ([]*mosaic.Result, error)
+	RunContext(ctx context.Context, script string) ([]*mosaic.Result, error)
 }
 
 func main() {
@@ -38,7 +47,9 @@ func main() {
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
 	workers := flag.Int("workers", 1, "intra-query workers (OPEN replicate fan-out, M-SWG training); answers are identical for any value")
 	remote := flag.String("remote", "", "drive a mosaic-serve instance at this base URL instead of an in-process engine")
+	timeout := flag.Duration("timeout", 0, "per-script deadline; overrunning statements are cancelled (0 = no limit)")
 	flag.Parse()
+	scriptTimeout = *timeout
 
 	var db runner
 	if *remote != "" {
@@ -71,8 +82,17 @@ func main() {
 	repl(db)
 }
 
+// scriptTimeout is the -timeout flag: a per-script context deadline.
+var scriptTimeout time.Duration
+
 func runScript(db runner, src string) error {
-	results, err := db.Run(src)
+	ctx := context.Background()
+	if scriptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, scriptTimeout)
+		defer cancel()
+	}
+	results, err := db.RunContext(ctx, src)
 	for _, res := range results {
 		if res != nil {
 			fmt.Println(res.String())

@@ -1,8 +1,10 @@
 package mosaic_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"mosaic"
 )
@@ -60,4 +62,70 @@ func Example() {
 	// SEMI-OPEN COUNT(*) = 1000 (IPF against the census)
 	// FR: 400
 	// UK: 600
+}
+
+// ExampleDB_Prepare shows prepared, parameterized statements: the query is
+// parsed and planned once, `?` placeholders bind per execution, and every
+// binding answers byte-identically to the same query with the literal
+// spelled inline.
+func ExampleDB_Prepare() {
+	db := mosaic.Open(nil)
+	if err := db.Exec(`CREATE TABLE Orders (city TEXT, total INT)`); err != nil {
+		log.Fatal(err)
+	}
+	err := db.Ingest("Orders", [][]any{
+		{"Oslo", 120}, {"Oslo", 80}, {"Lyon", 40}, {"Lyon", 200}, {"Turin", 90},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stmt, err := db.Prepare(`SELECT COUNT(*) FROM Orders WHERE city = ? AND total > ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, probe := range []struct {
+		city string
+		min  int
+	}{{"Oslo", 100}, {"Lyon", 30}} {
+		n, err := stmt.Scalar(probe.city, probe.min)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s over %d: %.0f\n", probe.city, probe.min, n)
+	}
+	// Output:
+	// Oslo over 100: 1
+	// Lyon over 30: 2
+}
+
+// ExampleDB_QueryContext shows cancellation: a context deadline bounds even
+// expensive OPEN queries (model training, replicate generation), returning
+// ctx.Err() promptly while leaving the database consistent — the same query
+// re-run without the deadline gives the normal, deterministic answer.
+func ExampleDB_QueryContext() {
+	db := mosaic.Open(nil)
+	if err := db.Exec(`CREATE TABLE Events (kind TEXT, n INT)`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("Events", [][]any{{"click", 3}, {"view", 9}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// An already-expired context cancels before any work happens.
+	expired, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	if _, err := db.QueryContext(expired, `SELECT COUNT(*) FROM Events`); err != nil {
+		fmt.Println("cancelled:", err == context.DeadlineExceeded)
+	}
+
+	// The same query without the deadline answers normally.
+	n, err := db.ScalarContext(context.Background(), `SELECT COUNT(*) FROM Events WHERE n > ?`, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events over 5: %.0f\n", n)
+	// Output:
+	// cancelled: true
+	// events over 5: 1
 }

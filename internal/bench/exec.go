@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"mosaic"
 	"mosaic/internal/exec"
 	"mosaic/internal/marginal"
 	"mosaic/internal/schema"
@@ -33,10 +34,14 @@ type ExecCase struct {
 	Query   string  `json:"query"`
 	Rows    int     `json:"rows"`
 	Groups  int     `json:"groups"`   // output rows of the query
-	RowMs   float64 `json:"row_ms"`   // row engine, ms per run
-	VecMs   float64 `json:"vec_ms"`   // vectorized engine, ms per run
+	RowMs   float64 `json:"row_ms"`   // row engine (or baseline path), ms per run
+	VecMs   float64 `json:"vec_ms"`   // vectorized engine (or optimized path), ms per run
 	Speedup float64 `json:"speedup"`  // RowMs / VecMs
 	Match   bool    `json:"verified"` // answers byte-identical across paths
+	// PrevVecMs, when present in the committed BENCH_exec.json, records the
+	// optimized-path time of the previous PR for cases whose kernel changed
+	// (a before/after annotation; the generator leaves it unset).
+	PrevVecMs float64 `json:"prev_vec_ms,omitempty"`
 }
 
 // ExecResult is the full microbenchmark report.
@@ -186,6 +191,11 @@ func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
 		return nil, err
 	}
 	out.Cases = append(out.Cases, genCase)
+	prepCase, err := runPreparedCase()
+	if err != nil {
+		return nil, err
+	}
+	out.Cases = append(out.Cases, prepCase)
 	// The byte-verification is the point of the exercise: a divergence
 	// between the two executors (or the two decode paths) must fail the
 	// run, not just flip a JSON field — CI leans on this as a differential
@@ -265,6 +275,68 @@ func runOpenGenCase(cfg ExecConfig) (ExecCase, error) {
 		RowMs:   rowMs,
 		VecMs:   vecMs,
 		Speedup: rowMs / vecMs,
+		Match:   match,
+	}, nil
+}
+
+// runPreparedCase measures the prepared-statement amortization through the
+// public API: an unprepared parameterized db.Query (re-lex, re-parse,
+// re-plan, then execute) against re-executing one db.Prepare'd Stmt. The
+// table is deliberately small so the per-call parse+plan overhead — the cost
+// prepared statements exist to amortize — is visible next to execution; the
+// answer is byte-verified against the literal-inlined spelling first.
+func runPreparedCase() (ExecCase, error) {
+	const rows = 2000
+	db := mosaic.Open(nil)
+	if err := db.Exec("CREATE TABLE tp (c10 TEXT, x INT)"); err != nil {
+		return ExecCase{}, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([][]any, rows)
+	for i := range batch {
+		batch[i] = []any{fmt.Sprintf("g%d", rng.Intn(10)), rng.Intn(1000)}
+	}
+	if err := db.Ingest("tp", batch); err != nil {
+		return ExecCase{}, err
+	}
+	const paramQ = "SELECT c10, COUNT(*) FROM tp WHERE x > ? GROUP BY c10 ORDER BY c10"
+	const litQ = "SELECT c10, COUNT(*) FROM tp WHERE x > 500 GROUP BY c10 ORDER BY c10"
+	stmt, err := db.Prepare(paramQ)
+	if err != nil {
+		return ExecCase{}, err
+	}
+	want, err := db.Query(litQ)
+	if err != nil {
+		return ExecCase{}, err
+	}
+	got, err := stmt.Query(500)
+	if err != nil {
+		return ExecCase{}, err
+	}
+	match := got.String() == want.String()
+
+	unpreparedMs, err := timeBudget(func() error {
+		_, err := db.Query(paramQ, 500)
+		return err
+	})
+	if err != nil {
+		return ExecCase{}, err
+	}
+	preparedMs, err := timeBudget(func() error {
+		_, err := stmt.Query(500)
+		return err
+	})
+	if err != nil {
+		return ExecCase{}, err
+	}
+	return ExecCase{
+		Name:    "prepared-exec",
+		Query:   fmt.Sprintf("%s (param 500, %d rows): per-call parse+plan vs prepared Stmt", paramQ, rows),
+		Rows:    rows,
+		Groups:  len(got.Rows),
+		RowMs:   unpreparedMs,
+		VecMs:   preparedMs,
+		Speedup: unpreparedMs / preparedMs,
 		Match:   match,
 	}, nil
 }

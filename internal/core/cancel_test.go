@@ -1,0 +1,298 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mosaic/internal/sql"
+	"mosaic/internal/swg"
+)
+
+// slowWorld is smallWorld with a deliberately expensive M-SWG schedule, so a
+// short deadline reliably lands mid-training.
+func slowWorld(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(Options{
+		Seed:        3,
+		OpenSamples: 3,
+		SWG: swg.Config{
+			Hidden: []int{64, 64}, Latent: 2, Epochs: 500,
+			BatchSize: 256, Projections: 64, StepsPerEpoch: 20,
+		},
+	})
+	seedWorld(t, e)
+	return e
+}
+
+// seedWorld loads the two-attribute world of smallWorld into e.
+func seedWorld(t *testing.T, e *Engine) {
+	t.Helper()
+	exec1(t, e, `
+		CREATE GLOBAL POPULATION World (grp TEXT, v INT);
+		CREATE SAMPLE S AS (SELECT * FROM World WHERE grp = 'a');
+		CREATE TABLE Truth (grp TEXT, v INT, n INT);
+		INSERT INTO Truth VALUES ('a', 1, 40), ('b', 2, 60);
+		CREATE METADATA World_M1 AS (SELECT grp, n FROM Truth);
+		CREATE METADATA World_M2 AS (SELECT v, n FROM Truth);
+		INSERT INTO S VALUES ('a', 1), ('a', 1), ('a', 1), ('a', 1), ('a', 1),
+		                     ('a', 1), ('a', 1), ('a', 1), ('a', 1), ('a', 1);
+	`)
+}
+
+func mustParse(t *testing.T, src string) *sql.Select {
+	t.Helper()
+	sel, err := sql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return sel
+}
+
+// TestCancelledContextRejectsQuery: an already-expired context returns its
+// error without doing any work, on every visibility.
+func TestCancelledContextRejectsQuery(t *testing.T) {
+	e := smallWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, q := range []string{
+		"SELECT CLOSED COUNT(*) FROM World",
+		"SELECT SEMI-OPEN COUNT(*) FROM World",
+		"SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp",
+	} {
+		if _, err := e.QueryContext(ctx, mustParse(t, q)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%q with cancelled ctx = %v, want context.Canceled", q, err)
+		}
+	}
+}
+
+// TestCancelMidTrainingIsPromptAndDoesNotPoison: a deadline that lands in
+// the middle of M-SWG training aborts promptly, and the next uncancelled
+// query retrains from scratch to the byte-identical uncancelled answer (the
+// cancelled attempt is never cached).
+func TestCancelMidTrainingIsPromptAndDoesNotPoison(t *testing.T) {
+	q := "SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp"
+	e := slowWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.QueryContext(ctx, mustParse(t, q))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-training deadline = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; checkpoints are not firing", elapsed)
+	}
+
+	// The full (uncancelled) run on the same engine must match a fresh
+	// engine that never saw a cancellation — fast config so the test stays
+	// quick; both engines share it.
+	e2, ref := smallWorld(t), smallWorld(t)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if _, err := e2.QueryContext(ctx2, mustParse(t, q)); err == nil {
+		t.Log("cancellation missed the fast training window; determinism check still valid")
+	}
+	got, err := e2.Query(mustParse(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(mustParse(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("answer after cancellation diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestCancelMidIPF: a deadline during the SEMI-OPEN IPF fit aborts with the
+// context error, leaves no cached fit behind, and the next query fits
+// cleanly to the byte-identical answer.
+func TestCancelMidIPF(t *testing.T) {
+	q := "SELECT SEMI-OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp"
+	e := smallWorld(t)
+	// A context that is already past its deadline: the fit's first sweep
+	// checkpoint sees it.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.QueryContext(ctx, mustParse(t, q)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx = %v, want context.DeadlineExceeded", err)
+	}
+	got, err := e.Query(mustParse(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := smallWorld(t).Query(mustParse(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("SEMI-OPEN after cancelled fit diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestCancelStressDeterministicAfterwards hammers one engine with queries
+// under randomly-placed deadlines from many goroutines (run under -race in
+// CI), then verifies the engine still answers every query byte-identically
+// to a fresh engine: cancellation at any checkpoint must never corrupt the
+// caches or the deterministic RNG streams.
+func TestCancelStressDeterministicAfterwards(t *testing.T) {
+	queries := []string{
+		"SELECT CLOSED COUNT(*) FROM World",
+		"SELECT SEMI-OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp",
+		"SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp",
+		"SELECT OPEN grp, AVG(v) FROM World WHERE v > 0 GROUP BY grp ORDER BY grp",
+	}
+	e := NewEngine(Options{
+		Seed:        3,
+		OpenSamples: 3,
+		Workers:     2,
+		SWG: swg.Config{
+			Hidden: []int{16, 16}, Latent: 2, Epochs: 8,
+			BatchSize: 128, Projections: 12, StepsPerEpoch: 4,
+		},
+	})
+	seedWorld(t, e)
+
+	const goroutines = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				q := queries[rng.Intn(len(queries))]
+				sel, err := sql.ParseQuery(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Deadlines from "already expired" to "usually survives".
+				d := time.Duration(rng.Intn(40)) * time.Millisecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				_, err = e.QueryContext(ctx, sel)
+				cancel()
+				if err != nil && !isCtxErr(err) {
+					t.Errorf("stress %q: unexpected error %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ref := NewEngine(Options{
+		Seed:        3,
+		OpenSamples: 3,
+		Workers:     2,
+		SWG: swg.Config{
+			Hidden: []int{16, 16}, Latent: 2, Epochs: 8,
+			BatchSize: 128, Projections: 12, StepsPerEpoch: 4,
+		},
+	})
+	seedWorld(t, ref)
+	for _, q := range queries {
+		got, err := e.Query(mustParse(t, q))
+		if err != nil {
+			t.Fatalf("post-stress %q: %v", q, err)
+		}
+		want, err := ref.Query(mustParse(t, q))
+		if err != nil {
+			t.Fatalf("reference %q: %v", q, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("post-stress %q diverged:\n got: %s\nwant: %s", q, got, want)
+		}
+	}
+}
+
+// TestCancelWaiterDoesNotKillLeader: a short-deadline waiter blocked behind
+// another query's in-flight training gives up with its own ctx error while
+// the leader completes and caches normally.
+func TestCancelWaiterDoesNotKillLeader(t *testing.T) {
+	e := smallWorld(t)
+	q := mustParse(t, "SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp")
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.Query(q)
+		leaderDone <- err
+	}()
+	// The waiter's deadline is far shorter than training; whichever of the
+	// two becomes the single-flight leader, the uncancelled caller must
+	// still succeed.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, werr := e.QueryContext(ctx, q)
+	if werr != nil && !isCtxErr(werr) {
+		t.Errorf("waiter error = %v, want nil or a context error", werr)
+	}
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("uncancelled caller failed: %v", err)
+	}
+	// And the cache now serves instantly.
+	start := time.Now()
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("second query did not hit the model cache")
+	}
+}
+
+// TestSfDoPanicReleasesSlot: a panicking compute must not wedge the
+// single-flight slot — the panic propagates to its caller and the next
+// caller gets to recompute (and cache) cleanly.
+func TestSfDoPanicReleasesSlot(t *testing.T) {
+	var mu sync.Mutex
+	slots := map[string]*sfEntry[int]{}
+	lookup := func() *sfEntry[int] {
+		ent, ok := slots["k"]
+		if !ok {
+			ent = &sfEntry[int]{}
+			slots["k"] = ent
+		}
+		return ent
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic in compute did not propagate")
+			}
+		}()
+		_, _ = sfDo(context.Background(), &mu, lookup, func() (int, error) {
+			panic("boom")
+		})
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := sfDo(context.Background(), &mu, lookup, func() (int, error) { return 42, nil })
+		if v != 42 || err != nil {
+			t.Errorf("post-panic compute = (%d, %v), want (42, nil)", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot wedged: caller after a panicked compute blocked forever")
+	}
+}
+
+// TestExecScriptContextStopsBetweenStatements: a cancelled script context
+// stops execution between statements.
+func TestExecScriptContextStopsBetweenStatements(t *testing.T) {
+	e := NewEngine(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.ExecScriptContext(ctx, "CREATE TABLE T (a INT); INSERT INTO T VALUES (1)")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled script = %v, want context.Canceled", err)
+	}
+}

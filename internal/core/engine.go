@@ -5,9 +5,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mosaic/internal/catalog"
 	"mosaic/internal/exec"
@@ -84,33 +87,112 @@ type Engine struct {
 	// execution (read side).
 	mu sync.RWMutex
 
+	// gen counts DDL/DML generations: every mutation attempt advances it
+	// (under the write lock), and prepared statements compare it to decide
+	// whether their cached plan is still valid. Bumping on failed mutations
+	// too costs only a spurious re-plan, never a stale one.
+	gen atomic.Uint64
+
 	// cacheMu guards the cache maps themselves; the entries carry their own
 	// single-flight gates so cacheMu is never held across training or
 	// fitting.
 	cacheMu sync.Mutex
-	models  map[string]*modelEntry // key: sample|population
-	ipfFits map[string]*ipfEntry   // key: scope-prefixed sample|population
+	models  map[string]*sfEntry[*swg.Model] // key: sample|population
+	ipfFits map[string]*sfEntry[ipfFit]     // key: scope-prefixed sample|population
 }
 
-// modelEntry is a lazily trained M-SWG cache slot. The once gate makes
-// concurrent first queries train exactly once. Outcomes (including errors)
-// are pure functions of the engine state, so they stay cached until the next
-// mutation invalidates them.
-type modelEntry struct {
-	once  sync.Once
-	model *swg.Model
-	err   error
-}
-
-// ipfEntry caches a SEMI-OPEN IPF fit for one sample/population pair: the
-// whole-sample weight vector for global-scope fits, or the fitted
-// view-restricted sub-table for query-scope fits. Both are served read-only
-// (exec never mutates weight overrides or scanned tables).
-type ipfEntry struct {
-	once    sync.Once
+// ipfFit is the cached outcome of a SEMI-OPEN IPF fit for one
+// sample/population pair: the whole-sample weight vector for global-scope
+// fits, or the fitted view-restricted sub-table for query-scope fits. Both
+// are served read-only (exec never mutates weight overrides or scanned
+// tables).
+type ipfFit struct {
 	weights []float64
 	sub     *table.Table
-	err     error
+}
+
+// sfEntry is an interruptible single-flight cache slot. One computing caller
+// runs the expensive work; concurrent callers wait on ready OR their own
+// context — so a waiter with a short deadline is never held hostage by a
+// slower leader. Completed outcomes (including non-context errors, which are
+// pure functions of the engine state) stay cached until the next mutation
+// invalidates the map; a cancelled attempt leaves the slot empty so the next
+// caller recomputes from scratch.
+type sfEntry[T any] struct {
+	val   T
+	err   error
+	done  bool
+	doing bool
+	ready chan struct{} // non-nil while doing; closed when the attempt ends
+}
+
+// sfDo resolves one single-flight slot. lookup is called under mu and must
+// return the slot to use (creating it if absent — and re-reading the map
+// every time, so a concurrent invalidation hands out a fresh slot). compute
+// runs without mu held and must honor ctx; a compute outcome that IS a
+// context error (checked with errors.Is, so wrapped cancellations count) is
+// returned to the caller but never cached.
+func sfDo[T any](ctx context.Context, mu *sync.Mutex, lookup func() *sfEntry[T], compute func() (T, error)) (T, error) {
+	var zero T
+	for {
+		mu.Lock()
+		ent := lookup()
+		if ent.done {
+			v, err := ent.val, ent.err
+			mu.Unlock()
+			return v, err
+		}
+		if !ent.doing {
+			ent.doing = true
+			ent.ready = make(chan struct{})
+			mu.Unlock()
+			var v T
+			var err error
+			completed := false
+			func() {
+				defer func() {
+					if completed {
+						return
+					}
+					// compute panicked: release the slot so later callers
+					// retry instead of blocking forever on ready; the panic
+					// keeps unwinding past sfDo.
+					mu.Lock()
+					ent.doing = false
+					close(ent.ready)
+					ent.ready = nil
+					mu.Unlock()
+				}()
+				v, err = compute()
+				completed = true
+			}()
+			mu.Lock()
+			ent.doing = false
+			close(ent.ready)
+			ent.ready = nil
+			if isCtxErr(err) {
+				mu.Unlock()
+				return zero, err
+			}
+			ent.val, ent.err, ent.done = v, err, true
+			mu.Unlock()
+			return v, err
+		}
+		ready := ent.ready
+		mu.Unlock()
+		select {
+		case <-ready:
+			// The leader finished (or was cancelled); re-resolve the slot.
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// isCtxErr reports whether err is a cancellation outcome (context.Canceled
+// or context.DeadlineExceeded, possibly wrapped).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // NewEngine creates an engine with an empty catalog.
@@ -118,8 +200,8 @@ func NewEngine(opts Options) *Engine {
 	return &Engine{
 		cat:     catalog.New(),
 		opts:    opts.withDefaults(),
-		models:  make(map[string]*modelEntry),
-		ipfFits: make(map[string]*ipfEntry),
+		models:  make(map[string]*sfEntry[*swg.Model]),
+		ipfFits: make(map[string]*sfEntry[ipfFit]),
 	}
 }
 
@@ -129,16 +211,32 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // Options returns the engine's effective options.
 func (e *Engine) Options() Options { return e.opts }
 
+// Generation returns the engine's DDL/DML generation counter. It advances on
+// every mutation (CREATE/INSERT/DROP/COPY/UPDATE, ingestion, mechanism and
+// marginal changes); prepared statements use it to detect stale plans.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
+
 // ExecScript parses and executes a semicolon-separated script, returning the
 // result of each statement (nil for DDL/DML).
 func (e *Engine) ExecScript(src string) ([]*exec.Result, error) {
+	return e.ExecScriptContext(context.Background(), src)
+}
+
+// ExecScriptContext is ExecScript with a cancellation context, checked
+// between statements and honored inside each SELECT. Statements already
+// executed when the context expires stay executed (each statement is atomic;
+// scripts are not).
+func (e *Engine) ExecScriptContext(ctx context.Context, src string) ([]*exec.Result, error) {
 	stmts, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*exec.Result, 0, len(stmts))
 	for i, st := range stmts {
-		res, err := e.Exec(st)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := e.ExecContext(ctx, st)
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
@@ -150,14 +248,25 @@ func (e *Engine) ExecScript(src string) ([]*exec.Result, error) {
 // Exec executes one parsed statement. SELECT and EXPLAIN run on the shared
 // read path; every other statement takes the engine write lock.
 func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
+	return e.ExecContext(context.Background(), st)
+}
+
+// ExecContext is Exec with a cancellation context. SELECTs honor it at every
+// engine checkpoint; DDL/DML checks it before taking the write lock and then
+// runs to completion (partial mutations are never left behind).
+func (e *Engine) ExecContext(ctx context.Context, st sql.Statement) (*exec.Result, error) {
 	switch s := st.(type) {
 	case *sql.Select:
-		return e.Query(s)
+		return e.QueryContext(ctx, s)
 	case *sql.Explain:
 		return e.Explain(s.Query)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.gen.Add(1)
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		return nil, e.execCreateTable(s)
@@ -186,8 +295,8 @@ func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
 // mid-flight with a stale cache entry.
 func (e *Engine) invalidateModels() {
 	e.cacheMu.Lock()
-	e.models = make(map[string]*modelEntry)
-	e.ipfFits = make(map[string]*ipfEntry)
+	e.models = make(map[string]*sfEntry[*swg.Model])
+	e.ipfFits = make(map[string]*sfEntry[ipfFit])
 	e.cacheMu.Unlock()
 }
 
@@ -292,6 +401,7 @@ func (e *Engine) execCreateSample(s *sql.CreateSample) error {
 func (e *Engine) SetSampleMechanism(sample string, m mechanism.Mechanism) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.gen.Add(1)
 	s, ok := e.cat.Sample(sample)
 	if !ok {
 		return fmt.Errorf("core: no sample %q", sample)
@@ -371,6 +481,7 @@ func (e *Engine) execCreateMetadata(s *sql.CreateMetadata) error {
 func (e *Engine) AddMarginal(pop string, m *marginal.Marginal) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.gen.Add(1)
 	e.invalidateModels()
 	return e.cat.AddMarginal(pop, m)
 }
@@ -486,6 +597,7 @@ func (e *Engine) execUpdateWeights(s *sql.UpdateWeights) error {
 func (e *Engine) Ingest(relation string, rows [][]any) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.gen.Add(1)
 	t, err := e.sourceTable(relation)
 	if err != nil {
 		return err
@@ -514,6 +626,7 @@ func (e *Engine) Ingest(relation string, rows [][]any) error {
 func (e *Engine) IngestTable(relation string, src *table.Table) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.gen.Add(1)
 	dst, err := e.sourceTable(relation)
 	if err != nil {
 		return err

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mosaic/internal/catalog"
+	"mosaic/internal/exec"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+)
+
+// PreparedQuery caches everything about one SELECT that does not depend on
+// bound parameter values: the relation route and, for population queries,
+// the resolved plan (chosen sample, marginal scope, view predicate). Plans
+// are keyed by the engine's DDL/DML generation counter — any mutation
+// invalidates them, and the next execution transparently re-resolves. A
+// PreparedQuery is safe for concurrent use and belongs to one Engine.
+//
+// Parameter placeholders never reach the plan: binding replaces them with
+// literals before execution, and the plan depends only on which columns a
+// query references — identical for every binding — so one plan serves every
+// parameterization.
+type PreparedQuery struct {
+	eng      *Engine
+	skeleton *sql.Select // the statement as parsed, placeholders intact
+
+	mu     sync.Mutex
+	gen    uint64 // engine generation the cached resolution belongs to
+	valid  bool
+	route  string
+	tbl    *table.Table    // route "table"
+	smp    *catalog.Sample // route "sample"
+	pop    *catalog.Population
+	pc     *planContext // route "population"
+	resErr error        // cached resolution error (also generation-keyed)
+}
+
+// Prepare readies sel for repeated execution against the engine. Resolution
+// is lazy: the first execution (per DDL/DML generation) resolves the route
+// and plan, later executions reuse them.
+func (e *Engine) Prepare(sel *sql.Select) *PreparedQuery {
+	return &PreparedQuery{eng: e, skeleton: sel}
+}
+
+// Statement returns the prepared statement as parsed (placeholders intact).
+func (pq *PreparedQuery) Statement() *sql.Select { return pq.skeleton }
+
+// QueryPrepared executes the prepared query with bound already substituted
+// for the skeleton's placeholders (see sql.BindParams); pass the skeleton
+// itself for parameterless statements. It holds the engine read lock for the
+// whole execution, exactly like Query, and returns byte-identical answers —
+// the only difference is that parsing and planning are amortized across
+// executions.
+func (e *Engine) QueryPrepared(ctx context.Context, pq *PreparedQuery, bound *sql.Select) (*exec.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pq.eng != e {
+		return nil, fmt.Errorf("core: prepared query belongs to a different engine")
+	}
+	if bound.NumParams > 0 {
+		return nil, fmt.Errorf("core: statement has %d unbound parameter(s); bind them with sql.BindParams", bound.NumParams)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := pq.resolve(); err != nil {
+		return nil, err
+	}
+	switch pq.route {
+	case "table":
+		if bound.Visibility == sql.VisibilitySemiOpen || bound.Visibility == sql.VisibilityOpen {
+			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", bound.Visibility, bound.From)
+		}
+		return exec.RunContext(ctx, pq.tbl, bound, exec.Options{Weighted: false, ForceRow: e.opts.RowExec})
+	case "sample":
+		if bound.Visibility == sql.VisibilitySemiOpen || bound.Visibility == sql.VisibilityOpen {
+			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", bound.Visibility, bound.From)
+		}
+		return exec.RunContext(ctx, pq.smp.Table, bound, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+	default: // population
+		// Star expansion depends only on the item shapes, which binding
+		// preserves, so expanding the bound statement matches the skeleton.
+		return e.runVisibility(ctx, pq.pc, expandStars(bound, pq.pop))
+	}
+}
+
+// resolve (re)computes the route and plan when the cached one is missing or
+// from an older engine generation. Callers hold the engine read lock, so the
+// catalog cannot change mid-resolution and the generation read is stable.
+func (pq *PreparedQuery) resolve() error {
+	e := pq.eng
+	gen := e.gen.Load()
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	if pq.valid && pq.gen == gen {
+		return pq.resErr
+	}
+	pq.gen = gen
+	pq.valid = true
+	pq.tbl, pq.smp, pq.pop, pq.pc, pq.resErr = nil, nil, nil, nil, nil
+	switch pq.route = e.cat.Resolve(pq.skeleton.From); pq.route {
+	case "table":
+		pq.tbl, _ = e.cat.Table(pq.skeleton.From)
+	case "sample":
+		pq.smp, _ = e.cat.Sample(pq.skeleton.From)
+	case "population":
+		pop, _ := e.cat.Population(pq.skeleton.From)
+		pq.pop = pop
+		pc, err := e.plan(pop, expandStars(pq.skeleton, pop))
+		if err != nil {
+			pq.resErr = err
+			return err
+		}
+		pq.pc = pc
+	default:
+		pq.resErr = fmt.Errorf("core: unknown relation %q", pq.skeleton.From)
+	}
+	return pq.resErr
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mosaic/internal/sql"
+	"mosaic/internal/value"
+)
+
+// bindOne binds a single value to a one-placeholder statement.
+func bindOne(t *testing.T, sel *sql.Select, v value.Value) *sql.Select {
+	t.Helper()
+	bound, err := sql.BindParams(sel, []value.Value{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bound
+}
+
+// TestPreparedParamVsLiteralGrid: for every visibility, a prepared
+// parameterized query must answer byte-identically to the same query with
+// the literal inlined — both through Query and through QueryPrepared.
+func TestPreparedParamVsLiteralGrid(t *testing.T) {
+	cases := []struct {
+		name    string
+		param   string
+		literal string
+		bind    value.Value
+	}{
+		{
+			"closed-int",
+			"SELECT CLOSED grp, COUNT(*) FROM World WHERE v > ? GROUP BY grp ORDER BY grp",
+			"SELECT CLOSED grp, COUNT(*) FROM World WHERE v > 0 GROUP BY grp ORDER BY grp",
+			value.Int(0),
+		},
+		{
+			"semiopen-int",
+			"SELECT SEMI-OPEN grp, COUNT(*) FROM World WHERE v > ? GROUP BY grp ORDER BY grp",
+			"SELECT SEMI-OPEN grp, COUNT(*) FROM World WHERE v > 0 GROUP BY grp ORDER BY grp",
+			value.Int(0),
+		},
+		{
+			"open-int",
+			"SELECT OPEN grp, COUNT(*) FROM World WHERE v > ? GROUP BY grp ORDER BY grp",
+			"SELECT OPEN grp, COUNT(*) FROM World WHERE v > 0 GROUP BY grp ORDER BY grp",
+			value.Int(0),
+		},
+		{
+			"closed-text",
+			"SELECT CLOSED COUNT(*) FROM World WHERE grp = ?",
+			"SELECT CLOSED COUNT(*) FROM World WHERE grp = 'a'",
+			value.Text("a"),
+		},
+		{
+			"open-float-arith",
+			"SELECT OPEN grp, SUM(v) FROM World WHERE v * 2.0 > ? GROUP BY grp ORDER BY grp",
+			"SELECT OPEN grp, SUM(v) FROM World WHERE v * 2.0 > 0.5 GROUP BY grp ORDER BY grp",
+			value.Float(0.5),
+		},
+	}
+	e := smallWorld(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := e.Query(mustParse(t, tc.literal))
+			if err != nil {
+				t.Fatalf("literal: %v", err)
+			}
+			skel := mustParse(t, tc.param)
+			if skel.NumParams != 1 {
+				t.Fatalf("NumParams = %d, want 1", skel.NumParams)
+			}
+			bound := bindOne(t, skel, tc.bind)
+			got, err := e.Query(bound)
+			if err != nil {
+				t.Fatalf("bound: %v", err)
+			}
+			if got.String() != want.String() {
+				t.Errorf("bound != literal:\n got: %s\nwant: %s", got, want)
+			}
+			pq := e.Prepare(skel)
+			for i := 0; i < 2; i++ { // second run exercises the cached plan
+				pres, err := e.QueryPrepared(context.Background(), pq, bound)
+				if err != nil {
+					t.Fatalf("prepared run %d: %v", i, err)
+				}
+				if pres.String() != want.String() {
+					t.Errorf("prepared run %d != literal:\n got: %s\nwant: %s", i, pres, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedInvalidatesOnDDL: a prepared statement must observe every
+// DDL/DML that happens after it was prepared — inserts into its relation,
+// and even a new, larger sample that changes which table the planner picks.
+func TestPreparedInvalidatesOnDDL(t *testing.T) {
+	e := smallWorld(t)
+
+	// Auxiliary-table route: counts track inserts.
+	skel := mustParse(t, "SELECT COUNT(*) FROM Truth WHERE n > ?")
+	pq := e.Prepare(skel)
+	run := func() float64 {
+		t.Helper()
+		res, err := e.QueryPrepared(context.Background(), pq, bindOne(t, skel, value.Int(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := res.Rows[0][0].Float64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if got := run(); got != 2 {
+		t.Fatalf("initial count = %g, want 2", got)
+	}
+	exec1(t, e, "INSERT INTO Truth VALUES ('c', 3, 10)")
+	if got := run(); got != 3 {
+		t.Fatalf("count after INSERT = %g, want 3 (stale plan?)", got)
+	}
+
+	// Population route: a new larger covering sample must be re-picked. The
+	// invariant is that QueryPrepared always matches an unprepared Query.
+	popSkel := mustParse(t, "SELECT CLOSED COUNT(*) FROM World WHERE v >= ?")
+	popPq := e.Prepare(popSkel)
+	bound := bindOne(t, popSkel, value.Int(0))
+	check := func(stage string) {
+		t.Helper()
+		got, err := e.QueryPrepared(context.Background(), popPq, bound)
+		if err != nil {
+			t.Fatalf("%s: prepared: %v", stage, err)
+		}
+		want, err := e.Query(bound)
+		if err != nil {
+			t.Fatalf("%s: query: %v", stage, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: prepared diverged from query:\n got: %s\nwant: %s", stage, got, want)
+		}
+	}
+	check("before new sample")
+	exec1(t, e, "CREATE SAMPLE S2 AS (SELECT * FROM World)")
+	rows := make([][]any, 0, 20)
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []any{"b", 2})
+	}
+	if err := e.Ingest("S2", rows); err != nil {
+		t.Fatal(err)
+	}
+	check("after larger sample S2")
+
+	// Sanity: the larger sample really changed the answer (20 b-tuples).
+	res, err := e.QueryPrepared(context.Background(), popPq, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := res.Rows[0][0].Float64(); f != 20 {
+		t.Errorf("count after S2 = %g, want 20 (planner did not re-pick)", f)
+	}
+}
+
+// TestPreparedRejectsUnbound: executing with placeholders still in the tree
+// fails loudly on both the plain and prepared paths.
+func TestPreparedRejectsUnbound(t *testing.T) {
+	e := smallWorld(t)
+	skel := mustParse(t, "SELECT COUNT(*) FROM Truth WHERE n > ?")
+	if _, err := e.Query(skel); err == nil {
+		t.Error("Query with unbound params succeeded")
+	}
+	if _, err := e.QueryPrepared(context.Background(), e.Prepare(skel), skel); err == nil {
+		t.Error("QueryPrepared with unbound params succeeded")
+	}
+	if _, err := sql.BindParams(skel, nil); err == nil {
+		t.Error("BindParams with missing values succeeded")
+	}
+	if _, err := sql.BindParams(skel, []value.Value{value.Int(1), value.Int(2)}); err == nil {
+		t.Error("BindParams with excess values succeeded")
+	}
+}
+
+// TestPreparedWrongEngineRejected: a PreparedQuery is bound to its engine.
+func TestPreparedWrongEngineRejected(t *testing.T) {
+	e1, e2 := smallWorld(t), smallWorld(t)
+	skel := mustParse(t, "SELECT COUNT(*) FROM Truth")
+	pq := e1.Prepare(skel)
+	if _, err := e2.QueryPrepared(context.Background(), pq, skel); err == nil {
+		t.Error("foreign engine accepted another engine's prepared query")
+	}
+}
+
+// TestGenerationAdvancesOnMutation pins the invalidation signal itself.
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	e := NewEngine(Options{})
+	g0 := e.Generation()
+	exec1(t, e, "CREATE TABLE T (a INT)")
+	if e.Generation() == g0 {
+		t.Error("CREATE TABLE did not advance the generation")
+	}
+	g1 := e.Generation()
+	exec1(t, e, "INSERT INTO T VALUES (1)")
+	if e.Generation() == g1 {
+		t.Error("INSERT did not advance the generation")
+	}
+	g2 := e.Generation()
+	if err := e.Ingest("T", [][]any{{int64(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation() == g2 {
+		t.Error("Ingest did not advance the generation")
+	}
+	// Queries must not advance it.
+	g3 := e.Generation()
+	if _, err := e.Query(mustParse(t, "SELECT COUNT(*) FROM T")); err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation() != g3 {
+		t.Error("SELECT advanced the generation")
+	}
+}
+
+// TestParamRendersAndReparses: the ? placeholder round-trips through the
+// expression renderer (the fuzz harness relies on this fixed point).
+func TestParamRendersAndReparses(t *testing.T) {
+	skel := mustParse(t, "SELECT COUNT(*) FROM T WHERE a > ? AND b IN (?, 3) AND c BETWEEN ? AND 9")
+	if skel.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", skel.NumParams)
+	}
+	rendered := fmt.Sprintf("SELECT COUNT(*) FROM T WHERE %s", skel.Where)
+	again := mustParse(t, rendered)
+	if again.NumParams != 3 {
+		t.Fatalf("re-parsed NumParams = %d, want 3 (rendered: %s)", again.NumParams, rendered)
+	}
+}

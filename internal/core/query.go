@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -22,29 +23,46 @@ import (
 // It holds the engine read lock for its whole duration, so any number of
 // Query calls run concurrently while DDL/DML waits.
 func (e *Engine) Query(sel *sql.Select) (*exec.Result, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.query(sel)
+	return e.QueryContext(context.Background(), sel)
 }
 
-func (e *Engine) query(sel *sql.Select) (*exec.Result, error) {
+// QueryContext is Query with a cancellation context. The engine checks the
+// context at every expensive boundary — M-SWG training steps, per-replicate
+// OPEN generation, IPF raking sweeps, and executor kernel/sort/row-batch
+// boundaries — so a cancelled query returns ctx.Err() promptly. Cancellation
+// never corrupts state: caches only ever store completed work (a cancelled
+// training or fit leaves its slot empty for the next caller), so a re-run of
+// the same query returns the byte-identical uncancelled answer.
+func (e *Engine) QueryContext(ctx context.Context, sel *sql.Select) (*exec.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.query(ctx, sel)
+}
+
+func (e *Engine) query(ctx context.Context, sel *sql.Select) (*exec.Result, error) {
+	if sel.NumParams > 0 {
+		return nil, fmt.Errorf("core: statement has %d unbound parameter(s); bind them with a prepared statement", sel.NumParams)
+	}
 	switch e.cat.Resolve(sel.From) {
 	case "table":
 		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", sel.Visibility, sel.From)
 		}
 		t, _ := e.cat.Table(sel.From)
-		return exec.Run(t, sel, exec.Options{Weighted: false, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, t, sel, exec.Options{Weighted: false, ForceRow: e.opts.RowExec})
 	case "sample":
 		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", sel.Visibility, sel.From)
 		}
 		s, _ := e.cat.Sample(sel.From)
 		// Direct sample queries honor the stored (user-initialized) weights.
-		return exec.Run(s.Table, sel, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, s.Table, sel, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
 	case "population":
 		pop, _ := e.cat.Population(sel.From)
-		return e.queryPopulation(pop, sel)
+		return e.queryPopulation(ctx, pop, sel)
 	default:
 		return nil, fmt.Errorf("core: unknown relation %q", sel.From)
 	}
@@ -60,23 +78,29 @@ type planContext struct {
 	scope    string               // "query" or "global" (Fig 3's two paths)
 }
 
-func (e *Engine) queryPopulation(pop *catalog.Population, sel *sql.Select) (*exec.Result, error) {
+func (e *Engine) queryPopulation(ctx context.Context, pop *catalog.Population, sel *sql.Select) (*exec.Result, error) {
 	sel = expandStars(sel, pop)
-	ctx, err := e.plan(pop, sel)
+	pc, err := e.plan(pop, sel)
 	if err != nil {
 		return nil, err
 	}
+	return e.runVisibility(ctx, pc, sel)
+}
+
+// runVisibility dispatches an expanded population query to its visibility
+// path against an already-resolved plan.
+func (e *Engine) runVisibility(ctx context.Context, pc *planContext, sel *sql.Select) (*exec.Result, error) {
 	vis := sel.Visibility
 	if vis == sql.VisibilityDefault {
 		vis = sql.VisibilitySemiOpen
 	}
 	switch vis {
 	case sql.VisibilityClosed:
-		return e.runClosed(ctx, sel)
+		return e.runClosed(ctx, pc, sel)
 	case sql.VisibilitySemiOpen:
-		return e.runSemiOpen(ctx, sel)
+		return e.runSemiOpen(ctx, pc, sel)
 	case sql.VisibilityOpen:
-		return e.runOpen(ctx, sel)
+		return e.runOpen(ctx, pc, sel)
 	default:
 		return nil, fmt.Errorf("core: unsupported visibility %v", vis)
 	}
@@ -118,16 +142,16 @@ func expandStars(sel *sql.Select, pop *catalog.Population) *sql.Select {
 // population's own marginals when present, otherwise the global
 // population's (Fig 3's bottom vs. left dashed paths).
 func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, error) {
-	ctx := &planContext{pop: pop}
+	pc := &planContext{pop: pop}
 	if pop.Global {
-		ctx.gp = pop
+		pc.gp = pop
 	} else {
 		gp, ok := e.cat.Population(pop.From)
 		if !ok {
 			return nil, fmt.Errorf("core: population %q references missing global population %q", pop.Name, pop.From)
 		}
-		ctx.gp = gp
-		ctx.viewPred = pop.Where
+		pc.gp = gp
+		pc.viewPred = pop.Where
 	}
 
 	// Required attributes: everything the query and the view predicate
@@ -154,7 +178,7 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 		}
 	}
 	collect(sel.Where)
-	collect(ctx.viewPred)
+	collect(pc.viewPred)
 	for _, g := range sel.GroupBy {
 		need[strings.ToLower(g)] = true
 	}
@@ -184,14 +208,14 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 	delete(need, "weight") // pseudo-column
 
 	if e.opts.UnionSamples {
-		union, err := e.unionCoveringSamples(ctx.gp, need)
+		union, err := e.unionCoveringSamples(pc.gp, need)
 		if err != nil {
 			return nil, err
 		}
-		ctx.sample = union
+		pc.sample = union
 	} else {
 		var best *catalog.Sample
-		for _, s := range e.cat.SamplesOf(ctx.gp.Name) {
+		for _, s := range e.cat.SamplesOf(pc.gp.Name) {
 			ok := true
 			for a := range need {
 				if _, has := s.Table.Schema().Index(a); !has {
@@ -207,25 +231,25 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 			}
 		}
 		if best == nil {
-			return nil, fmt.Errorf("core: no sample of population %q covers the query attributes", ctx.gp.Name)
+			return nil, fmt.Errorf("core: no sample of population %q covers the query attributes", pc.gp.Name)
 		}
-		ctx.sample = best
+		pc.sample = best
 	}
 
 	switch {
 	case len(pop.Marginals) > 0:
-		ctx.margs = pop.MarginalList()
-		ctx.scope = "query"
-	case len(ctx.gp.Marginals) > 0:
-		ctx.margs = ctx.gp.MarginalList()
-		ctx.scope = "global"
+		pc.margs = pop.MarginalList()
+		pc.scope = "query"
+	case len(pc.gp.Marginals) > 0:
+		pc.margs = pc.gp.MarginalList()
+		pc.scope = "global"
 	}
 	// Keep only marginals whose attributes the sample stores.
-	kept := ctx.margs[:0:0]
-	for _, m := range ctx.margs {
+	kept := pc.margs[:0:0]
+	for _, m := range pc.margs {
 		ok := true
 		for _, a := range m.Attrs {
-			if _, has := ctx.sample.Table.Schema().Index(a); !has {
+			if _, has := pc.sample.Table.Schema().Index(a); !has {
 				ok = false
 				break
 			}
@@ -234,81 +258,78 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 			kept = append(kept, m)
 		}
 	}
-	ctx.margs = kept
-	return ctx, nil
+	pc.margs = kept
+	return pc, nil
 }
 
 // runClosed answers with the sample as-is (standard LAV-style view
 // answering): user-initialized weights, no debiasing.
-func (e *Engine) runClosed(ctx *planContext, sel *sql.Select) (*exec.Result, error) {
+func (e *Engine) runClosed(ctx context.Context, pc *planContext, sel *sql.Select) (*exec.Result, error) {
 	q := *sel
-	q.Where = andExpr(sel.Where, ctx.viewPred)
-	return exec.Run(ctx.sample.Table, &q, exec.Options{
+	q.Where = andExpr(sel.Where, pc.viewPred)
+	return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{
 		Weighted:       true,
-		WeightOverride: ctx.sample.SeedWeights(),
+		WeightOverride: pc.sample.SeedWeights(),
 		ForceRow:       e.opts.RowExec,
 	})
 }
 
 // runSemiOpen reweights the sample: inverse inclusion probability when the
 // mechanism is known, IPF against the marginal scope otherwise (Sec 4.1).
-func (e *Engine) runSemiOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error) {
-	if w, ok, err := e.knownMechanismWeights(ctx.sample); err != nil {
+func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Select) (*exec.Result, error) {
+	if w, ok, err := e.knownMechanismWeights(pc.sample); err != nil {
 		return nil, err
 	} else if ok {
 		q := *sel
-		q.Where = andExpr(sel.Where, ctx.viewPred)
-		return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
+		q.Where = andExpr(sel.Where, pc.viewPred)
+		return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
 	}
 
-	if len(ctx.margs) == 0 {
-		return nil, fmt.Errorf("core: SEMI-OPEN query on %q needs a known mechanism or population marginals", ctx.pop.Name)
+	if len(pc.margs) == 0 {
+		return nil, fmt.Errorf("core: SEMI-OPEN query on %q needs a known mechanism or population marginals", pc.pop.Name)
 	}
 
-	if ctx.scope == "query" && ctx.viewPred != nil {
+	if pc.scope == "query" && pc.viewPred != nil {
 		// Fit the view-restricted sub-sample directly to the query
 		// population's marginals (Fig 3, bottom dashed path).
-		sub, err := e.ipfViewFit(ctx)
+		sub, err := e.ipfViewFit(ctx, pc)
 		if err != nil {
 			return nil, err
 		}
 		q := *sel
-		return exec.Run(sub, &q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, sub, &q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
 	}
 
 	// Global scope: fit the whole sample to the GP marginals, then answer
 	// through the view (Fig 3, left dashed path).
-	w, err := e.ipfGlobalFit(ctx)
+	w, err := e.ipfGlobalFit(ctx, pc)
 	if err != nil {
 		return nil, err
 	}
 	q := *sel
-	q.Where = andExpr(sel.Where, ctx.viewPred)
-	return exec.Run(ctx.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
+	q.Where = andExpr(sel.Where, pc.viewPred)
+	return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
 }
 
 // ipfViewFit returns the view-restricted sub-sample fitted to the query
 // population's marginals, cached per (sample, population) so repeated
 // SEMI-OPEN queries skip refitting. The cached table is served read-only.
-func (e *Engine) ipfViewFit(ctx *planContext) (*table.Table, error) {
-	ent := e.ipfEntryFor("view|" + modelKey(ctx.sample.Name, ctx.pop.Name))
-	ent.once.Do(func() {
-		sub, err := filterTable(ctx.sample.Table, ctx.viewPred, ctx.sample.SeedWeights())
+func (e *Engine) ipfViewFit(ctx context.Context, pc *planContext) (*table.Table, error) {
+	key := "view|" + modelKey(pc.sample.Name, pc.pop.Name)
+	fit, err := sfDo(ctx, &e.cacheMu, e.ipfSlot(key), func() (ipfFit, error) {
+		sub, err := filterTable(ctx, pc.sample.Table, pc.viewPred, pc.sample.SeedWeights())
 		if err != nil {
-			ent.err = err
-			return
+			return ipfFit{}, err
 		}
 		if sub.Len() == 0 {
-			ent.err = fmt.Errorf("core: sample %q has no tuples in population %q", ctx.sample.Name, ctx.pop.Name)
-			return
+			return ipfFit{}, fmt.Errorf("core: sample %q has no tuples in population %q", pc.sample.Name, pc.pop.Name)
 		}
-		if _, err := ipf.Apply(sub, ctx.margs, e.opts.IPF); err != nil {
-			ent.err = err
-			return
+		if _, err := ipf.ApplyContext(ctx, sub, pc.margs, e.opts.IPF); err != nil {
+			return ipfFit{}, err
 		}
-		ent.sub = sub
+		return ipfFit{sub: sub}, nil
 	})
-	return ent.sub, ent.err
+	return fit.sub, err
 }
 
 // ipfGlobalFit returns the whole-sample IPF weight vector against the scope
@@ -316,29 +337,31 @@ func (e *Engine) ipfViewFit(ctx *planContext) (*table.Table, error) {
 // independent of the view (the predicate applies afterwards), so every
 // derived population over one GP shares a single fit. The slice is shared by
 // concurrent queries; exec treats weight overrides as read-only.
-func (e *Engine) ipfGlobalFit(ctx *planContext) ([]float64, error) {
-	scopePop := ctx.pop
-	if ctx.scope == "global" {
-		scopePop = ctx.gp
+func (e *Engine) ipfGlobalFit(ctx context.Context, pc *planContext) ([]float64, error) {
+	scopePop := pc.pop
+	if pc.scope == "global" {
+		scopePop = pc.gp
 	}
-	ent := e.ipfEntryFor("global|" + modelKey(ctx.sample.Name, scopePop.Name))
-	ent.once.Do(func() {
-		ent.weights, _, ent.err = ipf.Fit(ctx.sample.Table, ctx.margs, e.opts.IPF)
+	key := "global|" + modelKey(pc.sample.Name, scopePop.Name)
+	fit, err := sfDo(ctx, &e.cacheMu, e.ipfSlot(key), func() (ipfFit, error) {
+		w, _, err := ipf.FitContext(ctx, pc.sample.Table, pc.margs, e.opts.IPF)
+		return ipfFit{weights: w}, err
 	})
-	return ent.weights, ent.err
+	return fit.weights, err
 }
 
-// ipfEntryFor returns (creating if needed) the single-flight cache slot for
-// an IPF fit key.
-func (e *Engine) ipfEntryFor(key string) *ipfEntry {
-	e.cacheMu.Lock()
-	defer e.cacheMu.Unlock()
-	ent, ok := e.ipfFits[key]
-	if !ok {
-		ent = &ipfEntry{}
-		e.ipfFits[key] = ent
+// ipfSlot returns a lookup closure for one IPF cache key; sfDo calls it
+// under cacheMu, and re-reading e.ipfFits on every call means a concurrent
+// invalidation hands out a fresh slot.
+func (e *Engine) ipfSlot(key string) func() *sfEntry[ipfFit] {
+	return func() *sfEntry[ipfFit] {
+		ent, ok := e.ipfFits[key]
+		if !ok {
+			ent = &sfEntry[ipfFit]{}
+			e.ipfFits[key] = ent
+		}
+		return ent
 	}
-	return ent
 }
 
 // knownMechanismWeights returns inverse-probability weights when the
@@ -363,34 +386,34 @@ func (e *Engine) knownMechanismWeights(s *catalog.Sample) ([]float64, bool, erro
 // size, answers the query on each, and combines per the paper's protocol:
 // groups appearing in all answers are returned with averaged aggregates
 // (Sec 5.3).
-func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error) {
-	if len(ctx.margs) == 0 {
-		return nil, fmt.Errorf("core: OPEN query on %q needs population marginals to train a generator", ctx.pop.Name)
+func (e *Engine) runOpen(ctx context.Context, pc *planContext, sel *sql.Select) (*exec.Result, error) {
+	if len(pc.margs) == 0 {
+		return nil, fmt.Errorf("core: OPEN query on %q needs population marginals to train a generator", pc.pop.Name)
 	}
-	scopePop := ctx.pop
+	scopePop := pc.pop
 	viewPred := expr.Expr(nil)
-	if ctx.scope == "global" {
-		scopePop = ctx.gp
-		viewPred = ctx.viewPred
+	if pc.scope == "global" {
+		scopePop = pc.gp
+		viewPred = pc.viewPred
 	}
-	model, err := e.openModel(ctx.sample, scopePop, ctx.margs)
+	model, err := e.openModel(ctx, pc.sample, scopePop, pc.margs)
 	if err != nil {
 		return nil, err
 	}
-	popTotal := ctx.margs[0].Total()
+	popTotal := pc.margs[0].Total()
 	n := e.opts.GeneratedRows
 	if n <= 0 {
-		n = ctx.sample.Table.Len()
+		n = pc.sample.Table.Len()
 	}
 	if n <= 0 {
-		return nil, fmt.Errorf("core: sample %q is empty", ctx.sample.Name)
+		return nil, fmt.Errorf("core: sample %q is empty", pc.sample.Name)
 	}
 	q := *sel
 	q.Where = andExpr(sel.Where, viewPred)
 	if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
 		// Non-aggregate OPEN query: return one generated sample's
 		// qualifying tuples (materializing missing tuples).
-		return e.openReplicate(ctx, model, &q, 0, n, popTotal)
+		return e.openReplicate(ctx, pc, model, &q, 0, n, popTotal)
 	}
 	// Post-aggregation clauses apply to the *combined* answer, never per
 	// replicate: a per-replicate LIMIT k (or HAVING) would drop groups
@@ -408,7 +431,13 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 	}
 	if workers <= 1 {
 		for r := 0; r < reps; r++ {
-			results[r], errs[r] = e.openReplicate(ctx, model, &q, r, n, popTotal)
+			// Per-replicate cancellation checkpoint: stop generating new
+			// replicates as soon as the context expires.
+			if err := ctx.Err(); err != nil {
+				errs[r] = err
+				break
+			}
+			results[r], errs[r] = e.openReplicate(ctx, pc, model, &q, r, n, popTotal)
 		}
 	} else {
 		// Fan the replicates across a worker pool. Each replicate's RNG
@@ -420,7 +449,11 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 			go func(w int) {
 				defer wg.Done()
 				for r := w; r < reps; r += workers {
-					results[r], errs[r] = e.openReplicate(ctx, model, &q, r, n, popTotal)
+					if err := ctx.Err(); err != nil {
+						errs[r] = err
+						return
+					}
+					results[r], errs[r] = e.openReplicate(ctx, pc, model, &q, r, n, popTotal)
 				}
 			}(w)
 		}
@@ -435,7 +468,7 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.ApplyPostAggregation(res, sel); err != nil {
+	if err := exec.ApplyPostAggregation(ctx, res, sel); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -448,12 +481,12 @@ func (e *Engine) runOpen(ctx *planContext, sel *sql.Select) (*exec.Result, error
 // reweight the generated sample to match the size of the population"), so
 // the replicate table is born columnar with no per-row append and no second
 // reweighting pass.
-func (e *Engine) openReplicate(ctx *planContext, model *swg.Model, q *sql.Select, r, n int, popTotal float64) (*exec.Result, error) {
-	gen, err := model.GenerateSeededWeighted(fmt.Sprintf("%s_gen%d", ctx.sample.Name, r), n, replicateSeed(e.opts.Seed, r), popTotal/float64(n))
+func (e *Engine) openReplicate(ctx context.Context, pc *planContext, model *swg.Model, q *sql.Select, r, n int, popTotal float64) (*exec.Result, error) {
+	gen, err := model.GenerateSeededWeightedContext(ctx, fmt.Sprintf("%s_gen%d", pc.sample.Name, r), n, replicateSeed(e.opts.Seed, r), popTotal/float64(n))
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+	return exec.RunContext(ctx, gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
 }
 
 // replicateSeed derives the RNG seed of OPEN replicate r from the engine
@@ -470,24 +503,27 @@ func replicateSeed(base int64, r int) int64 {
 
 // openModel returns a cached or freshly trained M-SWG for the pair, training
 // at most once per (sample, population) even under concurrent first queries.
-func (e *Engine) openModel(s *catalog.Sample, pop *catalog.Population, margs []*marginal.Marginal) (*swg.Model, error) {
+// A cancelled training is never cached: the slot stays empty, the canceller
+// gets ctx.Err(), and the next query retrains from scratch — bit-identically,
+// since training is deterministic in (sample, marginals, seed).
+func (e *Engine) openModel(ctx context.Context, s *catalog.Sample, pop *catalog.Population, margs []*marginal.Marginal) (*swg.Model, error) {
 	key := modelKey(s.Name, pop.Name)
-	e.cacheMu.Lock()
-	ent, ok := e.models[key]
-	if !ok {
-		ent = &modelEntry{}
-		e.models[key] = ent
+	lookup := func() *sfEntry[*swg.Model] {
+		ent, ok := e.models[key]
+		if !ok {
+			ent = &sfEntry[*swg.Model]{}
+			e.models[key] = ent
+		}
+		return ent
 	}
-	e.cacheMu.Unlock()
-	ent.once.Do(func() {
-		ent.model, ent.err = e.trainOpenModel(s, margs)
+	return sfDo(ctx, &e.cacheMu, lookup, func() (*swg.Model, error) {
+		return e.trainOpenModel(ctx, s, margs)
 	})
-	return ent.model, ent.err
 }
 
 // trainOpenModel compiles and trains the M-SWG for a sample against the
 // augmented marginal set.
-func (e *Engine) trainOpenModel(s *catalog.Sample, margs []*marginal.Marginal) (*swg.Model, error) {
+func (e *Engine) trainOpenModel(ctx context.Context, s *catalog.Sample, margs []*marginal.Marginal) (*swg.Model, error) {
 	full, err := AugmentMarginals(s.Table, margs)
 	if err != nil {
 		return nil, err
@@ -503,7 +539,7 @@ func (e *Engine) trainOpenModel(s *catalog.Sample, margs []*marginal.Marginal) (
 	if err != nil {
 		return nil, err
 	}
-	if err := model.Train(); err != nil {
+	if err := model.TrainContext(ctx); err != nil {
 		return nil, err
 	}
 	return model, nil
@@ -638,12 +674,17 @@ func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, 
 // filterTable copies rows satisfying pred into a new table, carrying the
 // supplied per-row weights. It scans a snapshot (one lock acquisition)
 // instead of locking per row.
-func filterTable(t *table.Table, pred expr.Expr, weights []float64) (*table.Table, error) {
+func filterTable(ctx context.Context, t *table.Table, pred expr.Expr, weights []float64) (*table.Table, error) {
 	snap := t.Snapshot()
 	out := table.New(t.Name()+"_view", t.Schema())
 	sc := snap.Schema()
 	n := snap.Len()
 	for i := 0; i < n; i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := snap.Row(i)
 		if pred != nil {
 			ok, err := expr.Truthy(pred, &expr.Binding{Schema: sc, Row: row})

@@ -24,16 +24,73 @@ import (
 // compares error strings across the two executors).
 var errDivisionByZero = errors.New("expr: division by zero")
 
-// numVec is a materialized numeric operand: exactly one of ints/floats is
-// set. Bitmaps are 64 rows per word; nil means "no bits set". Payload and
-// bitmap slices may be shared with the snapshot's columns and must not be
-// mutated.
+// numVec is a numeric operand: exactly one of ints/floats is set. Bitmaps
+// are 64 rows per word; nil means "no bits set". Payload and bitmap slices
+// may be shared with the snapshot's columns and must not be mutated.
+//
+// Constant operands broadcast as scalars instead of materializing
+// table-length vectors: scalar means the payload slice holds a single
+// element every row shares, constNull means every row is NULL (payload
+// unused; errs may still carry per-row bits from a nested operand), and
+// constErr means every row raises division-by-zero. The arithmetic and
+// comparison kernels read scalars into registers; consumers whose loops
+// index per row call full() first.
 type numVec struct {
-	isInt  bool
-	ints   []int64
-	floats []float64
-	nulls  []uint64
-	errs   []uint64 // rows that raise "expr: division by zero"
+	isInt     bool
+	scalar    bool // payload is one broadcast element
+	constNull bool // every row NULL
+	constErr  bool // every row raises "expr: division by zero"
+	ints      []int64
+	floats    []float64
+	nulls     []uint64
+	errs      []uint64 // rows that raise "expr: division by zero"
+}
+
+// scalarInt returns the broadcast element of a scalar int vector.
+func (v *numVec) scalarInt() int64 { return v.ints[0] }
+
+// scalarFloat returns the broadcast element of a scalar vector as float64.
+func (v *numVec) scalarFloat() float64 {
+	if v.isInt {
+		return float64(v.ints[0])
+	}
+	return v.floats[0]
+}
+
+// full materializes a scalar vector at table length n — the shape consumers
+// with per-row indexing expect, identical to what numConst built before
+// scalars existed. Non-scalar vectors return unchanged.
+func (v *numVec) full(n int) *numVec {
+	if !v.scalar {
+		return v
+	}
+	allOnes := func() []uint64 {
+		bm := newBitmap(n)
+		for i := range bm {
+			bm[i] = ^uint64(0)
+		}
+		return bm
+	}
+	switch {
+	case v.constErr:
+		return &numVec{floats: make([]float64, n), errs: allOnes()}
+	case v.constNull:
+		return &numVec{floats: make([]float64, n), nulls: allOnes(), errs: v.errs}
+	case v.isInt:
+		xs := make([]int64, n)
+		x := v.ints[0]
+		for i := range xs {
+			xs[i] = x
+		}
+		return &numVec{isInt: true, ints: xs}
+	default:
+		xs := make([]float64, n)
+		x := v.floats[0]
+		for i := range xs {
+			xs[i] = x
+		}
+		return &numVec{floats: xs}
+	}
 }
 
 func bitGet(bm []uint64, i int) bool {
@@ -128,6 +185,15 @@ func (c *kernelCompiler) compileNum(e expr.Expr) *numVec {
 		if child == nil {
 			return nil
 		}
+		if child.constNull || child.constErr {
+			return child // negating NULL/error changes nothing
+		}
+		if child.scalar {
+			if child.isInt {
+				return &numVec{isInt: true, scalar: true, ints: []int64{-child.ints[0]}}
+			}
+			return &numVec{scalar: true, floats: []float64{-child.floats[0]}}
+		}
 		out := &numVec{isInt: child.isInt, nulls: child.nulls, errs: child.errs}
 		if child.isInt {
 			out.ints = make([]int64, len(child.ints))
@@ -161,31 +227,18 @@ func (c *kernelCompiler) compileNum(e expr.Expr) *numVec {
 	}
 }
 
-// numConst broadcasts a constant. NULL becomes an all-null vector (NULL
-// propagates through arithmetic, so payload values are never observed).
+// numConst broadcasts a constant as a scalar vector: one element shared by
+// every row, never a table-length materialization. NULL becomes a constNull
+// scalar (NULL propagates through arithmetic, so payload values are never
+// observed).
 func (c *kernelCompiler) numConst(v value.Value) *numVec {
-	n := c.n
 	switch v.Kind() {
 	case value.KindInt:
-		xs := make([]int64, n)
-		x := v.AsInt()
-		for i := range xs {
-			xs[i] = x
-		}
-		return &numVec{isInt: true, ints: xs}
+		return &numVec{isInt: true, scalar: true, ints: []int64{v.AsInt()}}
 	case value.KindFloat:
-		xs := make([]float64, n)
-		x := v.AsFloat()
-		for i := range xs {
-			xs[i] = x
-		}
-		return &numVec{floats: xs}
+		return &numVec{scalar: true, floats: []float64{v.AsFloat()}}
 	case value.KindNull:
-		nulls := newBitmap(n)
-		for i := range nulls {
-			nulls[i] = ^uint64(0)
-		}
-		return &numVec{floats: make([]float64, n), nulls: nulls}
+		return &numVec{scalar: true, constNull: true}
 	default:
 		return nil // BOOL/TEXT constants are not arithmetic operands
 	}
@@ -194,9 +247,27 @@ func (c *kernelCompiler) numConst(v value.Value) *numVec {
 // numArith applies one arithmetic operator elementwise, mirroring
 // expr.evalArith: NULL-before-error (a NULL operand yields NULL even when
 // the divisor is zero), exact int64 arithmetic for INT op INT except /, and
-// float64 otherwise.
+// float64 otherwise. Scalar operands stay scalar inside the loops — the
+// constant reads once into a register instead of being materialized as a
+// table-length vector — so `x*2 > y+500` allocates exactly one vector per
+// computed operand.
 func (c *kernelCompiler) numArith(op expr.BinOp, l, r *numVec) *numVec {
 	n := c.n
+	// Whole-row constants decide first: an erroring operand errors every row
+	// (operand evaluation precedes evalArith's NULL check), and a NULL
+	// constant nulls every row while keeping the other side's error bits.
+	if l.constErr || r.constErr {
+		return &numVec{scalar: true, constErr: true}
+	}
+	if l.constNull || r.constNull {
+		return &numVec{scalar: true, constNull: true, errs: orBits(l.errs, r.errs, n)}
+	}
+	if l.scalar && r.scalar {
+		// Two plain constants reach the compiler only when an enclosing node
+		// kept them from folding (an erroring parent): one element computes
+		// every row.
+		return arithScalarScalar(op, l, r)
+	}
 	out := &numVec{
 		nulls: orBits(l.nulls, r.nulls, n),
 		errs:  orBits(l.errs, r.errs, n),
@@ -204,35 +275,161 @@ func (c *kernelCompiler) numArith(op expr.BinOp, l, r *numVec) *numVec {
 	if l.isInt && r.isInt && op != expr.OpDiv {
 		out.isInt = true
 		out.ints = make([]int64, n)
-		switch op {
-		case expr.OpAdd:
-			for i := range out.ints {
-				out.ints[i] = l.ints[i] + r.ints[i]
-			}
-		case expr.OpSub:
-			for i := range out.ints {
-				out.ints[i] = l.ints[i] - r.ints[i]
-			}
-		case expr.OpMul:
-			for i := range out.ints {
-				out.ints[i] = l.ints[i] * r.ints[i]
-			}
-		case expr.OpMod:
-			out.errs = ownBits(out.errs, n)
-			for i := range out.ints {
-				if r.ints[i] == 0 {
-					if !bitGet(out.nulls, i) {
-						bitSet(out.errs, i)
-					}
-					continue
-				}
-				out.ints[i] = l.ints[i] % r.ints[i]
-			}
+		switch {
+		case r.scalar:
+			arithIntVS(op, out, l.ints, r.scalarInt(), n)
+		case l.scalar:
+			arithIntSV(op, out, l.scalarInt(), r.ints, n)
+		default:
+			arithIntVV(op, out, l.ints, r.ints, n)
 		}
 		return out
 	}
-	lf, rf := l.floatView(), r.floatView()
 	out.floats = make([]float64, n)
+	switch {
+	case r.scalar:
+		arithFloatVS(op, out, l.floatView(), r.scalarFloat(), n)
+	case l.scalar:
+		arithFloatSV(op, out, l.scalarFloat(), r.floatView(), n)
+	default:
+		arithFloatVV(op, out, l.floatView(), r.floatView(), n)
+	}
+	return out
+}
+
+// arithScalarScalar computes a constant-only operation as a single element,
+// with the interpreter's exact semantics (zero divisors error every row).
+func arithScalarScalar(op expr.BinOp, l, r *numVec) *numVec {
+	if l.isInt && r.isInt && op != expr.OpDiv {
+		x, y := l.scalarInt(), r.scalarInt()
+		if op == expr.OpMod && y == 0 {
+			return &numVec{scalar: true, constErr: true}
+		}
+		var v int64
+		switch op {
+		case expr.OpAdd:
+			v = x + y
+		case expr.OpSub:
+			v = x - y
+		case expr.OpMul:
+			v = x * y
+		case expr.OpMod:
+			v = x % y
+		}
+		return &numVec{isInt: true, scalar: true, ints: []int64{v}}
+	}
+	x, y := l.scalarFloat(), r.scalarFloat()
+	if (op == expr.OpDiv || op == expr.OpMod) && y == 0 {
+		return &numVec{scalar: true, constErr: true}
+	}
+	var v float64
+	switch op {
+	case expr.OpAdd:
+		v = x + y
+	case expr.OpSub:
+		v = x - y
+	case expr.OpMul:
+		v = x * y
+	case expr.OpDiv:
+		v = x / y
+	case expr.OpMod:
+		v = math.Mod(x, y)
+	}
+	return &numVec{scalar: true, floats: []float64{v}}
+}
+
+// arithIntVV is the vector⊙vector int kernel (exact int64, incl. wraparound).
+func arithIntVV(op expr.BinOp, out *numVec, a, b []int64, n int) {
+	switch op {
+	case expr.OpAdd:
+		for i := range out.ints {
+			out.ints[i] = a[i] + b[i]
+		}
+	case expr.OpSub:
+		for i := range out.ints {
+			out.ints[i] = a[i] - b[i]
+		}
+	case expr.OpMul:
+		for i := range out.ints {
+			out.ints[i] = a[i] * b[i]
+		}
+	case expr.OpMod:
+		out.errs = ownBits(out.errs, n)
+		for i := range out.ints {
+			if b[i] == 0 {
+				if !bitGet(out.nulls, i) {
+					bitSet(out.errs, i)
+				}
+				continue
+			}
+			out.ints[i] = a[i] % b[i]
+		}
+	}
+}
+
+// arithIntVS is vector⊙scalar: the broadcast operand lives in a register. A
+// zero scalar divisor errors every non-null row without a per-row branch.
+func arithIntVS(op expr.BinOp, out *numVec, a []int64, y int64, n int) {
+	switch op {
+	case expr.OpAdd:
+		for i, x := range a {
+			out.ints[i] = x + y
+		}
+	case expr.OpSub:
+		for i, x := range a {
+			out.ints[i] = x - y
+		}
+	case expr.OpMul:
+		for i, x := range a {
+			out.ints[i] = x * y
+		}
+	case expr.OpMod:
+		out.errs = ownBits(out.errs, n)
+		if y == 0 {
+			for i := 0; i < n; i++ {
+				if !bitGet(out.nulls, i) {
+					bitSet(out.errs, i)
+				}
+			}
+			return
+		}
+		for i, x := range a {
+			out.ints[i] = x % y
+		}
+	}
+}
+
+// arithIntSV is scalar⊙vector (the divisor varies per row for %).
+func arithIntSV(op expr.BinOp, out *numVec, x int64, b []int64, n int) {
+	switch op {
+	case expr.OpAdd:
+		for i, y := range b {
+			out.ints[i] = x + y
+		}
+	case expr.OpSub:
+		for i, y := range b {
+			out.ints[i] = x - y
+		}
+	case expr.OpMul:
+		for i, y := range b {
+			out.ints[i] = x * y
+		}
+	case expr.OpMod:
+		out.errs = ownBits(out.errs, n)
+		for i, y := range b {
+			if y == 0 {
+				if !bitGet(out.nulls, i) {
+					bitSet(out.errs, i)
+				}
+				continue
+			}
+			out.ints[i] = x % y
+		}
+	}
+}
+
+// arithFloatVV is the vector⊙vector float kernel.
+func arithFloatVV(op expr.BinOp, out *numVec, lf, rf []float64, n int) {
 	switch op {
 	case expr.OpAdd:
 		for i := range out.floats {
@@ -263,7 +460,78 @@ func (c *kernelCompiler) numArith(op expr.BinOp, l, r *numVec) *numVec {
 			}
 		}
 	}
-	return out
+}
+
+// arithFloatVS is vector⊙scalar; a zero scalar divisor errors every non-null
+// row, any other divisor drops the per-row zero check entirely.
+func arithFloatVS(op expr.BinOp, out *numVec, lf []float64, y float64, n int) {
+	switch op {
+	case expr.OpAdd:
+		for i, x := range lf {
+			out.floats[i] = x + y
+		}
+	case expr.OpSub:
+		for i, x := range lf {
+			out.floats[i] = x - y
+		}
+	case expr.OpMul:
+		for i, x := range lf {
+			out.floats[i] = x * y
+		}
+	case expr.OpDiv, expr.OpMod:
+		out.errs = ownBits(out.errs, n)
+		if y == 0 {
+			for i := 0; i < n; i++ {
+				if !bitGet(out.nulls, i) {
+					bitSet(out.errs, i)
+				}
+			}
+			return
+		}
+		if op == expr.OpMod {
+			for i, x := range lf {
+				out.floats[i] = math.Mod(x, y)
+			}
+			return
+		}
+		for i, x := range lf {
+			out.floats[i] = x / y
+		}
+	}
+}
+
+// arithFloatSV is scalar⊙vector (the divisor varies per row).
+func arithFloatSV(op expr.BinOp, out *numVec, x float64, rf []float64, n int) {
+	switch op {
+	case expr.OpAdd:
+		for i, y := range rf {
+			out.floats[i] = x + y
+		}
+	case expr.OpSub:
+		for i, y := range rf {
+			out.floats[i] = x - y
+		}
+	case expr.OpMul:
+		for i, y := range rf {
+			out.floats[i] = x * y
+		}
+	case expr.OpDiv, expr.OpMod:
+		mod := op == expr.OpMod
+		out.errs = ownBits(out.errs, n)
+		for i, y := range rf {
+			if y == 0 {
+				if !bitGet(out.nulls, i) {
+					bitSet(out.errs, i)
+				}
+				continue
+			}
+			if mod {
+				out.floats[i] = math.Mod(x, y)
+			} else {
+				out.floats[i] = x / y
+			}
+		}
+	}
 }
 
 // ownBits returns a full-width, privately owned copy of bm (which may be nil
@@ -279,16 +547,103 @@ func ownBits(bm []uint64, n int) []uint64 {
 // cmpNumNumKernel compares two numeric vectors with value.Compare semantics:
 // exact int64 when both sides stayed integer, float64 (NaN comparing equal
 // to everything, like the interpreter's "neither smaller") otherwise.
+// Scalar operands compare from a register — the common `x*2 > 500` shape
+// never materializes the constant side.
 type cmpNumNumKernel struct {
 	a, b *numVec
 	lut  [3]int8
 }
 
 func (k *cmpNumNumKernel) eval(dst []int8) {
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
-	if k.a.isInt && k.b.isInt {
+	a, b := k.a, k.b
+	// Whole-row constants first: an erroring operand errors every row; a
+	// NULL constant nulls every row but still surfaces the other side's
+	// division errors (operands evaluate before the comparison).
+	if a.constErr || b.constErr {
 		for i := range dst {
-			x, y := k.a.ints[i], k.b.ints[i]
+			dst[i] = ternErr
+		}
+		return
+	}
+	if a.constNull || b.constNull {
+		for i := range dst {
+			dst[i] = ternNull
+		}
+		overlayBits(dst, a.errs, ternErr)
+		overlayBits(dst, b.errs, ternErr)
+		return
+	}
+	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	bothInt := a.isInt && b.isInt
+	switch {
+	case a.scalar && b.scalar:
+		// Two plain constants under an unfoldable parent: one comparison
+		// decides every row.
+		var c int
+		if bothInt {
+			c = cmpOrder(a.scalarInt(), b.scalarInt())
+		} else {
+			c = cmpOrder(a.scalarFloat(), b.scalarFloat())
+		}
+		v := k.lut[c+1]
+		for i := range dst {
+			dst[i] = v
+		}
+	case b.scalar:
+		if bothInt {
+			y := b.scalarInt()
+			for i, x := range a.ints {
+				switch {
+				case x < y:
+					dst[i] = lo
+				case x > y:
+					dst[i] = hi
+				default:
+					dst[i] = eq
+				}
+			}
+		} else {
+			y := b.scalarFloat()
+			for i, x := range a.floatView() {
+				switch {
+				case x < y:
+					dst[i] = lo
+				case x > y:
+					dst[i] = hi
+				default:
+					dst[i] = eq
+				}
+			}
+		}
+	case a.scalar:
+		if bothInt {
+			x := a.scalarInt()
+			for i, y := range b.ints {
+				switch {
+				case x < y:
+					dst[i] = lo
+				case x > y:
+					dst[i] = hi
+				default:
+					dst[i] = eq
+				}
+			}
+		} else {
+			x := a.scalarFloat()
+			for i, y := range b.floatView() {
+				switch {
+				case x < y:
+					dst[i] = lo
+				case x > y:
+					dst[i] = hi
+				default:
+					dst[i] = eq
+				}
+			}
+		}
+	case bothInt:
+		for i := range dst {
+			x, y := a.ints[i], b.ints[i]
 			switch {
 			case x < y:
 				dst[i] = lo
@@ -298,8 +653,8 @@ func (k *cmpNumNumKernel) eval(dst []int8) {
 				dst[i] = eq
 			}
 		}
-	} else {
-		xf, yf := k.a.floatView(), k.b.floatView()
+	default:
+		xf, yf := a.floatView(), b.floatView()
 		for i := range dst {
 			x, y := xf[i], yf[i]
 			switch {
@@ -312,10 +667,23 @@ func (k *cmpNumNumKernel) eval(dst []int8) {
 			}
 		}
 	}
-	overlayBits(dst, k.a.nulls, ternNull)
-	overlayBits(dst, k.b.nulls, ternNull)
-	overlayBits(dst, k.a.errs, ternErr)
-	overlayBits(dst, k.b.errs, ternErr)
+	overlayBits(dst, a.nulls, ternNull)
+	overlayBits(dst, b.nulls, ternNull)
+	overlayBits(dst, a.errs, ternErr)
+	overlayBits(dst, b.errs, ternErr)
+}
+
+// cmpOrder is value.Compare's ordering over two same-shape numerics: -1/0/1
+// with NaN comparing equal to everything ("neither smaller").
+func cmpOrder[T int64 | float64](x, y T) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // truthNumKernel is WHERE truthiness of an arithmetic expression.

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mosaic/internal/schema"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// TestRunContextCancelled: both executor paths honor an already-cancelled
+// context on every query shape (projection, aggregate, sort).
+func TestRunContextCancelled(t *testing.T) {
+	sc := schema.MustNew(
+		schema.Attribute{Name: "g", Kind: value.KindText},
+		schema.Attribute{Name: "x", Kind: value.KindInt},
+	)
+	tbl := table.New("t", sc)
+	for i := 0; i < 20000; i++ {
+		if err := tbl.Append([]value.Value{value.Text(fmt.Sprintf("g%d", i%7)), value.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	queries := []string{
+		"SELECT g, x FROM t WHERE x > 10",
+		"SELECT g, COUNT(*), SUM(x) FROM t GROUP BY g",
+		"SELECT g, x FROM t ORDER BY x DESC LIMIT 5",
+		"SELECT DISTINCT g FROM t",
+	}
+	for _, q := range queries {
+		sel, err := sql.ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, forceRow := range []bool{false, true} {
+			if _, err := RunContext(ctx, tbl, sel, Options{Weighted: true, ForceRow: forceRow}); !errors.Is(err, context.Canceled) {
+				t.Errorf("%q (forceRow=%v) = %v, want context.Canceled", q, forceRow, err)
+			}
+		}
+		// And the nil-context wrappers still work.
+		if _, err := Run(tbl, sel, Options{Weighted: true}); err != nil {
+			t.Errorf("%q uncancelled: %v", q, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -100,7 +101,15 @@ type Options struct {
 // Run evaluates sel over t. It takes one snapshot of the table (a single
 // lock acquisition) and scans it lock-free.
 func Run(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
-	return RunSnapshot(t.Snapshot(), sel, opts)
+	return RunContext(context.Background(), t, sel, opts)
+}
+
+// RunContext is Run with a cancellation context: the scan checks ctx at
+// kernel, sort, and row-batch boundaries and returns ctx.Err() promptly once
+// it expires, leaving no partial state behind (results materialize only on
+// success).
+func RunContext(ctx context.Context, t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
+	return RunSnapshotContext(ctx, t.Snapshot(), sel, opts)
 }
 
 // RunSnapshot evaluates sel over an already-captured snapshot. Queries route
@@ -108,24 +117,45 @@ func Run(t *table.Table, sel *sql.Select, opts Options) (*Result, error) {
 // kernel, and fall back to the row-at-a-time interpreter otherwise; the two
 // paths produce byte-identical results.
 func RunSnapshot(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
+	return RunSnapshotContext(context.Background(), snap, sel, opts)
+}
+
+// RunSnapshotContext is RunSnapshot with a cancellation context.
+func RunSnapshotContext(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
 	if opts.WeightOverride != nil && len(opts.WeightOverride) != snap.Len() {
 		return nil, fmt.Errorf("exec: weight override has %d entries for %d rows", len(opts.WeightOverride), snap.Len())
+	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
 	}
 	sel = foldSelect(sel)
 	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
 		if !opts.ForceRow {
-			if res, handled, err := runAggregateVector(snap, sel, opts); handled {
+			if res, handled, err := runAggregateVector(ctx, snap, sel, opts); handled {
 				return res, err
 			}
 		}
-		return runAggregate(snap, sel, opts)
+		return runAggregate(ctx, snap, sel, opts)
 	}
 	if !opts.ForceRow {
-		if res, handled, err := runProjectionVector(snap, sel, opts); handled {
+		if res, handled, err := runProjectionVector(ctx, snap, sel, opts); handled {
 			return res, err
 		}
 	}
-	return runProjection(snap, sel, opts)
+	return runProjection(ctx, snap, sel, opts)
+}
+
+// cancelCheckRows is how many rows a tight scan loop processes between
+// context checks: frequent enough that cancellation lands within microseconds
+// on any realistic table, rare enough that the check never shows in profiles.
+const cancelCheckRows = 8192
+
+// checkCtx returns the context's error, if any. A nil context never cancels.
+func checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // foldSelect constant-folds every evaluable expression of sel once per
@@ -247,11 +277,16 @@ func projectRow(sel *sql.Select, row []value.Value, b *expr.Binding) ([]value.Va
 	return out, nil
 }
 
-func runProjection(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
+func runProjection(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
 	env, _ := makeEnv(snap.Schema())
 	res := &Result{Columns: projectionColumns(snap, sel)}
 	n := snap.Len()
 	for i := 0; i < n; i++ {
+		if i%cancelCheckRows == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		row := snap.Row(i)
 		w := snap.Weight(i)
 		if opts.WeightOverride != nil {
@@ -276,7 +311,7 @@ func runProjection(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result
 	if sel.Distinct {
 		res.Rows = dedupRows(res.Rows)
 	}
-	if err := orderAndLimit(res, sel, snap.Schema()); err != nil {
+	if err := orderAndLimit(ctx, res, sel, snap.Schema()); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -447,7 +482,7 @@ func itemKeyPositions(sel *sql.Select) []int {
 	return out
 }
 
-func runAggregate(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
+func runAggregate(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, error) {
 	sc := snap.Schema()
 	env, _ := makeEnv(sc)
 
@@ -472,6 +507,11 @@ func runAggregate(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result,
 	var kb strings.Builder
 	n := snap.Len()
 	for i := 0; i < n; i++ {
+		if i%cancelCheckRows == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		row := snap.Row(i)
 		w := snap.Weight(i)
 		if opts.WeightOverride != nil {
@@ -549,7 +589,7 @@ func runAggregate(snap *table.Snapshot, sel *sql.Select, opts Options) (*Result,
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	if err := orderAndLimit(res, sel, outSchema); err != nil {
+	if err := orderAndLimit(ctx, res, sel, outSchema); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -585,7 +625,7 @@ func outputSchema(cols []string) *schema.Schema {
 // Sorting obeys the engine-wide tie-break contract (see orderAndLimit): rows
 // with equal ORDER BY keys keep their pre-sort order, so OPEN answers sort
 // exactly like single-engine answers over the same combined rows.
-func ApplyPostAggregation(res *Result, sel *sql.Select) error {
+func ApplyPostAggregation(ctx context.Context, res *Result, sel *sql.Select) error {
 	if sel.Having != nil {
 		outSchema := outputSchema(res.Columns)
 		kept := res.Rows[:0:0]
@@ -600,7 +640,7 @@ func ApplyPostAggregation(res *Result, sel *sql.Select) error {
 		}
 		res.Rows = kept
 	}
-	return orderAndLimit(res, sel, nil)
+	return orderAndLimit(ctx, res, sel, nil)
 }
 
 // orderAndLimit sorts and truncates a materialized result.
@@ -613,8 +653,13 @@ func ApplyPostAggregation(res *Result, sel *sql.Select) error {
 // sort, and the bounded top-K heap) implements this same contract, which is
 // what makes the executors byte-identical and ORDER BY ... LIMIT k equal to
 // the k-prefix of the unlimited query.
-func orderAndLimit(res *Result, sel *sql.Select, sc *schema.Schema) error {
+func orderAndLimit(ctx context.Context, res *Result, sel *sql.Select, sc *schema.Schema) error {
 	if len(sel.OrderBy) > 0 {
+		// Sort boundary: the comparator itself is not interruptible, so the
+		// check lands before the O(n log n) work starts.
+		if err := checkCtx(ctx); err != nil {
+			return err
+		}
 		outSchema := outputSchema(res.Columns)
 		// Bounded-heap top-K: selecting k of n beats sorting n when k is
 		// small. topKRows refuses (and the lazy stable sort below runs)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -67,13 +68,13 @@ func TestSortStabilityContract(t *testing.T) {
 		return res
 	}
 	limited := mk()
-	if err := ApplyPostAggregation(limited, sel); err != nil {
+	if err := ApplyPostAggregation(context.Background(), limited, sel); err != nil {
 		t.Fatal(err)
 	}
 	selFull := *sel
 	selFull.Limit = -1
 	full := mk()
-	if err := ApplyPostAggregation(full, &selFull); err != nil {
+	if err := ApplyPostAggregation(context.Background(), full, &selFull); err != nil {
 		t.Fatal(err)
 	}
 	for i, row := range limited.Rows {

@@ -19,6 +19,7 @@
 package exec
 
 import (
+	"context"
 	"math"
 	"strings"
 
@@ -164,7 +165,7 @@ func (c *kernelCompiler) compile(e expr.Expr) kernel {
 				}
 			}
 			if v := c.compileNum(ex); v != nil {
-				return &truthNumKernel{v: v}
+				return &truthNumKernel{v: v.full(c.n)}
 			}
 			return nil
 		}
@@ -190,7 +191,7 @@ func (c *kernelCompiler) compile(e expr.Expr) kernel {
 		default:
 			// Arithmetic used as a boolean: WHERE x + y.
 			if v := c.compileNum(ex); v != nil {
-				return &truthNumKernel{v: v}
+				return &truthNumKernel{v: v.full(c.n)}
 			}
 			return nil
 		}
@@ -412,6 +413,7 @@ func (c *kernelCompiler) compileIn(ex *expr.In) kernel {
 		if v == nil {
 			return nil
 		}
+		v = v.full(c.n) // inNumKernel indexes per row
 		k := &inNumKernel{v: v, sawNull: sawNull, negate: ex.Negate, floats: map[uint64]bool{}}
 		if v.isInt {
 			k.ints = map[int64]bool{}
@@ -533,11 +535,14 @@ func (c *kernelCompiler) compileBetween(ex *expr.Between) kernel {
 		return k
 	}
 	// Computed child: x*2 BETWEEN 10 AND 100. The child evaluates before the
-	// NULL-bound check, so its division errors still surface.
+	// NULL-bound check, so its division errors still surface. The child
+	// materializes (it is read by two comparisons and its error bitmap by
+	// the NULL-bound shortcut); the bounds stay scalar.
 	v := c.compileNum(ex.Child)
 	if v == nil {
 		return nil
 	}
+	v = v.full(c.n)
 	if lo.IsNull() || hi.IsNull() {
 		return &constWithErrsKernel{v: ternNull, errs: v.errs}
 	}
@@ -562,7 +567,7 @@ func (c *kernelCompiler) compileIsNull(ex *expr.IsNull) kernel {
 		if v == nil {
 			return nil
 		}
-		return &isNullNumKernel{v: v, negate: ex.Negate}
+		return &isNullNumKernel{v: v.full(c.n), negate: ex.Negate}
 	}
 	ref, ok := c.resolve(col.Name)
 	if !ok {
@@ -1163,7 +1168,9 @@ func planVectorAggs(comp *kernelCompiler, sel *sql.Select) ([]vecAgg, bool) {
 		if v == nil {
 			return nil, false
 		}
-		out = append(out, vecAgg{kind: it.Agg, vec: v})
+		// The accumulators index per row; scalars (e.g. SUM(2) under an
+		// unfoldable parent) materialize here, off the hot path.
+		out = append(out, vecAgg{kind: it.Agg, vec: v.full(comp.n)})
 	}
 	return out, true
 }
@@ -1206,7 +1213,7 @@ func checkAggErrs(vaggs []vecAgg, selRows []int32) error {
 // else runs the interpreted expression per row (callers ensure the rest of
 // the query cannot error, so interpreted-filter errors surface at the same
 // row they would on the row path).
-func selectRows(snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32, error) {
+func selectRows(ctx context.Context, snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32, error) {
 	n := snap.Len()
 	sel := make([]int32, 0, n)
 	if where == nil {
@@ -1216,6 +1223,10 @@ func selectRows(snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32,
 		return sel, nil
 	}
 	if k := compileFilter(where, snap, rawW); k != nil {
+		// Kernel boundary: one check covers the whole filter pass.
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		tern := make([]int8, n)
 		k.eval(tern)
 		for i, t := range tern {
@@ -1233,6 +1244,11 @@ func selectRows(snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32,
 	}
 	env, _ := makeEnv(snap.Schema())
 	for i := 0; i < n; i++ {
+		if i%cancelCheckRows == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		ok, err := expr.Truthy(where, env.bind(snap.Row(i), rawW[i]))
 		if err != nil {
 			return nil, err
@@ -1561,7 +1577,7 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 // runAggregateVector answers an aggregate query on the columnar path.
 // handled=false means the shape is not kernel-covered and the caller must
 // use the row path.
-func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
+func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
 	keyIdx, err := resolveGroupKeys(snap, sel)
 	if err != nil {
 		// Eager validation errors are identical on both paths.
@@ -1586,7 +1602,7 @@ func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (re
 	if sel.Where != nil && aggsCanErr(vaggs, snap.Len()) && compileFilter(sel.Where, snap, rawW) == nil {
 		return nil, false, nil
 	}
-	selRows, err := selectRows(snap, sel.Where, rawW)
+	selRows, err := selectRows(ctx, snap, sel.Where, rawW)
 	if err != nil {
 		return nil, true, err
 	}
@@ -1613,6 +1629,10 @@ func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (re
 	}
 	states := make([]*vecAggState, len(vaggs))
 	for i, a := range vaggs {
+		// Kernel boundary: one check per aggregate's accumulation pass.
+		if err := checkCtx(ctx); err != nil {
+			return nil, true, err
+		}
 		states[i] = newVecAggState(a.kind, nst)
 		accumulate(a, states[i], snap, selRows, gids, selW, rawW)
 	}
@@ -1649,7 +1669,7 @@ func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (re
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	if err := orderAndLimit(res, sel, outSchema); err != nil {
+	if err := orderAndLimit(ctx, res, sel, outSchema); err != nil {
 		return nil, true, err
 	}
 	return res, true, nil
@@ -1673,7 +1693,7 @@ func runAggregateVector(snap *table.Snapshot, sel *sql.Select, opts Options) (re
 //   - An interpreted (non-kernel) filter evaluates all rows before any
 //     materialization; it engages only via the DISTINCT/sort conditions,
 //     which imply error-free items.
-func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
+func runProjectionVector(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options) (res *Result, handled bool, err error) {
 	rawW := snap.Weights()
 	if opts.WeightOverride != nil {
 		rawW = opts.WeightOverride
@@ -1722,6 +1742,10 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 	// Selection vector.
 	var selRows []int32
 	if k != nil {
+		// Kernel boundary: one check covers the whole filter pass.
+		if err := checkCtx(ctx); err != nil {
+			return nil, true, err
+		}
 		tern := make([]int8, n)
 		k.eval(tern)
 		selRows = make([]int32, 0, n)
@@ -1737,7 +1761,7 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 			}
 		}
 	} else {
-		selRows, err = selectRows(snap, sel.Where, rawW)
+		selRows, err = selectRows(ctx, snap, sel.Where, rawW)
 		if err != nil {
 			return nil, true, err
 		}
@@ -1753,6 +1777,10 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 	// ORDER BY / LIMIT on row indices, before materialization.
 	postDone := false
 	if sortFirst {
+		// Sort boundary.
+		if err := checkCtx(ctx); err != nil {
+			return nil, true, err
+		}
 		switch {
 		case sel.Limit == 0:
 			cand = nil
@@ -1788,7 +1816,12 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 	}
 	env, _ := makeEnv(snap.Schema())
 	res = &Result{Columns: outCols}
-	for _, ri := range cand {
+	for ci, ri := range cand {
+		if ci%cancelCheckRows == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, true, err
+			}
+		}
 		row := snap.Row(int(ri))
 		var b *expr.Binding
 		if needW {
@@ -1808,7 +1841,7 @@ func runProjectionVector(snap *table.Snapshot, sel *sql.Select, opts Options) (r
 	if postDone {
 		return res, true, nil
 	}
-	if err := orderAndLimit(res, sel, snap.Schema()); err != nil {
+	if err := orderAndLimit(ctx, res, sel, snap.Schema()); err != nil {
 		return nil, true, err
 	}
 	return res, true, nil

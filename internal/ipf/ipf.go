@@ -11,6 +11,7 @@
 package ipf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -66,6 +67,14 @@ type cellGroup struct {
 // be non-negative and not all zero. Fit does not modify the table; use Apply
 // or Table.SetWeights with the returned weights.
 func Fit(sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]float64, Result, error) {
+	return FitContext(context.Background(), sample, marginals, opts)
+}
+
+// FitContext is Fit with a cancellation context, checked once per raking
+// sweep. A cancelled fit returns ctx.Err() without touching the sample (Fit
+// rakes a private copy of the weights), so a later retry reproduces the
+// uncancelled weights exactly.
+func FitContext(ctx context.Context, sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]float64, Result, error) {
 	opts = opts.withDefaults()
 	if len(marginals) == 0 {
 		return nil, Result{}, fmt.Errorf("ipf: no marginals")
@@ -163,6 +172,9 @@ func Fit(sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]f
 
 	res := Result{UnreachableMass: unreachable, ReachableTotal: reachableTotal / float64(len(marginals))}
 	for iter := 1; iter <= opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, res, err
+		}
 		// One sweep: rake every marginal in turn.
 		for _, gl := range groups {
 			for _, g := range gl {
@@ -201,7 +213,14 @@ func Fit(sample *table.Table, marginals []*marginal.Marginal, opts Options) ([]f
 
 // Apply runs Fit and installs the weights on the sample.
 func Apply(sample *table.Table, marginals []*marginal.Marginal, opts Options) (Result, error) {
-	w, res, err := Fit(sample, marginals, opts)
+	return ApplyContext(context.Background(), sample, marginals, opts)
+}
+
+// ApplyContext is Apply with a cancellation context: a cancelled fit leaves
+// the sample's weights untouched (weights install only after the fit
+// completes).
+func ApplyContext(ctx context.Context, sample *table.Table, marginals []*marginal.Marginal, opts Options) (Result, error) {
+	w, res, err := FitContext(ctx, sample, marginals, opts)
 	if err != nil {
 		return res, err
 	}

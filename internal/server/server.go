@@ -9,8 +9,11 @@
 //
 // Every /v1 request passes a configurable admission gate (at most
 // MaxConcurrent requests execute at once; the rest wait, then 503) and a
-// per-request timeout (504; the engine call itself is not cancellable, so a
-// timed-out query finishes in the background while the client moves on).
+// per-request timeout (504). The request context threads into the engine, so
+// a timed-out or client-cancelled request actually aborts the server-side
+// work — M-SWG training, OPEN replicate generation, IPF fitting, and
+// executor scans all checkpoint the context — and the admission slot frees
+// as soon as the engine unwinds (/statsz counts these under "cancelled").
 // Values travel in the exact wire encoding of internal/wire, so a client
 // decodes answers byte-for-byte identical to an in-process engine's.
 //
@@ -211,8 +214,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // run executes fn under the admission gate and the per-request timeout,
 // answering 503 (never admitted) or 504 (admitted but over deadline). The
-// engine call is not cancellable: on 504 it completes in the background.
-func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int)) {
+// request context (bounded by RequestTimeout) is handed to fn, which must
+// pass it into the engine: on 504 the statement is cancelled server-side —
+// the engine unwinds at its next checkpoint, the admission slot frees, and
+// no work keeps burning CPU for an answer nobody will read.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, int)) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	if !s.admit(ctx) {
@@ -228,7 +234,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int
 	go func() {
 		defer s.release()
 		defer s.stats.inflight.Add(-1)
-		body, status := fn()
+		body, status := fn(ctx)
 		done <- outcome{body, status}
 	}()
 	select {
@@ -242,7 +248,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int
 		writeJSON(w, out.status, out.body)
 	case <-ctx.Done():
 		s.stats.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request exceeded %s (the statement keeps running server-side)", s.cfg.RequestTimeout)
+		writeError(w, http.StatusGatewayTimeout, "request exceeded %s (the statement was cancelled server-side)", s.cfg.RequestTimeout)
 	}
 }
 
@@ -262,12 +268,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	vis := sel.Visibility
-	s.run(w, r, func() (any, int) {
+	params, err := wire.DecodeValues(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bound, err := sql.BindParams(sel, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vis := bound.Visibility
+	s.run(w, r, func(ctx context.Context) (any, int) {
 		start := time.Now()
 		// Query the engine with the already-parsed statement (db.Query would
 		// re-parse the string).
-		res, err := s.db.Engine().Query(sel)
+		res, err := s.db.Engine().QueryContext(ctx, bound)
 		s.stats.recordQuery(vis, time.Since(start), err)
 		if err != nil {
 			return err.Error(), http.StatusUnprocessableEntity
@@ -287,10 +303,11 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	s.run(w, r, func() (any, int) {
+	s.run(w, r, func(ctx context.Context) (any, int) {
 		s.stats.execs.Add(1)
-		results, err := s.db.Run(req.Script)
+		results, err := s.db.RunContext(ctx, req.Script)
 		if err != nil {
+			s.stats.recordCancelled(err)
 			return err.Error(), http.StatusUnprocessableEntity
 		}
 		out := wire.ExecResponse{Results: make([]*wire.Result, len(results))}
@@ -316,7 +333,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.run(w, r, func() (any, int) {
+	s.run(w, r, func(ctx context.Context) (any, int) {
+		_ = ctx // EXPLAIN plans without executing; nothing long-running to cancel
 		s.stats.explains.Add(1)
 		res, err := s.db.Engine().Explain(sel)
 		if err != nil {

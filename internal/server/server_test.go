@@ -211,7 +211,7 @@ func TestRequestTimeoutAnswers504(t *testing.T) {
 	s, _ := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodGet, "/x", nil)
-	s.run(rec, req, func() (any, int) {
+	s.run(rec, req, func(context.Context) (any, int) {
 		time.Sleep(300 * time.Millisecond)
 		return "late", http.StatusOK
 	})

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -66,9 +68,10 @@ type stats struct {
 	errors   atomic.Int64
 	execs    atomic.Int64
 	explains atomic.Int64
-	rejected atomic.Int64 // admission-gate rejections
-	timeouts atomic.Int64 // per-request deadline expiries
-	inflight atomic.Int64
+	rejected  atomic.Int64 // admission-gate rejections
+	timeouts  atomic.Int64 // per-request deadline expiries
+	cancelled atomic.Int64 // engine calls aborted by context cancellation
+	inflight  atomic.Int64
 
 	latency [4]histogram // per visibility
 
@@ -81,11 +84,27 @@ func newStats() *stats { return &stats{started: time.Now()} }
 
 func (s *stats) recordQuery(vis sql.Visibility, d time.Duration, err error) {
 	if err != nil {
-		s.errors.Add(1)
+		if isCancellation(err) {
+			s.cancelled.Add(1)
+		} else {
+			s.errors.Add(1)
+		}
 		return
 	}
 	s.queries[vis].Add(1)
 	s.latency[vis].observe(d)
+}
+
+// recordCancelled counts err when it is a context cancellation (non-query
+// paths call it; query errors route through recordQuery).
+func (s *stats) recordCancelled(err error) {
+	if isCancellation(err) {
+		s.cancelled.Add(1)
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *stats) snapshot() wire.StatsResponse {
@@ -97,6 +116,7 @@ func (s *stats) snapshot() wire.StatsResponse {
 		QueryErrors:      s.errors.Load(),
 		Rejected:         s.rejected.Load(),
 		Timeouts:         s.timeouts.Load(),
+		Cancelled:        s.cancelled.Load(),
 		Visibilities:     make(map[string]wire.VisibilityStats, 4),
 		Snapshots:        s.snapshots.Load(),
 		LastSnapshotUnix: s.lastSnapshotUnix.Load(),

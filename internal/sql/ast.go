@@ -6,10 +6,12 @@
 package sql
 
 import (
+	"fmt"
 	"strings"
 
 	"mosaic/internal/expr"
 	"mosaic/internal/schema"
+	"mosaic/internal/value"
 )
 
 // Visibility is the query openness level chosen by the user (paper Sec 3.3).
@@ -116,9 +118,72 @@ type Select struct {
 	Having     expr.Expr
 	OrderBy    []OrderItem
 	Limit      int // -1 when absent
+	// NumParams is the number of `?` placeholders in the statement,
+	// numbered left-to-right from 0. A Select with NumParams > 0 must be
+	// bound with BindParams before execution.
+	NumParams int
 }
 
 func (*Select) stmt() {}
+
+// BindParams returns a copy of sel with every `?` placeholder replaced by
+// the corresponding literal value, in left-to-right placeholder order. The
+// bound statement is structurally identical to the same query written with
+// the literals inline — including output column names, which render from the
+// bound expressions — so answers are byte-identical to the inlined spelling.
+// sel itself is never mutated; with zero placeholders and zero values it is
+// returned unchanged.
+func BindParams(sel *Select, vals []value.Value) (*Select, error) {
+	if len(vals) != sel.NumParams {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d value(s)", sel.NumParams, len(vals))
+	}
+	if sel.NumParams == 0 {
+		return sel, nil
+	}
+	out := *sel
+	itemsCopied := false
+	for i, it := range sel.Items {
+		if it.Expr == nil {
+			continue
+		}
+		b, err := expr.ReplaceParams(it.Expr, vals)
+		if err != nil {
+			return nil, err
+		}
+		if b == it.Expr {
+			continue
+		}
+		if !itemsCopied {
+			out.Items = append([]SelectItem(nil), sel.Items...)
+			itemsCopied = true
+		}
+		out.Items[i].Expr = b
+	}
+	var err error
+	if out.Where, err = expr.ReplaceParams(sel.Where, vals); err != nil {
+		return nil, err
+	}
+	if out.Having, err = expr.ReplaceParams(sel.Having, vals); err != nil {
+		return nil, err
+	}
+	orderCopied := false
+	for i, o := range sel.OrderBy {
+		b, err := expr.ReplaceParams(o.Expr, vals)
+		if err != nil {
+			return nil, err
+		}
+		if b == o.Expr {
+			continue
+		}
+		if !orderCopied {
+			out.OrderBy = append([]OrderItem(nil), sel.OrderBy...)
+			orderCopied = true
+		}
+		out.OrderBy[i].Expr = b
+	}
+	out.NumParams = 0
+	return &out, nil
+}
 
 // HasAggregates reports whether any select item is an aggregate.
 func (s *Select) HasAggregates() bool {

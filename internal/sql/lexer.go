@@ -235,7 +235,7 @@ func (l *lexer) lexSymbol(line, col int) (token, error) {
 		return token{kind: tokSymbol, text: two, line: line, col: col}, nil
 	}
 	switch c {
-	case '(', ')', ',', ';', '*', '+', '-', '/', '=', '<', '>', '.', '%':
+	case '(', ')', ',', ';', '*', '+', '-', '/', '=', '<', '>', '.', '%', '?':
 		return token{kind: tokSymbol, text: string(c), line: line, col: col}, nil
 	}
 	return token{}, fmt.Errorf("sql: unexpected character %q at line %d col %d", c, line, col)

@@ -1,0 +1,100 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/value"
+)
+
+func TestParamPlaceholdersParseAndCount(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"SELECT COUNT(*) FROM t", 0},
+		{"SELECT COUNT(*) FROM t WHERE a > ?", 1},
+		{"SELECT a + ? FROM t WHERE b IN (?, ?, 3) AND c BETWEEN ? AND ?", 5},
+		{"SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING n > ? ORDER BY g", 1},
+		{"SELECT COUNT(*) FROM t WHERE a = -?", 1},
+	}
+	for _, tc := range cases {
+		sel, err := ParseQuery(tc.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.src, err)
+			continue
+		}
+		if sel.NumParams != tc.want {
+			t.Errorf("%q: NumParams = %d, want %d", tc.src, sel.NumParams, tc.want)
+		}
+	}
+}
+
+func TestParamsNumberPerStatement(t *testing.T) {
+	stmts, err := Parse("SELECT COUNT(*) FROM t WHERE a > ?; SELECT COUNT(*) FROM t WHERE b < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stmts {
+		sel := st.(*Select)
+		if sel.NumParams != 1 {
+			t.Errorf("statement %d: NumParams = %d, want 1 (numbering must reset per statement)", i, sel.NumParams)
+		}
+		p, ok := sel.Where.(*expr.Binary).Right.(*expr.Param)
+		if !ok || p.Index != 0 {
+			t.Errorf("statement %d: placeholder index = %+v, want Param{0}", i, sel.Where)
+		}
+	}
+}
+
+// TestBindParamsMatchesInlineLiteral: binding must produce the identical
+// rendered statement the inlined spelling parses to — the structural half of
+// the byte-identical answer guarantee.
+func TestBindParamsMatchesInlineLiteral(t *testing.T) {
+	param, err := ParseQuery("SELECT g, COUNT(*) AS n FROM t WHERE x > ? AND g = ? GROUP BY g HAVING n > ? ORDER BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, err := ParseQuery("SELECT g, COUNT(*) AS n FROM t WHERE x > 5 AND g = 'a' GROUP BY g HAVING n > 1.5 ORDER BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(param, []value.Value{value.Int(5), value.Text("a"), value.Float(1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bound.Where.String(), lit.Where.String(); got != want {
+		t.Errorf("bound WHERE %q != literal WHERE %q", got, want)
+	}
+	if got, want := bound.Having.String(), lit.Having.String(); got != want {
+		t.Errorf("bound HAVING %q != literal HAVING %q", got, want)
+	}
+	// The skeleton must be untouched (reusable for the next binding).
+	if param.NumParams != 3 || !strings.Contains(param.Where.String(), "?") {
+		t.Errorf("BindParams mutated the skeleton: %s", param.Where)
+	}
+	if bound.NumParams != 0 {
+		t.Errorf("bound statement still claims %d params", bound.NumParams)
+	}
+}
+
+func TestBindParamsCountMismatch(t *testing.T) {
+	sel, err := ParseQuery("SELECT COUNT(*) FROM t WHERE a > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BindParams(sel, nil); err == nil {
+		t.Error("missing values accepted")
+	}
+	if _, err := BindParams(sel, []value.Value{value.Int(1), value.Int(2)}); err == nil {
+		t.Error("excess values accepted")
+	}
+	zero, err := ParseQuery("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound, err := BindParams(zero, nil); err != nil || bound != zero {
+		t.Errorf("zero-param bind = (%v, %v), want the identical statement back", bound, err)
+	}
+}

@@ -81,6 +81,9 @@ func ParseExpr(src string) (expr.Expr, error) {
 type parser struct {
 	toks []token
 	pos  int
+	// params counts `?` placeholders seen so far in the current statement;
+	// placeholders are numbered left-to-right from 0.
+	params int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -155,6 +158,7 @@ func (p *parser) identifier() (string, error) {
 }
 
 func (p *parser) parseStatement() (Statement, error) {
+	p.params = 0 // placeholders number per statement
 	t := p.peek()
 	if t.kind != tokKeyword {
 		return nil, p.errf("expected statement, found %s", t)
@@ -332,6 +336,7 @@ func (p *parser) parseSelect() (*Select, error) {
 		p.advance()
 		sel.Limit = n
 	}
+	sel.NumParams = p.params
 	return sel, nil
 }
 
@@ -1133,6 +1138,12 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 		p.advance()
 		return expr.Col(t.text), nil
 	case tokSymbol:
+		if t.text == "?" {
+			p.advance()
+			idx := p.params
+			p.params++
+			return &expr.Param{Index: idx}, nil
+		}
 		if t.text == "(" {
 			p.advance()
 			e, err := p.parseExpr()

@@ -1,6 +1,7 @@
 package swg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -414,11 +415,24 @@ func (m *Model) lossAndGrad(out [][]float64) (float64, [][]float64, error) {
 // learning-rate decay. It is idempotent to call once; further calls continue
 // training from the current parameters.
 func (m *Model) Train() error {
+	return m.TrainContext(context.Background())
+}
+
+// TrainContext is Train with a cancellation context, checked before every
+// training step (the finest deterministic unit of work). A cancelled training
+// run returns ctx.Err() with the model left partially trained; callers that
+// cache trained models must discard a cancelled model and retrain from a
+// fresh one — training is a pure function of (sample, marginals, Config), so
+// a from-scratch retrain reproduces the uncancelled weights bit for bit.
+func (m *Model) TrainContext(ctx context.Context) error {
 	best := math.Inf(1)
 	sinceBest := 0
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		var sum float64
 		for step := 0; step < m.cfg.StepsPerEpoch; step++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			z := m.latentBatch(m.cfg.BatchSize)
 			out := m.Net.Forward(z, true)
 			loss, grad, err := m.lossAndGrad(out)
@@ -453,10 +467,16 @@ func (m *Model) Train() error {
 func (m *Model) Trained() bool { return m.trained }
 
 // generateEncodedFrom produces n encoded vectors drawing latents from rng
-// (eval-mode forward: batch norm uses running statistics, no caching).
-func (m *Model) generateEncodedFrom(rng *rand.Rand, n int) [][]float64 {
+// (eval-mode forward: batch norm uses running statistics, no caching). The
+// context is checked once per generated batch; a nil ctx never cancels.
+func (m *Model) generateEncodedFrom(ctx context.Context, rng *rand.Rand, n int) ([][]float64, error) {
 	out := make([][]float64, 0, n)
 	for len(out) < n {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		b := m.cfg.BatchSize
 		if rem := n - len(out); rem < b {
 			b = rem
@@ -465,7 +485,7 @@ func (m *Model) generateEncodedFrom(rng *rand.Rand, n int) [][]float64 {
 		y := m.Net.Forward(z, false)
 		out = append(out, y...)
 	}
-	return out
+	return out, nil
 }
 
 // DecodeTableRowAppend materializes encoded vectors as a weight-1 tuple
@@ -631,7 +651,8 @@ func decodeColumn(sp *AttrSpec, pos int, kind value.Kind, enc [][]float64, rows 
 // GenerateEncoded produces n encoded vectors from the trained generator,
 // advancing the model's training RNG stream.
 func (m *Model) GenerateEncoded(n int) [][]float64 {
-	return m.generateEncodedFrom(m.rng, n)
+	out, _ := m.generateEncodedFrom(nil, m.rng, n)
+	return out
 }
 
 // Generate produces a generated sample table of n tuples with weight 1.
@@ -645,7 +666,8 @@ func (m *Model) Generate(name string, n int) (*table.Table, error) {
 // model are safe; equal seeds give bit-identical output regardless of what
 // other goroutines generate.
 func (m *Model) GenerateEncodedSeeded(n int, seed int64) [][]float64 {
-	return m.generateEncodedFrom(rand.New(rand.NewSource(seed)), n)
+	out, _ := m.generateEncodedFrom(nil, rand.New(rand.NewSource(seed)), n)
+	return out
 }
 
 // GenerateSeeded produces a generated sample table of n tuples with weight 1
@@ -661,7 +683,20 @@ func (m *Model) GenerateSeeded(name string, n int, seed int64) (*table.Table, er
 // population size happens at build time rather than as a second pass over
 // the replicate table.
 func (m *Model) GenerateSeededWeighted(name string, n int, seed int64, w float64) (*table.Table, error) {
-	return m.DecodeTable(name, m.GenerateEncodedSeeded(n, seed), w)
+	return m.GenerateSeededWeightedContext(context.Background(), name, n, seed, w)
+}
+
+// GenerateSeededWeightedContext is GenerateSeededWeighted with a cancellation
+// context, checked once per generated batch. A cancelled generation returns
+// ctx.Err() and discards the partial replicate; the model itself is untouched
+// (eval-mode forward passes are read-only), so re-running with the same seed
+// reproduces the uncancelled replicate bit for bit.
+func (m *Model) GenerateSeededWeightedContext(ctx context.Context, name string, n int, seed int64, w float64) (*table.Table, error) {
+	enc, err := m.generateEncodedFrom(ctx, rand.New(rand.NewSource(seed)), n)
+	if err != nil {
+		return nil, err
+	}
+	return m.DecodeTable(name, enc, w)
 }
 
 // Loss evaluates Eq. 1 on a fresh eval-mode batch (no parameter update);

@@ -210,6 +210,7 @@ type Snapshot struct {
 	cols     []Column
 	dict     *Dict
 	dictStrs []string // code→string table frozen at snapshot time
+	tbl      *Table   // parent, for the shared code-vector cache
 }
 
 // Snapshot captures the table's current contents with one RLock. The
@@ -223,6 +224,7 @@ func (t *Table) Snapshot() *Snapshot {
 		rows: t.rows,
 		wts:  t.wts,
 		dict: t.dict,
+		tbl:  t,
 	}
 	n := len(t.rows)
 	s.cols = make([]Column, len(t.cols))
@@ -290,13 +292,69 @@ func (s *Snapshot) DictStrings() []string { return s.dictStrs }
 // A miss means no row of any snapshot of this table stores str.
 func (s *Snapshot) DictLookup(str string) (uint32, bool) { return s.dict.Lookup(str) }
 
+// codeKey identifies one cached code vector: a column position and the
+// histogram bin width its numerics were snapped to (0 = unbinned Codes).
+type codeKey struct {
+	col   int
+	width float64
+}
+
+// codeVec is one cached code vector: the (cls, bits) pair for the first n
+// rows of a column. Codes are append-only prefix-stable, so the vector
+// serves every snapshot of length ≤ n and is replaced (never edited) when a
+// longer snapshot materializes more rows.
+type codeVec struct {
+	n    int
+	cls  []value.Class
+	bits []uint64
+}
+
+// cachedCodes serves one code vector from the parent table's cache,
+// computing and installing it on miss. Repeated IPF fits and marginal
+// builds over the same sample hit the cache instead of re-materializing
+// O(rows) vectors per call; callers must treat the returned slices as
+// read-only (they are shared by every snapshot of the table).
+func (s *Snapshot) cachedCodes(col int, width float64, compute func() ([]value.Class, []uint64)) ([]value.Class, []uint64) {
+	t := s.tbl
+	if t == nil {
+		return compute()
+	}
+	n := s.Len()
+	key := codeKey{col: col, width: width}
+	t.codeMu.Lock()
+	if cv, ok := t.codeCache[key]; ok && cv.n >= n {
+		cls, bits := cv.cls[:n:n], cv.bits[:n:n]
+		t.codeMu.Unlock()
+		return cls, bits
+	}
+	t.codeMu.Unlock()
+	cls, bits := compute()
+	t.codeMu.Lock()
+	if t.codeCache == nil {
+		t.codeCache = make(map[codeKey]*codeVec)
+	}
+	if cv, ok := t.codeCache[key]; !ok || cv.n < n {
+		t.codeCache[key] = &codeVec{n: n, cls: cls, bits: bits}
+	}
+	t.codeMu.Unlock()
+	return cls, bits
+}
+
 // Codes materializes the (class, bits) code of every row of column col into
 // a pair of parallel slices: cls[i] partitions by HashKey tag class and
 // bits[i] distinguishes values within the class (dictionary code for TEXT,
 // NaN-canonical float bits for numerics, 0/1 for BOOL). Two rows have equal
 // (cls, bits) pairs exactly when their HashKeys are equal, so these codes
-// can key group-by and marginal-cell hash tables directly.
+// can key group-by and marginal-cell hash tables directly. The vectors are
+// cached on the parent table (append-only prefix reuse) and must be treated
+// as read-only.
 func (s *Snapshot) Codes(col int) (cls []value.Class, bits []uint64) {
+	return s.cachedCodes(col, 0, func() ([]value.Class, []uint64) { return s.computeCodes(col) })
+}
+
+// computeCodes materializes the code vectors of Codes without consulting the
+// cache.
+func (s *Snapshot) computeCodes(col int) (cls []value.Class, bits []uint64) {
 	c := &s.cols[col]
 	n := s.Len()
 	cls = make([]value.Class, n)
@@ -381,12 +439,20 @@ func (s *Snapshot) CellCodeOf(vals []value.Value) (CellCode, bool) {
 // BinnedCodes is Codes with numeric values snapped to histogram bin
 // midpoints first: (⌊v/width⌋+0.5)·width, the same expression
 // marginal.SnapVals uses, so a binned row code equals the code of its
-// snapped cell value. Non-numeric columns and width 0 defer to Codes.
+// snapped cell value. Non-numeric columns and width 0 defer to Codes. Like
+// Codes, the vectors are cached per (column, width) on the parent table and
+// must be treated as read-only.
 func (s *Snapshot) BinnedCodes(col int, width float64) (cls []value.Class, bits []uint64) {
-	c := &s.cols[col]
-	if width == 0 || (c.Kind != value.KindInt && c.Kind != value.KindFloat) {
+	if width == 0 || (s.cols[col].Kind != value.KindInt && s.cols[col].Kind != value.KindFloat) {
 		return s.Codes(col)
 	}
+	return s.cachedCodes(col, width, func() ([]value.Class, []uint64) { return s.computeBinnedCodes(col, width) })
+}
+
+// computeBinnedCodes materializes the code vectors of BinnedCodes without
+// consulting the cache.
+func (s *Snapshot) computeBinnedCodes(col int, width float64) (cls []value.Class, bits []uint64) {
+	c := &s.cols[col]
 	n := s.Len()
 	cls = make([]value.Class, n)
 	bits = make([]uint64, n)

@@ -35,6 +35,14 @@ type Table struct {
 	wts    []float64
 	cols   []Column
 	dict   *Dict
+
+	// codeMu guards codeCache, the per-(column, bin width) cache of
+	// materialized code vectors served through Snapshot.Codes/BinnedCodes
+	// (see columns.go). Codes are append-only prefix-stable — rows never
+	// mutate, dictionary codes never change — so a cached vector of length m
+	// serves every snapshot of length ≤ m; only Truncate invalidates.
+	codeMu    sync.Mutex
+	codeCache map[codeKey]*codeVec
 }
 
 // New creates an empty table with the given name and schema.
@@ -244,4 +252,7 @@ func (t *Table) Truncate() {
 	t.wts = nil
 	t.cols = newColumns(t.schema)
 	t.mu.Unlock()
+	t.codeMu.Lock()
+	t.codeCache = nil
+	t.codeMu.Unlock()
 }

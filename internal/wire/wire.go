@@ -16,9 +16,13 @@ import (
 	"mosaic/internal/value"
 )
 
-// QueryRequest is the body of POST /v1/query and GET /v1/explain.
+// QueryRequest is the body of POST /v1/query and GET /v1/explain. Params
+// bind the query's `?` placeholders in order; values travel as tagged cells
+// (the same codec results use), so a bound query answers byte-identically to
+// the same query with the literals inlined.
 type QueryRequest struct {
-	Query string `json:"query"`
+	Query  string `json:"query"`
+	Params []Cell `json:"params,omitempty"`
 }
 
 // ExecRequest is the body of POST /v1/exec: a semicolon-separated Mosaic
@@ -73,6 +77,7 @@ type StatsResponse struct {
 	QueryErrors      int64                      `json:"query_errors"`
 	Rejected         int64                      `json:"rejected"`
 	Timeouts         int64                      `json:"timeouts"`
+	Cancelled        int64                      `json:"cancelled"`
 	Visibilities     map[string]VisibilityStats `json:"visibilities"`
 	Snapshots        int64                      `json:"snapshots"`
 	LastSnapshotUnix int64                      `json:"last_snapshot_unix,omitempty"`
@@ -123,6 +128,35 @@ func DecodeValue(c Cell) (value.Value, error) {
 	default:
 		return value.Null(), fmt.Errorf("wire: unknown cell kind %q", c.K)
 	}
+}
+
+// EncodeValues converts a value slice to wire cells (parameter encoding).
+func EncodeValues(vals []value.Value) []Cell {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]Cell, len(vals))
+	for i, v := range vals {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeValues converts wire cells back to identical values (parameter
+// decoding).
+func DecodeValues(cells []Cell) ([]value.Value, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(cells))
+	for i, c := range cells {
+		v, err := DecodeValue(c)
+		if err != nil {
+			return nil, fmt.Errorf("wire: param %d: %v", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // EncodeResult converts an engine result to its wire form. A nil result

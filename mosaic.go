@@ -44,6 +44,7 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -150,23 +151,69 @@ func (db *DB) eng() *core.Engine { return db.engine.Load() }
 
 // Exec runs one or more semicolon-separated DDL/DML statements.
 func (db *DB) Exec(script string) error {
-	_, err := db.eng().ExecScript(script)
+	return db.ExecContext(context.Background(), script)
+}
+
+// ExecContext is Exec with a cancellation context: the script stops between
+// statements once ctx expires (each statement is atomic; completed
+// statements stay executed), and SELECTs inside the script honor ctx at
+// every engine checkpoint.
+func (db *DB) ExecContext(ctx context.Context, script string) error {
+	_, err := db.eng().ExecScriptContext(ctx, script)
 	return err
 }
 
-// Query runs a single SELECT and returns its result.
-func (db *DB) Query(query string) (*Result, error) {
+// Query runs a single SELECT and returns its result. Optional args bind `?`
+// placeholders in the query, in order; a bound query answers byte-identically
+// to the same query with the literals inlined.
+func (db *DB) Query(query string, args ...any) (*Result, error) {
+	return db.QueryContext(context.Background(), query, args...)
+}
+
+// QueryContext is Query with a cancellation context. A cancelled query
+// returns ctx.Err() promptly — M-SWG training, OPEN replicate generation,
+// IPF fitting, and executor scans all checkpoint the context — and leaves
+// the database fully consistent: re-running the query returns the
+// byte-identical uncancelled answer.
+func (db *DB) QueryContext(ctx context.Context, query string, args ...any) (*Result, error) {
 	sel, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.eng().Query(sel)
+	bound, err := bindArgs(sel, args)
+	if err != nil {
+		return nil, err
+	}
+	return db.eng().QueryContext(ctx, bound)
 }
 
 // Run executes a script and returns the result of every statement (nil for
 // DDL/DML), enabling mixed scripts like the paper's Sec 2 example.
 func (db *DB) Run(script string) ([]*Result, error) {
-	return db.eng().ExecScript(script)
+	return db.RunContext(context.Background(), script)
+}
+
+// RunContext is Run with a cancellation context (see ExecContext for the
+// mid-script semantics).
+func (db *DB) RunContext(ctx context.Context, script string) ([]*Result, error) {
+	return db.eng().ExecScriptContext(ctx, script)
+}
+
+// bindArgs coerces Go-native args to typed values and substitutes them for
+// the statement's `?` placeholders.
+func bindArgs(sel *sql.Select, args []any) (*sql.Select, error) {
+	if len(args) == 0 && sel.NumParams == 0 {
+		return sel, nil
+	}
+	vals := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := value.FromRaw(a)
+		if err != nil {
+			return nil, fmt.Errorf("mosaic: parameter %d: %v", i+1, err)
+		}
+		vals[i] = v
+	}
+	return sql.BindParams(sel, vals)
 }
 
 // Ingest appends Go-native rows ([]any per row, matching the relation
@@ -188,11 +235,22 @@ func (db *DB) AddMarginal(population string, m *Marginal) error {
 
 // Scalar is a convenience for single-row single-column answers (e.g. global
 // aggregates): it runs the query and returns the lone cell as float64.
-func (db *DB) Scalar(query string) (float64, error) {
-	res, err := db.Query(query)
+// Optional args bind `?` placeholders.
+func (db *DB) Scalar(query string, args ...any) (float64, error) {
+	return db.ScalarContext(context.Background(), query, args...)
+}
+
+// ScalarContext is Scalar with a cancellation context.
+func (db *DB) ScalarContext(ctx context.Context, query string, args ...any) (float64, error) {
+	res, err := db.QueryContext(ctx, query, args...)
 	if err != nil {
 		return 0, err
 	}
+	return scalarCell(res)
+}
+
+// scalarCell extracts the lone cell of a 1×1 result as float64.
+func scalarCell(res *Result) (float64, error) {
 	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
 		return 0, fmt.Errorf("mosaic: query returned %d rows × %d columns, want 1×1", len(res.Rows), len(res.Columns))
 	}

@@ -1,0 +1,94 @@
+package mosaic
+
+import (
+	"context"
+	"sync"
+
+	"mosaic/internal/core"
+	"mosaic/internal/sql"
+)
+
+// Stmt is a prepared SELECT: the query is parsed once at Prepare time and
+// the engine-side resolution (relation route, chosen sample, marginal scope)
+// is cached across executions, so re-executing a Stmt skips re-parsing and
+// re-planning entirely. `?` placeholders bind per execution, in order, via
+// the args of Query/QueryContext; a bound execution answers byte-identically
+// to the same query with the literals spelled inline.
+//
+// A Stmt never goes stale: the engine stamps every DDL/DML with a generation
+// counter and the Stmt re-resolves its plan transparently when the counter
+// moves (or when Restore swaps in a new engine). It is safe for concurrent
+// use by multiple goroutines.
+type Stmt struct {
+	db    *DB
+	query string
+	sel   *sql.Select
+
+	mu  sync.Mutex
+	eng *core.Engine
+	pq  *core.PreparedQuery
+}
+
+// Prepare parses query once and returns a reusable statement handle.
+// Relation names and plans resolve lazily at first execution, so Prepare
+// succeeds even before the referenced relations exist.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	sel, err := sql.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, query: query, sel: sel}, nil
+}
+
+// Text returns the statement's SQL text as prepared.
+func (s *Stmt) Text() string { return s.query }
+
+// NumParams returns the number of `?` placeholders the statement binds.
+func (s *Stmt) NumParams() int { return s.sel.NumParams }
+
+// Close releases the statement. It exists for database/sql-style symmetry;
+// a Stmt holds no engine-side resources beyond its cached plan, so Close is
+// optional and the Stmt remains usable afterwards.
+func (s *Stmt) Close() error { return nil }
+
+// prepared returns the engine-side prepared query for the DB's current
+// engine, replacing it when Restore has swapped engines.
+func (s *Stmt) prepared(eng *core.Engine) *core.PreparedQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pq == nil || s.eng != eng {
+		s.eng = eng
+		s.pq = eng.Prepare(s.sel)
+	}
+	return s.pq
+}
+
+// Query executes the statement with args bound to its placeholders.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with a cancellation context (the same checkpoints
+// DB.QueryContext honors).
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
+	bound, err := bindArgs(s.sel, args)
+	if err != nil {
+		return nil, err
+	}
+	eng := s.db.eng()
+	return eng.QueryPrepared(ctx, s.prepared(eng), bound)
+}
+
+// Scalar executes the statement and returns the lone cell of its 1×1 answer.
+func (s *Stmt) Scalar(args ...any) (float64, error) {
+	return s.ScalarContext(context.Background(), args...)
+}
+
+// ScalarContext is Scalar with a cancellation context.
+func (s *Stmt) ScalarContext(ctx context.Context, args ...any) (float64, error) {
+	res, err := s.QueryContext(ctx, args...)
+	if err != nil {
+		return 0, err
+	}
+	return scalarCell(res)
+}

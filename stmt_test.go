@@ -1,0 +1,97 @@
+package mosaic
+
+import (
+	"testing"
+)
+
+// TestStmtSurvivesDDLAndRestore: a public-API Stmt keeps answering correctly
+// across DDL (generation bump) and across Restore (whole-engine swap).
+func TestStmtSurvivesDDLAndRestore(t *testing.T) {
+	db := Open(nil)
+	if err := db.Exec(`CREATE TABLE T (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest("T", [][]any{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`SELECT COUNT(*) FROM T WHERE a > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", stmt.NumParams())
+	}
+	mustScalar := func(want float64, args ...any) {
+		t.Helper()
+		got, err := stmt.Scalar(args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("stmt.Scalar(%v) = %g, want %g", args, got, want)
+		}
+	}
+	mustScalar(2, 1)
+
+	// DDL after Prepare: the cached plan must refresh.
+	if err := db.Ingest("T", [][]any{{10}}); err != nil {
+		t.Fatal(err)
+	}
+	mustScalar(3, 1)
+
+	// Restore swaps the engine wholesale; the Stmt follows.
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	mustScalar(3, 1)
+	mustScalar(4, 0)
+
+	// Wrong arity errors cleanly.
+	if _, err := stmt.Query(); err == nil {
+		t.Error("missing binding accepted")
+	}
+	if _, err := stmt.Query(1, 2); err == nil {
+		t.Error("excess binding accepted")
+	}
+}
+
+// TestQueryArgsMatchInline: DB.Query's variadic args answer identically to
+// inlined literals for every supported Go-native parameter type.
+func TestQueryArgsMatchInline(t *testing.T) {
+	db := Open(nil)
+	if err := db.Exec(`CREATE TABLE P (s TEXT, i INT, f FLOAT, b BOOL)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest("P", [][]any{
+		{"x", 1, 1.5, true}, {"y", 2, 2.5, false}, {"x", 3, 3.5, true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		param, literal string
+		args           []any
+	}{
+		{`SELECT COUNT(*) FROM P WHERE s = ?`, `SELECT COUNT(*) FROM P WHERE s = 'x'`, []any{"x"}},
+		{`SELECT COUNT(*) FROM P WHERE i > ?`, `SELECT COUNT(*) FROM P WHERE i > 1`, []any{1}},
+		{`SELECT COUNT(*) FROM P WHERE f < ?`, `SELECT COUNT(*) FROM P WHERE f < 3.0`, []any{3.0}},
+		{`SELECT COUNT(*) FROM P WHERE b = ?`, `SELECT COUNT(*) FROM P WHERE b = TRUE`, []any{true}},
+		{`SELECT COUNT(*) FROM P WHERE i IN (?, ?)`, `SELECT COUNT(*) FROM P WHERE i IN (1, 3)`, []any{1, 3}},
+	}
+	for _, tc := range cases {
+		got, err := db.Query(tc.param, tc.args...)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.param, err)
+		}
+		want, err := db.Query(tc.literal)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.literal, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%q diverged from %q:\n got: %s\nwant: %s", tc.param, tc.literal, got, want)
+		}
+	}
+}

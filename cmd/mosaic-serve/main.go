@@ -48,7 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
-	workers := flag.Int("workers", 1, "intra-query workers; answers are identical for any value")
+	workers := flag.Int("workers", 0, "intra-query workers; 0 = all cores (GOMAXPROCS), answers are identical for any value")
 	flag.Parse()
 
 	db := mosaic.Open(&mosaic.Options{

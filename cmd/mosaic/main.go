@@ -45,7 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
-	workers := flag.Int("workers", 1, "intra-query workers (OPEN replicate fan-out, M-SWG training); answers are identical for any value")
+	workers := flag.Int("workers", 0, "intra-query workers (morsel-parallel kernels, OPEN replicate fan-out, M-SWG training); 0 = all cores (GOMAXPROCS), answers are identical for any value")
 	remote := flag.String("remote", "", "drive a mosaic-serve instance at this base URL instead of an in-process engine")
 	timeout := flag.Duration("timeout", 0, "per-script deadline; overrunning statements are cancelled (0 = no limit)")
 	flag.Parse()

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,24 +25,24 @@ import (
 
 // ExecConfig sizes the executor microbenchmarks.
 type ExecConfig struct {
-	Rows int   // table size (default 1,000,000)
-	Seed int64 // RNG seed for the synthetic table
+	Rows    int   // table size (default 1,000,000)
+	Seed    int64 // RNG seed for the synthetic table
+	Workers []int // worker counts swept on the vectorized path (default {1})
 }
 
-// ExecCase is one measured microbenchmark.
+// ExecCase is one measured microbenchmark: one query at one worker count.
+// The row-engine baseline is measured once per query and repeated across
+// that query's sweep rows so every case is self-describing.
 type ExecCase struct {
 	Name    string  `json:"name"`
 	Query   string  `json:"query"`
 	Rows    int     `json:"rows"`
+	Workers int     `json:"workers"`  // vectorized-path worker count
 	Groups  int     `json:"groups"`   // output rows of the query
 	RowMs   float64 `json:"row_ms"`   // row engine (or baseline path), ms per run
 	VecMs   float64 `json:"vec_ms"`   // vectorized engine (or optimized path), ms per run
 	Speedup float64 `json:"speedup"`  // RowMs / VecMs
 	Match   bool    `json:"verified"` // answers byte-identical across paths
-	// PrevVecMs, when present in the committed BENCH_exec.json, records the
-	// optimized-path time of the previous PR for cases whose kernel changed
-	// (a before/after annotation; the generator leaves it unset).
-	PrevVecMs float64 `json:"prev_vec_ms,omitempty"`
 }
 
 // ExecResult is the full microbenchmark report.
@@ -56,9 +57,9 @@ type ExecResult struct {
 func (r *ExecResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Executor microbenchmarks — %d rows (table build %.1fs)\n", r.Rows, r.BuildSecs)
-	fmt.Fprintf(&b, "  %-26s %12s %12s %9s %9s\n", "case", "row ms/op", "vec ms/op", "speedup", "verified")
+	fmt.Fprintf(&b, "  %-26s %7s %12s %12s %9s %9s\n", "case", "workers", "row ms/op", "vec ms/op", "speedup", "verified")
 	for _, c := range r.Cases {
-		fmt.Fprintf(&b, "  %-26s %12.2f %12.2f %8.2fx %9v\n", c.Name, c.RowMs, c.VecMs, c.Speedup, c.Match)
+		fmt.Fprintf(&b, "  %-26s %7d %12.2f %12.2f %8.2fx %9v\n", c.Name, c.Workers, c.RowMs, c.VecMs, c.Speedup, c.Match)
 	}
 	return b.String()
 }
@@ -156,6 +157,9 @@ func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1}
+	}
 	buildStart := time.Now()
 	t, err := buildExecTable(cfg)
 	if err != nil {
@@ -167,24 +171,30 @@ func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench exec %s: %v", c.name, err)
 		}
+		// The row baseline times once per query; the vectorized path sweeps
+		// the worker counts, byte-verified against the row answer at every
+		// count (the morsel-merge determinism contract, checked in anger).
 		rowMs, rowRes, err := timeRuns(t, sel, exec.Options{Weighted: true, ForceRow: true})
 		if err != nil {
 			return nil, fmt.Errorf("bench exec %s (row): %v", c.name, err)
 		}
-		vecMs, vecRes, err := timeRuns(t, sel, exec.Options{Weighted: true})
-		if err != nil {
-			return nil, fmt.Errorf("bench exec %s (vec): %v", c.name, err)
+		for _, w := range cfg.Workers {
+			vecMs, vecRes, err := timeRuns(t, sel, exec.Options{Weighted: true, Workers: w})
+			if err != nil {
+				return nil, fmt.Errorf("bench exec %s (vec, %d workers): %v", c.name, w, err)
+			}
+			out.Cases = append(out.Cases, ExecCase{
+				Name:    c.name,
+				Query:   c.query,
+				Rows:    cfg.Rows,
+				Workers: w,
+				Groups:  len(vecRes.Rows),
+				RowMs:   rowMs,
+				VecMs:   vecMs,
+				Speedup: rowMs / vecMs,
+				Match:   rowRes.String() == vecRes.String(),
+			})
 		}
-		out.Cases = append(out.Cases, ExecCase{
-			Name:    c.name,
-			Query:   c.query,
-			Rows:    cfg.Rows,
-			Groups:  len(vecRes.Rows),
-			RowMs:   rowMs,
-			VecMs:   vecMs,
-			Speedup: rowMs / vecMs,
-			Match:   rowRes.String() == vecRes.String(),
-		})
 	}
 	genCase, err := runOpenGenCase(cfg)
 	if err != nil {
@@ -271,6 +281,7 @@ func runOpenGenCase(cfg ExecConfig) (ExecCase, error) {
 		Name:    "open-gen-decode",
 		Query:   fmt.Sprintf("swg decode of %d generated tuples: row-append vs column-native", genN),
 		Rows:    genN,
+		Workers: 1,
 		Groups:  genN,
 		RowMs:   rowMs,
 		VecMs:   vecMs,
@@ -333,6 +344,7 @@ func runPreparedCase() (ExecCase, error) {
 		Name:    "prepared-exec",
 		Query:   fmt.Sprintf("%s (param 500, %d rows): per-call parse+plan vs prepared Stmt", paramQ, rows),
 		Rows:    rows,
+		Workers: runtime.GOMAXPROCS(0), // the DB's default worker pool
 		Groups:  len(got.Rows),
 		RowMs:   unpreparedMs,
 		VecMs:   preparedMs,

@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,11 +41,14 @@ type Options struct {
 	// of answering from one optimal sample, all schema-covering samples of
 	// the population are unioned and reweighted together.
 	UnionSamples bool
-	// Workers bounds the engine's intra-query parallelism: OPEN queries fan
-	// their replicate generation across up to Workers goroutines, and M-SWG
-	// training uses Workers loss workers unless SWG.Workers overrides it.
-	// Results are independent of Workers — each replicate draws from an RNG
-	// stream derived only from (Seed, replicate index). Default 1 (serial).
+	// Workers bounds the engine's intra-query parallelism: columnar kernels
+	// run morsel-parallel across up to Workers goroutines, OPEN queries fan
+	// their replicate generation across them, and M-SWG training uses Workers
+	// loss workers unless SWG.Workers overrides it. Results are independent
+	// of Workers — morsel states merge in scan order and each replicate draws
+	// from an RNG stream derived only from (Seed, replicate index). 0 (the
+	// default) means runtime.GOMAXPROCS(0), i.e. use every core; negative
+	// values mean 1 (the true serial path).
 	Workers int
 	// RowExec forces the legacy row-at-a-time executor for every query,
 	// bypassing the vectorized columnar path. Answers are byte-identical
@@ -65,7 +69,10 @@ func (o Options) withDefaults() Options {
 	if o.OpenSamples <= 0 {
 		o.OpenSamples = 10
 	}
-	if o.Workers <= 0 {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 0 {
 		o.Workers = 1
 	}
 	return o

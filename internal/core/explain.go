@@ -33,10 +33,12 @@ func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
 	case "table":
 		add("kind", "auxiliary table")
 		add("technique", "direct scan (closed world)")
+		add("execution", e.execPlan())
 		return res, nil
 	case "sample":
 		add("kind", "sample")
 		add("technique", "direct scan over stored weights")
+		add("execution", e.execPlan())
 		return res, nil
 	}
 	pop, _ := e.cat.Population(sel.From)
@@ -104,7 +106,23 @@ func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
 			}
 		}
 	}
+	add("execution", e.execPlan())
 	return res, nil
+}
+
+// execPlan describes the physical scan plan: which executor serves the query
+// and how it partitions the table. Answers never depend on this — the
+// morsel merge is deterministic and the row path is byte-identical — so the
+// row is purely informational.
+func (e *Engine) execPlan() string {
+	if e.opts.RowExec {
+		return "row-at-a-time interpreter (forced)"
+	}
+	if e.opts.Workers <= 1 {
+		return fmt.Sprintf("vectorized kernels, serial scan (%d-row morsels, 1 worker)", exec.MorselRows)
+	}
+	return fmt.Sprintf("vectorized kernels, morsel-parallel scan (%d-row morsels × %d workers, deterministic morsel-order merge)",
+		exec.MorselRows, e.opts.Workers)
 }
 
 // execCopy bulk-loads a CSV file into a table or sample, coercing each field

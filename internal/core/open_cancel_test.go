@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"mosaic/internal/swg"
+)
+
+// countdownCtx is a context that reports cancellation after a fixed number
+// of Err() checks, landing the cancellation deterministically at the k-th
+// checkpoint instead of wherever a wall-clock deadline happens to fall.
+// With limit 0 it never cancels and just counts the checkpoints.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.limit && c.limit > 0 {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+func serialOpenEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(Options{
+		Seed:        3,
+		OpenSamples: 3,
+		Workers:     1, // the true serial replicate loop
+		SWG: swg.Config{
+			Hidden: []int{16, 16}, Latent: 2, Epochs: 8,
+			BatchSize: 128, Projections: 12, StepsPerEpoch: 4,
+		},
+	})
+	seedWorld(t, e)
+	return e
+}
+
+// TestCancelMidReplicateSerial pins the serial OPEN replicate loop's
+// cancellation contract (the existing cancel tests only exercise Workers 2):
+// when the context expires at ANY checkpoint — including between replicates,
+// where the loop breaks out leaving later results/errs slots nil — the query
+// must surface ctx.Err() and must never combine a partial replicate set. The
+// countdown context sweeps every region of the run deterministically.
+func TestCancelMidReplicateSerial(t *testing.T) {
+	q := mustParse(t, "SELECT OPEN grp, COUNT(*) FROM World GROUP BY grp ORDER BY grp")
+	e := serialOpenEngine(t)
+
+	// Warm the model cache so the cancelled attempts below land in the
+	// replicate loop (generation + per-replicate exec), not in training.
+	want, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the checkpoints of one full cached-model run.
+	probe := &countdownCtx{Context: context.Background()}
+	if _, err := e.QueryContext(probe, q); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.calls.Load()
+	if total < 4 {
+		t.Fatalf("only %d ctx checkpoints in a %d-replicate OPEN run; per-replicate checks are gone", total, 3)
+	}
+
+	// Cancel at checkpoints spread across the whole run: early, inside each
+	// replicate's work, and at the very end (limit total-1 cancels the final
+	// checkpoint; limit total would let the run complete).
+	for k := int64(1); k < total; k += max64(1, total/16) {
+		ctx := &countdownCtx{Context: context.Background(), limit: k}
+		res, err := e.QueryContext(ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel at checkpoint %d/%d: err = %v (res %v), want context.Canceled", k, total, err, res)
+		}
+	}
+
+	// The engine is unpoisoned: the next uncancelled query still matches the
+	// pre-cancellation answer byte for byte.
+	got, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("answer after cancellations diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

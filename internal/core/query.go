@@ -52,14 +52,14 @@ func (e *Engine) query(ctx context.Context, sel *sql.Select) (*exec.Result, erro
 			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", sel.Visibility, sel.From)
 		}
 		t, _ := e.cat.Table(sel.From)
-		return exec.RunContext(ctx, t, sel, exec.Options{Weighted: false, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, t, sel, exec.Options{Weighted: false, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 	case "sample":
 		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", sel.Visibility, sel.From)
 		}
 		s, _ := e.cat.Sample(sel.From)
 		// Direct sample queries honor the stored (user-initialized) weights.
-		return exec.RunContext(ctx, s.Table, sel, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, s.Table, sel, exec.Options{Weighted: true, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 	case "population":
 		pop, _ := e.cat.Population(sel.From)
 		return e.queryPopulation(ctx, pop, sel)
@@ -271,6 +271,7 @@ func (e *Engine) runClosed(ctx context.Context, pc *planContext, sel *sql.Select
 		Weighted:       true,
 		WeightOverride: pc.sample.SeedWeights(),
 		ForceRow:       e.opts.RowExec,
+		Workers:        e.opts.Workers,
 	})
 }
 
@@ -282,7 +283,7 @@ func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Sele
 	} else if ok {
 		q := *sel
 		q.Where = andExpr(sel.Where, pc.viewPred)
-		return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 	}
 
 	if len(pc.margs) == 0 {
@@ -297,7 +298,7 @@ func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Sele
 			return nil, err
 		}
 		q := *sel
-		return exec.RunContext(ctx, sub, &q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, sub, &q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 	}
 
 	// Global scope: fit the whole sample to the GP marginals, then answer
@@ -308,7 +309,7 @@ func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Sele
 	}
 	q := *sel
 	q.Where = andExpr(sel.Where, pc.viewPred)
-	return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec})
+	return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 }
 
 // ipfViewFit returns the view-restricted sub-sample fitted to the query
@@ -459,9 +460,22 @@ func (e *Engine) runOpen(ctx context.Context, pc *planContext, sel *sql.Select) 
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
+	// Cancellation first: a cancelled run leaves later results/errs slots nil
+	// (the loops above stop scheduling replicates the moment ctx expires), so
+	// the partial replicate set must never reach combineOpenResults — and the
+	// surfaced error must be ctx.Err() itself, not whichever replicate
+	// happened to observe the cancellation first.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for r, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+		if results[r] == nil {
+			// Unreachable defensively: every slot either erred or produced a
+			// result once the loops finish uncancelled.
+			return nil, fmt.Errorf("core: OPEN replicate %d produced no result", r)
 		}
 	}
 	res, err := combineOpenResults(results, sel)
@@ -486,7 +500,7 @@ func (e *Engine) openReplicate(ctx context.Context, pc *planContext, model *swg.
 	if err != nil {
 		return nil, err
 	}
-	return exec.RunContext(ctx, gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+	return exec.RunContext(ctx, gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 }
 
 // replicateSeed derives the RNG seed of OPEN replicate r from the engine

@@ -128,13 +128,14 @@ func orBits(a, b []uint64, n int) []uint64 {
 	return out
 }
 
-// overlayBits writes v into dst wherever the bitmap is set.
-func overlayBits(dst []int8, bm []uint64, v int8) {
+// overlayBits writes v into dst wherever the bitmap is set; dst covers rows
+// [lo, lo+len(dst)) of the bitmap.
+func overlayBits(dst []int8, bm []uint64, v int8, lo int) {
 	if bm == nil {
 		return
 	}
 	for i := range dst {
-		if bitGet(bm, i) {
+		if bitGet(bm, lo+i) {
 			dst[i] = v
 		}
 	}
@@ -272,28 +273,43 @@ func (c *kernelCompiler) numArith(op expr.BinOp, l, r *numVec) *numVec {
 		nulls: orBits(l.nulls, r.nulls, n),
 		errs:  orBits(l.errs, r.errs, n),
 	}
+	// The fills below run morsel-parallel (compile-time work, nil ctx: never
+	// cancelled). Each morsel writes disjoint payload rows, and morselRows is
+	// a multiple of 64, so error-bit writers never share a bitmap word — but
+	// the shared errs bitmap must be privately owned *before* the fan-out.
 	if l.isInt && r.isInt && op != expr.OpDiv {
 		out.isInt = true
 		out.ints = make([]int64, n)
-		switch {
-		case r.scalar:
-			arithIntVS(op, out, l.ints, r.scalarInt(), n)
-		case l.scalar:
-			arithIntSV(op, out, l.scalarInt(), r.ints, n)
-		default:
-			arithIntVV(op, out, l.ints, r.ints, n)
+		if op == expr.OpMod {
+			out.errs = ownBits(out.errs, n)
 		}
+		_ = forEachMorsel(nil, n, c.workers, func(lo, hi int) {
+			switch {
+			case r.scalar:
+				arithIntVS(op, out, l.ints, r.scalarInt(), lo, hi)
+			case l.scalar:
+				arithIntSV(op, out, l.scalarInt(), r.ints, lo, hi)
+			default:
+				arithIntVV(op, out, l.ints, r.ints, lo, hi)
+			}
+		})
 		return out
 	}
 	out.floats = make([]float64, n)
-	switch {
-	case r.scalar:
-		arithFloatVS(op, out, l.floatView(), r.scalarFloat(), n)
-	case l.scalar:
-		arithFloatSV(op, out, l.scalarFloat(), r.floatView(), n)
-	default:
-		arithFloatVV(op, out, l.floatView(), r.floatView(), n)
+	if op == expr.OpDiv || op == expr.OpMod {
+		out.errs = ownBits(out.errs, n)
 	}
+	lf, rf := l.floatView(), r.floatView()
+	_ = forEachMorsel(nil, n, c.workers, func(lo, hi int) {
+		switch {
+		case r.scalar:
+			arithFloatVS(op, out, lf, r.scalarFloat(), lo, hi)
+		case l.scalar:
+			arithFloatSV(op, out, l.scalarFloat(), rf, lo, hi)
+		default:
+			arithFloatVV(op, out, lf, rf, lo, hi)
+		}
+	})
 	return out
 }
 
@@ -338,24 +354,24 @@ func arithScalarScalar(op expr.BinOp, l, r *numVec) *numVec {
 	return &numVec{scalar: true, floats: []float64{v}}
 }
 
-// arithIntVV is the vector⊙vector int kernel (exact int64, incl. wraparound).
-func arithIntVV(op expr.BinOp, out *numVec, a, b []int64, n int) {
+// arithIntVV is the vector⊙vector int kernel (exact int64, incl. wraparound),
+// filling rows [lo, hi). The caller owns out.errs before any % fan-out.
+func arithIntVV(op expr.BinOp, out *numVec, a, b []int64, lo, hi int) {
 	switch op {
 	case expr.OpAdd:
-		for i := range out.ints {
+		for i := lo; i < hi; i++ {
 			out.ints[i] = a[i] + b[i]
 		}
 	case expr.OpSub:
-		for i := range out.ints {
+		for i := lo; i < hi; i++ {
 			out.ints[i] = a[i] - b[i]
 		}
 	case expr.OpMul:
-		for i := range out.ints {
+		for i := lo; i < hi; i++ {
 			out.ints[i] = a[i] * b[i]
 		}
 	case expr.OpMod:
-		out.errs = ownBits(out.errs, n)
-		for i := range out.ints {
+		for i := lo; i < hi; i++ {
 			if b[i] == 0 {
 				if !bitGet(out.nulls, i) {
 					bitSet(out.errs, i)
@@ -369,54 +385,53 @@ func arithIntVV(op expr.BinOp, out *numVec, a, b []int64, n int) {
 
 // arithIntVS is vector⊙scalar: the broadcast operand lives in a register. A
 // zero scalar divisor errors every non-null row without a per-row branch.
-func arithIntVS(op expr.BinOp, out *numVec, a []int64, y int64, n int) {
+func arithIntVS(op expr.BinOp, out *numVec, a []int64, y int64, lo, hi int) {
 	switch op {
 	case expr.OpAdd:
-		for i, x := range a {
-			out.ints[i] = x + y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = a[i] + y
 		}
 	case expr.OpSub:
-		for i, x := range a {
-			out.ints[i] = x - y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = a[i] - y
 		}
 	case expr.OpMul:
-		for i, x := range a {
-			out.ints[i] = x * y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = a[i] * y
 		}
 	case expr.OpMod:
-		out.errs = ownBits(out.errs, n)
 		if y == 0 {
-			for i := 0; i < n; i++ {
+			for i := lo; i < hi; i++ {
 				if !bitGet(out.nulls, i) {
 					bitSet(out.errs, i)
 				}
 			}
 			return
 		}
-		for i, x := range a {
-			out.ints[i] = x % y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = a[i] % y
 		}
 	}
 }
 
 // arithIntSV is scalar⊙vector (the divisor varies per row for %).
-func arithIntSV(op expr.BinOp, out *numVec, x int64, b []int64, n int) {
+func arithIntSV(op expr.BinOp, out *numVec, x int64, b []int64, lo, hi int) {
 	switch op {
 	case expr.OpAdd:
-		for i, y := range b {
-			out.ints[i] = x + y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = x + b[i]
 		}
 	case expr.OpSub:
-		for i, y := range b {
-			out.ints[i] = x - y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = x - b[i]
 		}
 	case expr.OpMul:
-		for i, y := range b {
-			out.ints[i] = x * y
+		for i := lo; i < hi; i++ {
+			out.ints[i] = x * b[i]
 		}
 	case expr.OpMod:
-		out.errs = ownBits(out.errs, n)
-		for i, y := range b {
+		for i := lo; i < hi; i++ {
+			y := b[i]
 			if y == 0 {
 				if !bitGet(out.nulls, i) {
 					bitSet(out.errs, i)
@@ -428,25 +443,24 @@ func arithIntSV(op expr.BinOp, out *numVec, x int64, b []int64, n int) {
 	}
 }
 
-// arithFloatVV is the vector⊙vector float kernel.
-func arithFloatVV(op expr.BinOp, out *numVec, lf, rf []float64, n int) {
+// arithFloatVV is the vector⊙vector float kernel over rows [lo, hi).
+func arithFloatVV(op expr.BinOp, out *numVec, lf, rf []float64, lo, hi int) {
 	switch op {
 	case expr.OpAdd:
-		for i := range out.floats {
+		for i := lo; i < hi; i++ {
 			out.floats[i] = lf[i] + rf[i]
 		}
 	case expr.OpSub:
-		for i := range out.floats {
+		for i := lo; i < hi; i++ {
 			out.floats[i] = lf[i] - rf[i]
 		}
 	case expr.OpMul:
-		for i := range out.floats {
+		for i := lo; i < hi; i++ {
 			out.floats[i] = lf[i] * rf[i]
 		}
 	case expr.OpDiv, expr.OpMod:
 		mod := op == expr.OpMod
-		out.errs = ownBits(out.errs, n)
-		for i := range out.floats {
+		for i := lo; i < hi; i++ {
 			if rf[i] == 0 {
 				if !bitGet(out.nulls, i) {
 					bitSet(out.errs, i)
@@ -464,24 +478,23 @@ func arithFloatVV(op expr.BinOp, out *numVec, lf, rf []float64, n int) {
 
 // arithFloatVS is vector⊙scalar; a zero scalar divisor errors every non-null
 // row, any other divisor drops the per-row zero check entirely.
-func arithFloatVS(op expr.BinOp, out *numVec, lf []float64, y float64, n int) {
+func arithFloatVS(op expr.BinOp, out *numVec, lf []float64, y float64, lo, hi int) {
 	switch op {
 	case expr.OpAdd:
-		for i, x := range lf {
-			out.floats[i] = x + y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = lf[i] + y
 		}
 	case expr.OpSub:
-		for i, x := range lf {
-			out.floats[i] = x - y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = lf[i] - y
 		}
 	case expr.OpMul:
-		for i, x := range lf {
-			out.floats[i] = x * y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = lf[i] * y
 		}
 	case expr.OpDiv, expr.OpMod:
-		out.errs = ownBits(out.errs, n)
 		if y == 0 {
-			for i := 0; i < n; i++ {
+			for i := lo; i < hi; i++ {
 				if !bitGet(out.nulls, i) {
 					bitSet(out.errs, i)
 				}
@@ -489,36 +502,36 @@ func arithFloatVS(op expr.BinOp, out *numVec, lf []float64, y float64, n int) {
 			return
 		}
 		if op == expr.OpMod {
-			for i, x := range lf {
-				out.floats[i] = math.Mod(x, y)
+			for i := lo; i < hi; i++ {
+				out.floats[i] = math.Mod(lf[i], y)
 			}
 			return
 		}
-		for i, x := range lf {
-			out.floats[i] = x / y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = lf[i] / y
 		}
 	}
 }
 
 // arithFloatSV is scalar⊙vector (the divisor varies per row).
-func arithFloatSV(op expr.BinOp, out *numVec, x float64, rf []float64, n int) {
+func arithFloatSV(op expr.BinOp, out *numVec, x float64, rf []float64, lo, hi int) {
 	switch op {
 	case expr.OpAdd:
-		for i, y := range rf {
-			out.floats[i] = x + y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = x + rf[i]
 		}
 	case expr.OpSub:
-		for i, y := range rf {
-			out.floats[i] = x - y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = x - rf[i]
 		}
 	case expr.OpMul:
-		for i, y := range rf {
-			out.floats[i] = x * y
+		for i := lo; i < hi; i++ {
+			out.floats[i] = x * rf[i]
 		}
 	case expr.OpDiv, expr.OpMod:
 		mod := op == expr.OpMod
-		out.errs = ownBits(out.errs, n)
-		for i, y := range rf {
+		for i := lo; i < hi; i++ {
+			y := rf[i]
 			if y == 0 {
 				if !bitGet(out.nulls, i) {
 					bitSet(out.errs, i)
@@ -550,11 +563,30 @@ func ownBits(bm []uint64, n int) []uint64 {
 // Scalar operands compare from a register — the common `x*2 > 500` shape
 // never materializes the constant side.
 type cmpNumNumKernel struct {
-	a, b *numVec
-	lut  [3]int8
+	a, b   *numVec
+	af, bf []float64 // precomputed float views of non-scalar mixed operands
+	lut    [3]int8
 }
 
-func (k *cmpNumNumKernel) eval(dst []int8) {
+// newCmpNumNum builds the comparison kernel, materializing any int→float
+// coercion once at compile time: eval runs per morsel, and re-deriving a
+// floatView inside each morsel would redo the whole-column conversion per
+// morsel (and allocate under the worker pool).
+func newCmpNumNum(a, b *numVec, lut [3]int8) kernel {
+	k := &cmpNumNumKernel{a: a, b: b, lut: lut}
+	wholeRowConst := a.constErr || b.constErr || a.constNull || b.constNull
+	if !wholeRowConst && !(a.isInt && b.isInt) {
+		if !a.scalar {
+			k.af = a.floatView()
+		}
+		if !b.scalar {
+			k.bf = b.floatView()
+		}
+	}
+	return k
+}
+
+func (k *cmpNumNumKernel) eval(dst []int8, lo, hi int) {
 	a, b := k.a, k.b
 	// Whole-row constants first: an erroring operand errors every row; a
 	// NULL constant nulls every row but still surfaces the other side's
@@ -569,11 +601,11 @@ func (k *cmpNumNumKernel) eval(dst []int8) {
 		for i := range dst {
 			dst[i] = ternNull
 		}
-		overlayBits(dst, a.errs, ternErr)
-		overlayBits(dst, b.errs, ternErr)
+		overlayBits(dst, a.errs, ternErr, lo)
+		overlayBits(dst, b.errs, ternErr, lo)
 		return
 	}
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
+	tl, te, tg := k.lut[0], k.lut[1], k.lut[2]
 	bothInt := a.isInt && b.isInt
 	switch {
 	case a.scalar && b.scalar:
@@ -592,85 +624,86 @@ func (k *cmpNumNumKernel) eval(dst []int8) {
 	case b.scalar:
 		if bothInt {
 			y := b.scalarInt()
-			for i, x := range a.ints {
+			for i, x := range a.ints[lo:hi] {
 				switch {
 				case x < y:
-					dst[i] = lo
+					dst[i] = tl
 				case x > y:
-					dst[i] = hi
+					dst[i] = tg
 				default:
-					dst[i] = eq
+					dst[i] = te
 				}
 			}
 		} else {
 			y := b.scalarFloat()
-			for i, x := range a.floatView() {
+			for i, x := range k.af[lo:hi] {
 				switch {
 				case x < y:
-					dst[i] = lo
+					dst[i] = tl
 				case x > y:
-					dst[i] = hi
+					dst[i] = tg
 				default:
-					dst[i] = eq
+					dst[i] = te
 				}
 			}
 		}
 	case a.scalar:
 		if bothInt {
 			x := a.scalarInt()
-			for i, y := range b.ints {
+			for i, y := range b.ints[lo:hi] {
 				switch {
 				case x < y:
-					dst[i] = lo
+					dst[i] = tl
 				case x > y:
-					dst[i] = hi
+					dst[i] = tg
 				default:
-					dst[i] = eq
+					dst[i] = te
 				}
 			}
 		} else {
 			x := a.scalarFloat()
-			for i, y := range b.floatView() {
+			for i, y := range k.bf[lo:hi] {
 				switch {
 				case x < y:
-					dst[i] = lo
+					dst[i] = tl
 				case x > y:
-					dst[i] = hi
+					dst[i] = tg
 				default:
-					dst[i] = eq
+					dst[i] = te
 				}
 			}
 		}
 	case bothInt:
-		for i := range dst {
-			x, y := a.ints[i], b.ints[i]
+		ys := b.ints[lo:hi]
+		for i, x := range a.ints[lo:hi] {
+			y := ys[i]
 			switch {
 			case x < y:
-				dst[i] = lo
+				dst[i] = tl
 			case x > y:
-				dst[i] = hi
+				dst[i] = tg
 			default:
-				dst[i] = eq
+				dst[i] = te
 			}
 		}
 	default:
-		xf, yf := a.floatView(), b.floatView()
-		for i := range dst {
-			x, y := xf[i], yf[i]
+		ys := k.bf[lo:hi]
+		for i, x := range k.af[lo:hi] {
+			y := ys[i]
 			switch {
 			case x < y:
-				dst[i] = lo
+				dst[i] = tl
 			case x > y:
-				dst[i] = hi
+				dst[i] = tg
 			default:
-				dst[i] = eq
+				dst[i] = te
 			}
 		}
 	}
-	overlayBits(dst, a.nulls, ternNull)
-	overlayBits(dst, b.nulls, ternNull)
-	overlayBits(dst, a.errs, ternErr)
-	overlayBits(dst, b.errs, ternErr)
+	overlayBits(dst, a.nulls, ternNull, lo)
+	overlayBits(dst, b.nulls, ternNull, lo)
+	overlayBits(dst, a.errs, ternErr, lo)
+	overlayBits(dst, b.errs, ternErr, lo)
 }
 
 // cmpOrder is value.Compare's ordering over two same-shape numerics: -1/0/1
@@ -689,18 +722,18 @@ func cmpOrder[T int64 | float64](x, y T) int {
 // truthNumKernel is WHERE truthiness of an arithmetic expression.
 type truthNumKernel struct{ v *numVec }
 
-func (k *truthNumKernel) eval(dst []int8) {
+func (k *truthNumKernel) eval(dst []int8, lo, hi int) {
 	if k.v.isInt {
-		for i, x := range k.v.ints {
+		for i, x := range k.v.ints[lo:hi] {
 			dst[i] = ternOf(x != 0)
 		}
 	} else {
-		for i, x := range k.v.floats {
+		for i, x := range k.v.floats[lo:hi] {
 			dst[i] = ternOf(x != 0)
 		}
 	}
-	overlayBits(dst, k.v.nulls, ternNull)
-	overlayBits(dst, k.v.errs, ternErr)
+	overlayBits(dst, k.v.nulls, ternNull, lo)
+	overlayBits(dst, k.v.errs, ternErr, lo)
 }
 
 // inNumKernel is IN-list membership of an arithmetic expression, with the
@@ -716,13 +749,13 @@ type inNumKernel struct {
 	negate  bool
 }
 
-func (k *inNumKernel) eval(dst []int8) {
+func (k *inNumKernel) eval(dst []int8, lo, hi int) {
 	match, miss := ternOf(!k.negate), ternOf(k.negate)
 	if k.sawNull {
 		miss = ternNull
 	}
 	if k.v.isInt {
-		for i, x := range k.v.ints {
+		for i, x := range k.v.ints[lo:hi] {
 			hit := k.nanItem || k.ints[x]
 			if !hit && len(k.floats) > 0 {
 				hit = k.floats[eqBits(float64(x))]
@@ -734,7 +767,7 @@ func (k *inNumKernel) eval(dst []int8) {
 			}
 		}
 	} else {
-		for i, x := range k.v.floats {
+		for i, x := range k.v.floats[lo:hi] {
 			if k.nanItem || k.floats[eqBits(x)] || (k.anyNum && math.IsNaN(x)) {
 				dst[i] = match
 			} else {
@@ -742,8 +775,8 @@ func (k *inNumKernel) eval(dst []int8) {
 			}
 		}
 	}
-	overlayBits(dst, k.v.nulls, ternNull)
-	overlayBits(dst, k.v.errs, ternErr)
+	overlayBits(dst, k.v.nulls, ternNull, lo)
+	overlayBits(dst, k.v.errs, ternErr, lo)
 }
 
 // isNullNumKernel is IS [NOT] NULL over an arithmetic expression.
@@ -752,13 +785,13 @@ type isNullNumKernel struct {
 	negate bool
 }
 
-func (k *isNullNumKernel) eval(dst []int8) {
+func (k *isNullNumKernel) eval(dst []int8, lo, hi int) {
 	base := ternOf(k.negate)
 	for i := range dst {
 		dst[i] = base
 	}
-	overlayBits(dst, k.v.nulls, ternOf(!k.negate))
-	overlayBits(dst, k.v.errs, ternErr)
+	overlayBits(dst, k.v.nulls, ternOf(!k.negate), lo)
+	overlayBits(dst, k.v.errs, ternErr, lo)
 }
 
 // constWithErrsKernel is a constant outcome except on error rows (a BETWEEN
@@ -769,9 +802,9 @@ type constWithErrsKernel struct {
 	errs []uint64
 }
 
-func (k *constWithErrsKernel) eval(dst []int8) {
+func (k *constWithErrsKernel) eval(dst []int8, lo, hi int) {
 	for i := range dst {
 		dst[i] = k.v
 	}
-	overlayBits(dst, k.errs, ternErr)
+	overlayBits(dst, k.errs, ternErr, lo)
 }

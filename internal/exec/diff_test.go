@@ -189,8 +189,14 @@ var diffShapes = []string{
 	"SELECT c, MIN(x + NULL) FROM t %s GROUP BY c",
 }
 
-// runBoth executes sel on both executor paths and requires byte-identical
-// outcomes (same error message, or same rendered result).
+// sweepWorkers is the Workers grid every differential check runs the
+// vectorized path under: the serial scan and three morsel-parallel pool
+// sizes. Byte-identity across the sweep is the morsel-merge contract.
+var sweepWorkers = []int{1, 2, 4, 8}
+
+// runBoth executes sel on the row path and on the vectorized path at every
+// swept worker count, requiring byte-identical outcomes (same error message,
+// or same rendered result) across all of them.
 func runBoth(t *testing.T, tbl *table.Table, src string, opts Options) {
 	t.Helper()
 	sel, err := sql.ParseQuery(src)
@@ -199,20 +205,23 @@ func runBoth(t *testing.T, tbl *table.Table, src string, opts Options) {
 	}
 	rowOpts := opts
 	rowOpts.ForceRow = true
-	vecOpts := opts
-	vecOpts.ForceRow = false
 	rres, rerr := Run(tbl, sel, rowOpts)
-	vres, verr := Run(tbl, sel, vecOpts)
-	switch {
-	case rerr != nil && verr != nil:
-		if rerr.Error() != verr.Error() {
-			t.Errorf("%q: error mismatch\n  row: %v\n  vec: %v", src, rerr, verr)
-		}
-	case rerr != nil || verr != nil:
-		t.Errorf("%q: one path errored\n  row: %v\n  vec: %v", src, rerr, verr)
-	default:
-		if rs, vs := rres.String(), vres.String(); rs != vs {
-			t.Errorf("%q: output mismatch\n--- row ---\n%s\n--- vec ---\n%s", src, rs, vs)
+	for _, w := range sweepWorkers {
+		vecOpts := opts
+		vecOpts.ForceRow = false
+		vecOpts.Workers = w
+		vres, verr := Run(tbl, sel, vecOpts)
+		switch {
+		case rerr != nil && verr != nil:
+			if rerr.Error() != verr.Error() {
+				t.Errorf("%q: error mismatch\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
+			}
+		case rerr != nil || verr != nil:
+			t.Errorf("%q: one path errored\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
+		default:
+			if rs, vs := rres.String(), vres.String(); rs != vs {
+				t.Errorf("%q: output mismatch\n--- row ---\n%s\n--- vec (%d workers) ---\n%s", src, rs, w, vs)
+			}
 		}
 	}
 }
@@ -346,17 +355,19 @@ func FuzzRowVsVector(f *testing.F) {
 			return
 		}
 		rres, rerr := Run(tbl, sel, Options{Weighted: true, ForceRow: true})
-		vres, verr := Run(tbl, sel, Options{Weighted: true})
-		switch {
-		case rerr != nil && verr != nil:
-			if rerr.Error() != verr.Error() {
-				t.Fatalf("%q: error mismatch\n  row: %v\n  vec: %v", src, rerr, verr)
-			}
-		case rerr != nil || verr != nil:
-			t.Fatalf("%q: one path errored\n  row: %v\n  vec: %v", src, rerr, verr)
-		default:
-			if rs, vs := rres.String(), vres.String(); rs != vs {
-				t.Fatalf("%q: output mismatch\n--- row ---\n%s\n--- vec ---\n%s", src, rs, vs)
+		for _, w := range sweepWorkers {
+			vres, verr := Run(tbl, sel, Options{Weighted: true, Workers: w})
+			switch {
+			case rerr != nil && verr != nil:
+				if rerr.Error() != verr.Error() {
+					t.Fatalf("%q: error mismatch\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
+				}
+			case rerr != nil || verr != nil:
+				t.Fatalf("%q: one path errored\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
+			default:
+				if rs, vs := rres.String(), vres.String(); rs != vs {
+					t.Fatalf("%q: output mismatch\n--- row ---\n%s\n--- vec (%d workers) ---\n%s", src, rs, w, vs)
+				}
 			}
 		}
 	})

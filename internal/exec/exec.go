@@ -96,6 +96,20 @@ type Options struct {
 	// and the exec microbenchmarks use it; answers are byte-identical either
 	// way, so production callers never need it.
 	ForceRow bool
+	// Workers is the intra-query parallelism of the columnar kernels: scans
+	// partition into fixed-size morsels that a pool of this many goroutines
+	// processes, with per-morsel state merged in morsel order. 0 or 1 runs
+	// serial. Answers are byte-identical for any value — Workers only trades
+	// wall-clock for cores, never changes results.
+	Workers int
+}
+
+// workers normalizes Options.Workers for the morsel scheduler.
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Run evaluates sel over t. It takes one snapshot of the table (a single
@@ -760,7 +774,7 @@ func SumWeights(t *table.Table, where expr.Expr) (float64, error) {
 	var total float64
 	n := snap.Len()
 	wts := snap.Weights()
-	if k := compileFilter(where, snap, wts); where == nil || k != nil {
+	if k := compileFilter(where, snap, wts, 1); where == nil || k != nil {
 		// Columnar path: one kernel pass, then a tight sum over survivors.
 		if k == nil {
 			for _, w := range wts {
@@ -768,7 +782,7 @@ func SumWeights(t *table.Table, where expr.Expr) (float64, error) {
 			}
 		} else {
 			tern := make([]int8, n)
-			k.eval(tern)
+			k.eval(tern, 0, n)
 			for i, t := range tern {
 				if t == ternErr {
 					return 0, errDivisionByZero

@@ -62,15 +62,34 @@ func metaTable(tb testing.TB, n int, seed int64) *table.Table {
 	return t
 }
 
-func mustRun(t *testing.T, tbl *table.Table, src string, forceRow bool) *Result {
+// execModes is the executor sweep every metamorphic identity runs under: the
+// row interpreter, the serial vectorized scan, and the morsel-parallel pool
+// at several worker counts. The identities must hold on each mode alone (and
+// the differential harness separately pins the modes to each other).
+var execModes = []Options{
+	{Weighted: true, ForceRow: true},
+	{Weighted: true, Workers: 1},
+	{Weighted: true, Workers: 2},
+	{Weighted: true, Workers: 4},
+	{Weighted: true, Workers: 8},
+}
+
+func modeLabel(opts Options) string {
+	if opts.ForceRow {
+		return "row"
+	}
+	return fmt.Sprintf("vec@%d", opts.Workers)
+}
+
+func mustRun(t *testing.T, tbl *table.Table, src string, opts Options) *Result {
 	t.Helper()
 	sel, err := sql.ParseQuery(src)
 	if err != nil {
 		t.Fatalf("parse %q: %v", src, err)
 	}
-	res, err := Run(tbl, sel, Options{Weighted: true, ForceRow: forceRow})
+	res, err := Run(tbl, sel, opts)
 	if err != nil {
-		t.Fatalf("%q (forceRow=%v): %v", src, forceRow, err)
+		t.Fatalf("%q (%s): %v", src, modeLabel(opts), err)
 	}
 	return res
 }
@@ -107,20 +126,20 @@ func TestMetamorphicLimitPrefix(t *testing.T) {
 	}
 	for _, n := range []int{0, 1, 37, 400} {
 		tbl := metaTable(t, n, int64(n)+1)
-		for _, forceRow := range []bool{false, true} {
+		for _, mode := range execModes {
 			for _, cse := range cases {
 				sel, order := cse[0], cse[1]
-				full := renderResultRows(mustRun(t, tbl, fmt.Sprintf(sel, order), forceRow))
+				full := renderResultRows(mustRun(t, tbl, fmt.Sprintf(sel, order), mode))
 				for _, k := range []int{0, 1, 3, n, 2*n + 5} {
 					src := fmt.Sprintf(sel, order) + fmt.Sprintf(" LIMIT %d", k)
-					got := renderResultRows(mustRun(t, tbl, src, forceRow))
+					got := renderResultRows(mustRun(t, tbl, src, mode))
 					want := full
 					if k < len(want) {
 						want = want[:k]
 					}
 					if strings.Join(got, "\n") != strings.Join(want, "\n") {
-						t.Fatalf("%q (n=%d forceRow=%v): LIMIT %d is not the prefix of the full sort\n got: %v\nwant: %v",
-							src, n, forceRow, k, got, want)
+						t.Fatalf("%q (n=%d %s): LIMIT %d is not the prefix of the full sort\n got: %v\nwant: %v",
+							src, n, modeLabel(mode), k, got, want)
 					}
 				}
 			}
@@ -143,14 +162,14 @@ func TestMetamorphicDistinctEqualsGroupBy(t *testing.T) {
 	wheres := []string{"", "WHERE x > 0", "WHERE y * 2 > 3", "WHERE c != 'g0'"}
 	for _, n := range []int{0, 1, 300} {
 		tbl := metaTable(t, n, int64(n)+11)
-		for _, forceRow := range []bool{false, true} {
+		for _, mode := range execModes {
 			for _, cs := range colSets {
 				for _, where := range wheres {
-					d := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT DISTINCT %s FROM t %s", cs[0], where), forceRow))
-					g := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT %s FROM t %s GROUP BY %s", cs[0], where, cs[1]), forceRow))
+					d := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT DISTINCT %s FROM t %s", cs[0], where), mode))
+					g := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT %s FROM t %s GROUP BY %s", cs[0], where, cs[1]), mode))
 					if strings.Join(d, "\n") != strings.Join(g, "\n") {
-						t.Fatalf("DISTINCT %s %q (n=%d forceRow=%v) != GROUP BY:\n distinct: %v\n group-by: %v",
-							cs[0], where, n, forceRow, d, g)
+						t.Fatalf("DISTINCT %s %q (n=%d %s) != GROUP BY:\n distinct: %v\n group-by: %v",
+							cs[0], where, n, modeLabel(mode), d, g)
 					}
 				}
 			}
@@ -175,12 +194,12 @@ func TestMetamorphicConjunctionIntersection(t *testing.T) {
 	}
 	for _, n := range []int{0, 1, 250} {
 		tbl := metaTable(t, n, int64(n)+23)
-		for _, forceRow := range []bool{false, true} {
+		for _, mode := range execModes {
 			for i, p1 := range preds {
 				for _, p2 := range preds[i+1:] {
-					and := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT id FROM t WHERE %s AND %s", p1, p2), forceRow))
-					r1 := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT id FROM t WHERE %s", p1), forceRow))
-					r2 := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT id FROM t WHERE %s", p2), forceRow))
+					and := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT id FROM t WHERE %s AND %s", p1, p2), mode))
+					r1 := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT id FROM t WHERE %s", p1), mode))
+					r2 := renderResultRows(mustRun(t, tbl, fmt.Sprintf("SELECT id FROM t WHERE %s", p2), mode))
 					in2 := make(map[string]bool, len(r2))
 					for _, id := range r2 {
 						in2[id] = true
@@ -192,8 +211,8 @@ func TestMetamorphicConjunctionIntersection(t *testing.T) {
 						}
 					}
 					if strings.Join(and, "\n") != strings.Join(want, "\n") {
-						t.Fatalf("WHERE %s AND %s (n=%d forceRow=%v) != intersection\n  and: %v\n want: %v",
-							p1, p2, n, forceRow, and, want)
+						t.Fatalf("WHERE %s AND %s (n=%d %s) != intersection\n  and: %v\n want: %v",
+							p1, p2, n, modeLabel(mode), and, want)
 					}
 				}
 			}

@@ -1,0 +1,218 @@
+// Morsel-driven intra-query parallelism.
+//
+// Every columnar scan partitions into fixed-size morsels of morselRows rows
+// and runs across a small worker pool. Partitioning is independent of the
+// worker count — morsel boundaries are a pure function of the row count — so
+// any per-morsel state (selection counts, local group tables, sorted runs)
+// merges **in morsel order** into exactly the state a serial scan would have
+// built. That is the whole determinism story: workers only decide who
+// computes a morsel, never what the morsel produces or the order morsels
+// combine, so answers are byte-identical for any Workers value.
+//
+// morselRows is a multiple of 64 so that two morsels never share a word of a
+// []uint64 bitmap: parallel writers of per-row bits (the arithmetic kernels'
+// division-error bits) stay race-free without atomics.
+//
+// Cancellation: each morsel boundary is a context checkpoint (the successor
+// of PR 5's per-kernel checkpoints), so a cancelled query aborts within one
+// morsel of work per worker and surfaces ctx.Err().
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// morselRows is the fixed scan partition size. 64K rows keeps per-morsel
+// state (a truth-vector slice, a local group table) comfortably in cache
+// while giving a 1M-row scan 16 units of schedulable work. Must stay a
+// multiple of 64 (see the package comment on bitmap word ownership).
+const morselRows = 64 * 1024
+
+// MorselRows is the scan partition size, exported for plan introspection
+// (EXPLAIN's execution row).
+const MorselRows = morselRows
+
+// forEachMorsel runs fn over the morsel partition of [0, n), checking ctx at
+// every morsel boundary. With workers <= 1 (or a single morsel) the morsels
+// run in order on the calling goroutine; otherwise min(workers, morsels)
+// goroutines pull morsels from an atomic counter. fn must be safe to call
+// concurrently on disjoint ranges and must not depend on completion order.
+func forEachMorsel(ctx context.Context, n, workers int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return checkCtx(ctx)
+	}
+	nMorsels := (n + morselRows - 1) / morselRows
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += morselRows {
+			if err := checkCtx(ctx); err != nil {
+				return err
+			}
+			hi := lo + morselRows
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nMorsels || cancelled.Load() {
+					return
+				}
+				if err := checkCtx(ctx); err != nil {
+					cancelled.Store(true)
+					return
+				}
+				lo := m * morselRows
+				hi := lo + morselRows
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	// A context that cancelled a worker is still cancelled here (ctx.Err is
+	// sticky), so the caller always observes the error.
+	return checkCtx(ctx)
+}
+
+// forEachTask runs fn(0..n-1) across the worker pool. Unlike forEachMorsel
+// the units are whole tasks (one aggregate's accumulation pass, one merge of
+// two sorted runs); fn handles its own context checkpoints. The first error
+// in task order wins, so the surfaced error is deterministic.
+func forEachTask(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return checkCtx(ctx)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalTern evaluates a compiled filter kernel over every row, morsel by
+// morsel. Each morsel writes its own sub-slice of the truth vector, so the
+// result is identical for any worker count.
+func evalTern(ctx context.Context, k kernel, n, workers int) ([]int8, error) {
+	tern := make([]int8, n)
+	if err := forEachMorsel(ctx, n, workers, func(lo, hi int) {
+		k.eval(tern[lo:hi], lo, hi)
+	}); err != nil {
+		return nil, err
+	}
+	return tern, nil
+}
+
+// ternSelection builds the selection vector — indices of ternTrue rows in
+// scan order — from a truth vector, reporting whether any row erred
+// (division by zero). The parallel path counts per morsel, prefix-sums the
+// counts into per-morsel output offsets, and fills each morsel's segment
+// concurrently: concatenation in morsel order IS scan order, so the vector
+// is byte-identical to the serial append loop.
+func ternSelection(ctx context.Context, tern []int8, workers int) (sel []int32, sawErr bool, err error) {
+	n := len(tern)
+	nMorsels := (n + morselRows - 1) / morselRows
+	if workers <= 1 || nMorsels <= 1 {
+		sel = make([]int32, 0, n)
+		for lo := 0; lo < n; lo += morselRows {
+			if err := checkCtx(ctx); err != nil {
+				return nil, false, err
+			}
+			hi := lo + morselRows
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				t := tern[i]
+				if t == ternErr {
+					return nil, true, nil
+				}
+				if t == ternTrue {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		return sel, false, nil
+	}
+	counts := make([]int, nMorsels)
+	var errSeen atomic.Bool
+	if err := forEachMorsel(ctx, n, workers, func(lo, hi int) {
+		c := 0
+		for _, t := range tern[lo:hi] {
+			switch t {
+			case ternTrue:
+				c++
+			case ternErr:
+				errSeen.Store(true)
+			}
+		}
+		counts[lo/morselRows] = c
+	}); err != nil {
+		return nil, false, err
+	}
+	if errSeen.Load() {
+		return nil, true, nil
+	}
+	offs := make([]int, nMorsels+1)
+	for m, c := range counts {
+		offs[m+1] = offs[m] + c
+	}
+	sel = make([]int32, offs[nMorsels])
+	if err := forEachMorsel(ctx, n, workers, func(lo, hi int) {
+		p := offs[lo/morselRows]
+		for i := lo; i < hi; i++ {
+			if tern[i] == ternTrue {
+				sel[p] = int32(i)
+				p++
+			}
+		}
+	}); err != nil {
+		return nil, false, err
+	}
+	return sel, false, nil
+}

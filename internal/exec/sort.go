@@ -17,6 +17,7 @@
 package exec
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -191,12 +192,11 @@ func (k *vecSortKey) cmp(ri, rj int32) int {
 	}
 }
 
-// vecKeysLess is the multi-key "less" over candidate positions a and b; its
-// answer equals the row engine's comparator over the materialized rows at
-// the same positions, pair for pair.
-func vecKeysLess(keys []vecSortKey, cand []int32, a, b int) bool {
+// rowLess is the multi-key "less" over two row ids; its answer equals the
+// row engine's comparator over the materialized rows, pair for pair.
+func rowLess(keys []vecSortKey, ra, rb int32) bool {
 	for kk := range keys {
-		c := keys[kk].cmp(cand[a], cand[b])
+		c := keys[kk].cmp(ra, rb)
 		if c == 0 {
 			continue
 		}
@@ -208,13 +208,93 @@ func vecKeysLess(keys []vecSortKey, cand []int32, a, b int) bool {
 	return false
 }
 
+// vecKeysLess is rowLess over candidate positions a and b.
+func vecKeysLess(keys []vecSortKey, cand []int32, a, b int) bool {
+	return rowLess(keys, cand[a], cand[b])
+}
+
 // sortCandidates stable-sorts the candidate row ids in place. Running the
 // same sort.SliceStable algorithm with a pairwise-identical comparator makes
 // the resulting permutation byte-identical to the row engine's sort of the
 // materialized rows — including under NaN keys, where value.Compare is not
 // a strict weak order and the outcome is algorithm-defined.
-func sortCandidates(keys []vecSortKey, cand []int32) {
+//
+// With workers and a strict weak order (no NaN keys) the sort runs as a
+// parallel stable merge sort instead: under a strict weak order the stably
+// sorted permutation is UNIQUE — any stable algorithm produces it — so
+// chunk-sorting morsels and merging adjacent runs with left preference
+// yields byte-identical output to sort.SliceStable. NaN keys void the
+// uniqueness argument (the outcome becomes algorithm-defined), so they take
+// the serial path, exactly like the top-K heap guard.
+func sortCandidates(ctx context.Context, keys []vecSortKey, cand []int32, workers int) error {
+	if err := checkCtx(ctx); err != nil {
+		return err
+	}
+	if workers > 1 && len(cand) > morselRows && keysTotalOrder(keys, cand) {
+		return parallelSortCandidates(ctx, keys, cand, workers)
+	}
 	sort.SliceStable(cand, func(a, b int) bool { return vecKeysLess(keys, cand, a, b) })
+	return nil
+}
+
+// parallelSortCandidates: stable-sort each morsel-sized run concurrently,
+// then merge adjacent run pairs in passes of doubling width. Left preference
+// on equal keys at every merge preserves stability end to end.
+func parallelSortCandidates(ctx context.Context, keys []vecSortKey, cand []int32, workers int) error {
+	m := len(cand)
+	if err := forEachMorsel(ctx, m, workers, func(lo, hi int) {
+		run := cand[lo:hi]
+		sort.SliceStable(run, func(a, b int) bool { return rowLess(keys, run[a], run[b]) })
+	}); err != nil {
+		return err
+	}
+	buf := make([]int32, m)
+	src, dst := cand, buf
+	for width := morselRows; width < m; width *= 2 {
+		pairs := (m + 2*width - 1) / (2 * width)
+		w := width
+		s, d := src, dst
+		if err := forEachTask(ctx, pairs, workers, func(p int) error {
+			if err := checkCtx(ctx); err != nil {
+				return err
+			}
+			lo := p * 2 * w
+			mid, hi := lo+w, lo+2*w
+			if mid > m {
+				mid = m
+			}
+			if hi > m {
+				hi = m
+			}
+			mergeRuns(keys, s[lo:mid], s[mid:hi], d[lo:hi])
+			return nil
+		}); err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &cand[0] {
+		copy(cand, src)
+	}
+	return nil
+}
+
+// mergeRuns merges two adjacent sorted runs into out, taking from b only
+// when its head is strictly less than a's head (left preference = stability).
+func mergeRuns(keys []vecSortKey, a, b, out []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if rowLess(keys, b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
 }
 
 // keysTotalOrder reports whether the keys impose a strict weak order over

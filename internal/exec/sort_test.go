@@ -40,13 +40,13 @@ func TestSortStabilityContract(t *testing.T) {
 		for _, dir := range []string{"", " DESC"} {
 			for _, limit := range []string{"", " LIMIT 7"} {
 				src := fmt.Sprintf("SELECT id, c, x, y FROM t ORDER BY %s%s%s", key, dir, limit)
-				for _, forceRow := range []bool{false, true} {
-					res := mustRun(t, tbl, src, forceRow)
+				for _, mode := range execModes {
+					res := mustRun(t, tbl, src, mode)
 					for i := 1; i < len(res.Rows); i++ {
 						prev, row := res.Rows[i-1], res.Rows[i]
 						if value.Equal(prev[keyCol[key]], row[keyCol[key]]) && prev[0].AsInt() >= row[0].AsInt() {
-							t.Fatalf("%q (forceRow=%v): tie broken out of scan order: id %d after %d",
-								src, forceRow, row[0].AsInt(), prev[0].AsInt())
+							t.Fatalf("%q (%s): tie broken out of scan order: id %d after %d",
+								src, modeLabel(mode), row[0].AsInt(), prev[0].AsInt())
 						}
 					}
 				}
@@ -128,7 +128,7 @@ func TestBoundedTopKMatchesSortPrefix(t *testing.T) {
 // columns (the fold pins the original rendering as an alias).
 func TestFoldedConstantItemKeepsName(t *testing.T) {
 	tbl := metaTable(t, 3, 1)
-	res := mustRun(t, tbl, "SELECT 1 + 2, id FROM t ORDER BY id LIMIT 2", false)
+	res := mustRun(t, tbl, "SELECT 1 + 2, id FROM t ORDER BY id LIMIT 2", Options{Weighted: true})
 	if res.Columns[0] != "(1 + 2)" {
 		t.Fatalf("folded item renamed: %q", res.Columns[0])
 	}

@@ -40,7 +40,13 @@ const (
 	ternErr   int8 = 3
 )
 
-// kernel computes a ternary truth vector over all rows of the snapshot.
+// kernel computes a ternary truth vector over a row range of the snapshot.
+// eval fills dst with the outcomes of rows [lo, hi), where dst[i] is row
+// lo+i (len(dst) == hi-lo); the morsel scheduler hands each worker its own
+// sub-slice of the full truth vector, and a serial caller passes the whole
+// vector with lo=0. Row outcomes are independent, so evaluating by morsel is
+// trivially byte-identical to one full-range pass.
+//
 // Kernels never return Go errors: expression shapes whose errors are decided
 // by static column kinds (text truthiness, arithmetic on BOOL, unknown
 // columns) are rejected at compile time and handled by the interpreted
@@ -50,7 +56,7 @@ const (
 // kernels with the interpreter's exact short-circuit rules (a FALSE left arm
 // of an AND suppresses errors in the right arm, etc.).
 type kernel interface {
-	eval(dst []int8)
+	eval(dst []int8, lo, hi int)
 }
 
 // colRef is a resolved column operand: either a schema column or the WEIGHT
@@ -82,16 +88,19 @@ type kernelCompiler struct {
 	snap    *table.Snapshot
 	weights []float64
 	n       int
+	workers int // parallelism for eager vector materialization (numArith fills)
 }
 
 // compileFilter compiles e into a selection kernel, or returns nil when any
 // node falls outside the kernel set (the caller then uses the interpreted
-// evaluator). e may be nil (no filter), which also returns nil.
-func compileFilter(e expr.Expr, snap *table.Snapshot, weights []float64) kernel {
+// evaluator). e may be nil (no filter), which also returns nil. workers
+// drives the arithmetic kernels' eager vector fills; it never changes the
+// compiled result.
+func compileFilter(e expr.Expr, snap *table.Snapshot, weights []float64, workers int) kernel {
 	if e == nil {
 		return nil
 	}
-	c := &kernelCompiler{snap: snap, weights: weights, n: snap.Len()}
+	c := &kernelCompiler{snap: snap, weights: weights, n: snap.Len(), workers: workers}
 	return c.compile(e)
 }
 
@@ -292,7 +301,7 @@ func (c *kernelCompiler) compileCompare(op expr.BinOp, left, right expr.Expr) ke
 	if r == nil {
 		return nil
 	}
-	return &cmpNumNumKernel{a: l, b: r, lut: cmpLUT(op)}
+	return newCmpNumNum(l, r, cmpLUT(op))
 }
 
 func (c *kernelCompiler) compileColLit(op expr.BinOp, ref colRef, lit value.Value) kernel {
@@ -550,8 +559,8 @@ func (c *kernelCompiler) compileBetween(ex *expr.Between) kernel {
 	if lv == nil || hv == nil {
 		return nil // non-numeric bound on a computed child: interpreted fallback
 	}
-	ge := &cmpNumNumKernel{a: v, b: lv, lut: cmpLUT(expr.OpGe)}
-	le := &cmpNumNumKernel{a: v, b: hv, lut: cmpLUT(expr.OpLe)}
+	ge := newCmpNumNum(v, lv, cmpLUT(expr.OpGe))
+	le := newCmpNumNum(v, hv, cmpLUT(expr.OpLe))
 	var k kernel = &logicKernel{l: ge, r: le, and: true}
 	if ex.Negate {
 		k = &notKernel{child: k}
@@ -601,7 +610,7 @@ func sign(c int) int {
 
 type constKernel struct{ v int8 }
 
-func (k *constKernel) eval(dst []int8) {
+func (k *constKernel) eval(dst []int8, lo, hi int) {
 	for i := range dst {
 		dst[i] = k.v
 	}
@@ -613,11 +622,11 @@ type constNullableKernel struct {
 	col *table.Column // nil: no null source
 }
 
-func (k *constNullableKernel) eval(dst []int8) {
+func (k *constNullableKernel) eval(dst []int8, lo, hi int) {
 	for i := range dst {
 		dst[i] = k.v
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type constNullable2Kernel struct {
@@ -625,20 +634,21 @@ type constNullable2Kernel struct {
 	a, b *table.Column
 }
 
-func (k *constNullable2Kernel) eval(dst []int8) {
+func (k *constNullable2Kernel) eval(dst []int8, lo, hi int) {
 	for i := range dst {
 		dst[i] = k.v
 	}
-	overlayNulls(dst, k.a)
-	overlayNulls(dst, k.b)
+	overlayNulls(dst, k.a, lo)
+	overlayNulls(dst, k.b, lo)
 }
 
-func overlayNulls(dst []int8, col *table.Column) {
+// overlayNulls marks NULL rows in dst, which covers rows [lo, lo+len(dst)).
+func overlayNulls(dst []int8, col *table.Column, lo int) {
 	if col == nil || !col.HasNulls() {
 		return
 	}
 	for i := range dst {
-		if col.Null(i) {
+		if col.Null(lo + i) {
 			dst[i] = ternNull
 		}
 	}
@@ -649,11 +659,11 @@ type truthIntKernel struct {
 	col *table.Column
 }
 
-func (k *truthIntKernel) eval(dst []int8) {
-	for i, x := range k.xs {
+func (k *truthIntKernel) eval(dst []int8, lo, hi int) {
+	for i, x := range k.xs[lo:hi] {
 		dst[i] = ternOf(x != 0)
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type truthFloatKernel struct {
@@ -661,11 +671,11 @@ type truthFloatKernel struct {
 	col *table.Column
 }
 
-func (k *truthFloatKernel) eval(dst []int8) {
-	for i, x := range k.xs {
+func (k *truthFloatKernel) eval(dst []int8, lo, hi int) {
+	for i, x := range k.xs[lo:hi] {
 		dst[i] = ternOf(x != 0)
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type truthBoolKernel struct {
@@ -673,17 +683,17 @@ type truthBoolKernel struct {
 	col *table.Column
 }
 
-func (k *truthBoolKernel) eval(dst []int8) {
-	for i, x := range k.xs {
+func (k *truthBoolKernel) eval(dst []int8, lo, hi int) {
+	for i, x := range k.xs[lo:hi] {
 		dst[i] = ternOf(x)
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type notKernel struct{ child kernel }
 
-func (k *notKernel) eval(dst []int8) {
-	k.child.eval(dst)
+func (k *notKernel) eval(dst []int8, lo, hi int) {
+	k.child.eval(dst, lo, hi)
 	for i, t := range dst {
 		if t == ternFalse || t == ternTrue {
 			dst[i] = 1 - t
@@ -701,10 +711,10 @@ type logicKernel struct {
 	and  bool
 }
 
-func (k *logicKernel) eval(dst []int8) {
-	k.l.eval(dst)
+func (k *logicKernel) eval(dst []int8, lo, hi int) {
+	k.l.eval(dst, lo, hi)
 	tmp := make([]int8, len(dst))
-	k.r.eval(tmp)
+	k.r.eval(tmp, lo, hi)
 	if k.and {
 		for i, a := range dst {
 			b := tmp[i]
@@ -751,19 +761,19 @@ type cmpIntLitKernel struct {
 	col *table.Column
 }
 
-func (k *cmpIntLitKernel) eval(dst []int8) {
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
-	for i, x := range k.xs {
+func (k *cmpIntLitKernel) eval(dst []int8, lo, hi int) {
+	tl, te, tg := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.xs[lo:hi] {
 		switch {
 		case x < k.lit:
-			dst[i] = lo
+			dst[i] = tl
 		case x > k.lit:
-			dst[i] = hi
+			dst[i] = tg
 		default:
-			dst[i] = eq
+			dst[i] = te
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type cmpIntFloatLitKernel struct {
@@ -773,20 +783,20 @@ type cmpIntFloatLitKernel struct {
 	col *table.Column
 }
 
-func (k *cmpIntFloatLitKernel) eval(dst []int8) {
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
-	for i, x := range k.xs {
+func (k *cmpIntFloatLitKernel) eval(dst []int8, lo, hi int) {
+	tl, te, tg := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.xs[lo:hi] {
 		f := float64(x)
 		switch {
 		case f < k.lit:
-			dst[i] = lo
+			dst[i] = tl
 		case f > k.lit:
-			dst[i] = hi
+			dst[i] = tg
 		default:
-			dst[i] = eq
+			dst[i] = te
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type cmpFloatLitKernel struct {
@@ -796,21 +806,21 @@ type cmpFloatLitKernel struct {
 	col *table.Column
 }
 
-func (k *cmpFloatLitKernel) eval(dst []int8) {
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
-	for i, x := range k.xs {
+func (k *cmpFloatLitKernel) eval(dst []int8, lo, hi int) {
+	tl, te, tg := k.lut[0], k.lut[1], k.lut[2]
+	for i, x := range k.xs[lo:hi] {
 		// NaN takes the eq branch, matching value.Compare's "neither
 		// smaller" result of 0.
 		switch {
 		case x < k.lit:
-			dst[i] = lo
+			dst[i] = tl
 		case x > k.lit:
-			dst[i] = hi
+			dst[i] = tg
 		default:
-			dst[i] = eq
+			dst[i] = te
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type cmpBoolLitKernel struct {
@@ -820,11 +830,11 @@ type cmpBoolLitKernel struct {
 	col *table.Column
 }
 
-func (k *cmpBoolLitKernel) eval(dst []int8) {
-	for i, x := range k.xs {
+func (k *cmpBoolLitKernel) eval(dst []int8, lo, hi int) {
+	for i, x := range k.xs[lo:hi] {
 		dst[i] = k.lut[boolCmp(x, k.lit)+1]
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 func boolCmp(a, b bool) int {
@@ -846,7 +856,7 @@ type cmpTextEqLitKernel struct {
 	col   *table.Column
 }
 
-func (k *cmpTextEqLitKernel) eval(dst []int8) {
+func (k *cmpTextEqLitKernel) eval(dst []int8, lo, hi int) {
 	miss := ternOf(!k.eq) // literal absent from the dictionary: never equal
 	if !k.found {
 		for i := range dst {
@@ -854,7 +864,7 @@ func (k *cmpTextEqLitKernel) eval(dst []int8) {
 		}
 	} else {
 		hit, other := ternOf(k.eq), ternOf(!k.eq)
-		for i, c := range k.xs {
+		for i, c := range k.xs[lo:hi] {
 			if c == k.code {
 				dst[i] = hit
 			} else {
@@ -862,7 +872,7 @@ func (k *cmpTextEqLitKernel) eval(dst []int8) {
 			}
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type cmpTextTableKernel struct {
@@ -871,11 +881,11 @@ type cmpTextTableKernel struct {
 	col *table.Column
 }
 
-func (k *cmpTextTableKernel) eval(dst []int8) {
-	for i, c := range k.xs {
+func (k *cmpTextTableKernel) eval(dst []int8, lo, hi int) {
+	for i, c := range k.xs[lo:hi] {
 		dst[i] = k.tbl[c]
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type cmpIntIntColKernel struct {
@@ -884,21 +894,22 @@ type cmpIntIntColKernel struct {
 	ca, cb *table.Column
 }
 
-func (k *cmpIntIntColKernel) eval(dst []int8) {
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
-	for i, x := range k.a {
-		y := k.b[i]
+func (k *cmpIntIntColKernel) eval(dst []int8, lo, hi int) {
+	tl, te, tg := k.lut[0], k.lut[1], k.lut[2]
+	b := k.b[lo:hi]
+	for i, x := range k.a[lo:hi] {
+		y := b[i]
 		switch {
 		case x < y:
-			dst[i] = lo
+			dst[i] = tl
 		case x > y:
-			dst[i] = hi
+			dst[i] = tg
 		default:
-			dst[i] = eq
+			dst[i] = te
 		}
 	}
-	overlayNulls(dst, k.ca)
-	overlayNulls(dst, k.cb)
+	overlayNulls(dst, k.ca, lo)
+	overlayNulls(dst, k.cb, lo)
 }
 
 type cmpFloatFloatColKernel struct {
@@ -907,21 +918,22 @@ type cmpFloatFloatColKernel struct {
 	ca, cb *table.Column
 }
 
-func (k *cmpFloatFloatColKernel) eval(dst []int8) {
-	lo, eq, hi := k.lut[0], k.lut[1], k.lut[2]
-	for i, x := range k.a {
-		y := k.b[i]
+func (k *cmpFloatFloatColKernel) eval(dst []int8, lo, hi int) {
+	tl, te, tg := k.lut[0], k.lut[1], k.lut[2]
+	b := k.b[lo:hi]
+	for i, x := range k.a[lo:hi] {
+		y := b[i]
 		switch {
 		case x < y:
-			dst[i] = lo
+			dst[i] = tl
 		case x > y:
-			dst[i] = hi
+			dst[i] = tg
 		default:
-			dst[i] = eq
+			dst[i] = te
 		}
 	}
-	overlayNulls(dst, k.ca)
-	overlayNulls(dst, k.cb)
+	overlayNulls(dst, k.ca, lo)
+	overlayNulls(dst, k.cb, lo)
 }
 
 type cmpBoolBoolColKernel struct {
@@ -930,12 +942,13 @@ type cmpBoolBoolColKernel struct {
 	ca, cb *table.Column
 }
 
-func (k *cmpBoolBoolColKernel) eval(dst []int8) {
-	for i, x := range k.a {
-		dst[i] = k.lut[boolCmp(x, k.b[i])+1]
+func (k *cmpBoolBoolColKernel) eval(dst []int8, lo, hi int) {
+	b := k.b[lo:hi]
+	for i, x := range k.a[lo:hi] {
+		dst[i] = k.lut[boolCmp(x, b[i])+1]
 	}
-	overlayNulls(dst, k.ca)
-	overlayNulls(dst, k.cb)
+	overlayNulls(dst, k.ca, lo)
+	overlayNulls(dst, k.cb, lo)
 }
 
 type cmpTextTextEqColKernel struct {
@@ -944,17 +957,18 @@ type cmpTextTextEqColKernel struct {
 	ca, cb *table.Column
 }
 
-func (k *cmpTextTextEqColKernel) eval(dst []int8) {
+func (k *cmpTextTextEqColKernel) eval(dst []int8, lo, hi int) {
 	hit, other := ternOf(k.eq), ternOf(!k.eq)
-	for i, x := range k.a {
-		if x == k.b[i] {
+	b := k.b[lo:hi]
+	for i, x := range k.a[lo:hi] {
+		if x == b[i] {
 			dst[i] = hit
 		} else {
 			dst[i] = other
 		}
 	}
-	overlayNulls(dst, k.ca)
-	overlayNulls(dst, k.cb)
+	overlayNulls(dst, k.ca, lo)
+	overlayNulls(dst, k.cb, lo)
 }
 
 type cmpTextTextOrdColKernel struct {
@@ -964,17 +978,18 @@ type cmpTextTextOrdColKernel struct {
 	ca, cb *table.Column
 }
 
-func (k *cmpTextTextOrdColKernel) eval(dst []int8) {
-	for i, x := range k.a {
-		y := k.b[i]
+func (k *cmpTextTextOrdColKernel) eval(dst []int8, lo, hi int) {
+	b := k.b[lo:hi]
+	for i, x := range k.a[lo:hi] {
+		y := b[i]
 		if x == y {
 			dst[i] = k.lut[1]
 			continue
 		}
 		dst[i] = k.lut[sign(strings.Compare(k.strs[x], k.strs[y]))+1]
 	}
-	overlayNulls(dst, k.ca)
-	overlayNulls(dst, k.cb)
+	overlayNulls(dst, k.ca, lo)
+	overlayNulls(dst, k.cb, lo)
 }
 
 type isNullKernel struct {
@@ -982,7 +997,7 @@ type isNullKernel struct {
 	negate bool
 }
 
-func (k *isNullKernel) eval(dst []int8) {
+func (k *isNullKernel) eval(dst []int8, lo, hi int) {
 	base := ternOf(k.negate) // IS NULL on a non-null row
 	for i := range dst {
 		dst[i] = base
@@ -992,7 +1007,7 @@ func (k *isNullKernel) eval(dst []int8) {
 	}
 	hit := ternOf(!k.negate)
 	for i := range dst {
-		if k.col.Null(i) {
+		if k.col.Null(lo + i) {
 			dst[i] = hit
 		}
 	}
@@ -1029,12 +1044,12 @@ type inIntKernel struct {
 	col     *table.Column
 }
 
-func (k *inIntKernel) eval(dst []int8) {
+func (k *inIntKernel) eval(dst []int8, lo, hi int) {
 	match, miss := ternOf(!k.negate), ternOf(k.negate)
 	if k.sawNull {
 		miss = ternNull
 	}
-	for i, x := range k.xs {
+	for i, x := range k.xs[lo:hi] {
 		hit := k.nanItem || k.ints[x]
 		if !hit && len(k.floats) > 0 {
 			hit = k.floats[eqBits(float64(x))]
@@ -1045,7 +1060,7 @@ func (k *inIntKernel) eval(dst []int8) {
 			dst[i] = miss
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type inFloatKernel struct {
@@ -1058,19 +1073,19 @@ type inFloatKernel struct {
 	col     *table.Column
 }
 
-func (k *inFloatKernel) eval(dst []int8) {
+func (k *inFloatKernel) eval(dst []int8, lo, hi int) {
 	match, miss := ternOf(!k.negate), ternOf(k.negate)
 	if k.sawNull {
 		miss = ternNull
 	}
-	for i, x := range k.xs {
+	for i, x := range k.xs[lo:hi] {
 		if k.nanItem || k.set[eqBits(x)] || (k.anyNum && math.IsNaN(x)) {
 			dst[i] = match
 		} else {
 			dst[i] = miss
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type inBoolKernel struct {
@@ -1081,19 +1096,19 @@ type inBoolKernel struct {
 	col          *table.Column
 }
 
-func (k *inBoolKernel) eval(dst []int8) {
+func (k *inBoolKernel) eval(dst []int8, lo, hi int) {
 	match, miss := ternOf(!k.negate), ternOf(k.negate)
 	if k.sawNull {
 		miss = ternNull
 	}
-	for i, x := range k.xs {
+	for i, x := range k.xs[lo:hi] {
 		if (x && k.wantT) || (!x && k.wantF) {
 			dst[i] = match
 		} else {
 			dst[i] = miss
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 type inTextKernel struct {
@@ -1104,19 +1119,19 @@ type inTextKernel struct {
 	col     *table.Column
 }
 
-func (k *inTextKernel) eval(dst []int8) {
+func (k *inTextKernel) eval(dst []int8, lo, hi int) {
 	match, miss := ternOf(!k.negate), ternOf(k.negate)
 	if k.sawNull {
 		miss = ternNull
 	}
-	for i, x := range k.xs {
+	for i, x := range k.xs[lo:hi] {
 		if k.set[x] {
 			dst[i] = match
 		} else {
 			dst[i] = miss
 		}
 	}
-	overlayNulls(dst, k.col)
+	overlayNulls(dst, k.col, lo)
 }
 
 // --- vectorized aggregation ---
@@ -1209,39 +1224,42 @@ func checkAggErrs(vaggs []vecAgg, selRows []int32) error {
 }
 
 // selectRows computes the selection vector: the indices of rows WHERE keeps,
-// in scan order. The compiled kernel handles the common operators; anything
-// else runs the interpreted expression per row (callers ensure the rest of
-// the query cannot error, so interpreted-filter errors surface at the same
-// row they would on the row path).
-func selectRows(ctx context.Context, snap *table.Snapshot, where expr.Expr, rawW []float64) ([]int32, error) {
+// in scan order. The compiled kernel handles the common operators, evaluated
+// morsel by morsel across the worker pool; anything else runs the
+// interpreted expression per row on one goroutine (callers ensure the rest
+// of the query cannot error, so interpreted-filter errors surface at the
+// same row they would on the row path).
+func selectRows(ctx context.Context, snap *table.Snapshot, where expr.Expr, rawW []float64, workers int) ([]int32, error) {
 	n := snap.Len()
-	sel := make([]int32, 0, n)
 	if where == nil {
-		for i := 0; i < n; i++ {
-			sel = append(sel, int32(i))
-		}
-		return sel, nil
-	}
-	if k := compileFilter(where, snap, rawW); k != nil {
-		// Kernel boundary: one check covers the whole filter pass.
-		if err := checkCtx(ctx); err != nil {
+		sel := make([]int32, n)
+		if err := forEachMorsel(ctx, n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sel[i] = int32(i)
+			}
+		}); err != nil {
 			return nil, err
 		}
-		tern := make([]int8, n)
-		k.eval(tern)
-		for i, t := range tern {
-			if t == ternErr {
-				// The row interpreter evaluates WHERE over every row in scan
-				// order and aborts at the first error; the only dynamic error
-				// the kernel set admits is division by zero.
-				return nil, errDivisionByZero
-			}
-			if t == ternTrue {
-				sel = append(sel, int32(i))
-			}
+		return sel, nil
+	}
+	if k := compileFilter(where, snap, rawW, workers); k != nil {
+		tern, err := evalTern(ctx, k, n, workers)
+		if err != nil {
+			return nil, err
+		}
+		sel, sawErr, err := ternSelection(ctx, tern, workers)
+		if err != nil {
+			return nil, err
+		}
+		if sawErr {
+			// The row interpreter evaluates WHERE over every row in scan
+			// order and aborts at the first error; the only dynamic error
+			// the kernel set admits is division by zero.
+			return nil, errDivisionByZero
 		}
 		return sel, nil
 	}
+	sel := make([]int32, 0, n)
 	env, _ := makeEnv(snap.Schema())
 	for i := 0; i < n; i++ {
 		if i%cancelCheckRows == 0 {
@@ -1355,7 +1373,13 @@ func densifyColumn(snap *table.Snapshot, col int, selRows []int32) ([]int32, int
 // groupIDs assigns each selected row its final group id, folding multi-key
 // composites pairwise through uint64-keyed maps. Ids are dense and ordered
 // by first appearance, which is exactly the row path's group output order.
-func groupIDs(snap *table.Snapshot, keyIdx []int, selRows []int32) (gids []int32, ngroups int, firstRow []int32) {
+//
+// With workers > 1 and enough rows, each key column densifies in parallel:
+// morsels build local id tables independently, then a serial morsel-ordered
+// merge assigns global ids (see denseFromKeys). Dense first-appearance ids
+// are a pure function of the key sequence, so the parallel path's output is
+// byte-identical to the serial maps.
+func groupIDs(snap *table.Snapshot, keyIdx []int, selRows []int32, workers int) (gids []int32, ngroups int, firstRow []int32) {
 	m := len(selRows)
 	if len(keyIdx) == 0 {
 		if m == 0 {
@@ -1363,23 +1387,27 @@ func groupIDs(snap *table.Snapshot, keyIdx []int, selRows []int32) (gids []int32
 		}
 		return make([]int32, m), 1, []int32{selRows[0]}
 	}
-	gids, _ = densifyColumn(snap, keyIdx[0], selRows)
-	for _, kc := range keyIdx[1:] {
-		d, _ := densifyColumn(snap, kc, selRows)
-		pair := make(map[uint64]int32)
-		out := make([]int32, m)
-		var next int32
-		for k := 0; k < m; k++ {
-			key := uint64(uint32(gids[k]))<<32 | uint64(uint32(d[k]))
-			id, ok := pair[key]
-			if !ok {
-				id = next
-				next++
-				pair[key] = id
+	if workers > 1 && m > morselRows {
+		gids = groupIDsParallel(snap, keyIdx, selRows, workers)
+	} else {
+		gids, _ = densifyColumn(snap, keyIdx[0], selRows)
+		for _, kc := range keyIdx[1:] {
+			d, _ := densifyColumn(snap, kc, selRows)
+			pair := make(map[uint64]int32)
+			out := make([]int32, m)
+			var next int32
+			for k := 0; k < m; k++ {
+				key := uint64(uint32(gids[k]))<<32 | uint64(uint32(d[k]))
+				id, ok := pair[key]
+				if !ok {
+					id = next
+					next++
+					pair[key] = id
+				}
+				out[k] = id
 			}
-			out[k] = id
+			gids = out
 		}
-		gids = out
 	}
 	for k, g := range gids {
 		if int(g) == len(firstRow) {
@@ -1387,6 +1415,158 @@ func groupIDs(snap *table.Snapshot, keyIdx []int, selRows []int32) (gids []int32
 		}
 	}
 	return gids, len(firstRow), firstRow
+}
+
+// groupIDsParallel is groupIDs' morsel-parallel body: per key column it
+// materializes canonical uint64 keys in parallel, densifies them with the
+// morsel-ordered merge, and folds composites pairwise through the same
+// machinery.
+func groupIDsParallel(snap *table.Snapshot, keyIdx []int, selRows []int32, workers int) []int32 {
+	m := len(selRows)
+	rk := make([]uint64, m)
+	columnKeys(snap, keyIdx[0], selRows, rk, workers)
+	gids, _ := denseFromKeys(rk, workers)
+	for _, kc := range keyIdx[1:] {
+		columnKeys(snap, kc, selRows, rk, workers)
+		d, _ := denseFromKeys(rk, workers)
+		_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				rk[k] = uint64(uint32(gids[k]))<<32 | uint64(uint32(d[k]))
+			}
+		})
+		gids, _ = denseFromKeys(rk, workers)
+	}
+	return gids
+}
+
+// nullKeyBits marks NULL in a canonical numeric key stream. It is a
+// non-canonical NaN bit pattern, which value.NumBits can never produce (it
+// folds every NaN onto the one canonical pattern), so NULL cannot collide
+// with any real value.
+var nullKeyBits = math.Float64bits(math.NaN()) ^ 1
+
+// columnKeys materializes the canonical grouping key of one column for every
+// selected row: dictionary code + 1 for TEXT (0 = NULL), 0/1/2 for BOOL
+// (0 = NULL), and value.NumBits with the nullKeyBits sentinel for numerics —
+// the same identities densifyColumn uses, flattened to one uint64 per row so
+// morsels can build them independently.
+func columnKeys(snap *table.Snapshot, col int, selRows []int32, rk []uint64, workers int) {
+	c := snap.Col(col)
+	m := len(selRows)
+	switch c.Kind {
+	case value.KindText:
+		_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				ri := int(selRows[k])
+				if c.Null(ri) {
+					rk[k] = 0
+				} else {
+					rk[k] = uint64(c.Codes[ri]) + 1
+				}
+			}
+		})
+	case value.KindBool:
+		_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				ri := int(selRows[k])
+				switch {
+				case c.Null(ri):
+					rk[k] = 0
+				case c.Bools[ri]:
+					rk[k] = 2
+				default:
+					rk[k] = 1
+				}
+			}
+		})
+	case value.KindInt:
+		_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				ri := int(selRows[k])
+				if c.Null(ri) {
+					rk[k] = nullKeyBits
+				} else {
+					rk[k] = value.NumBits(float64(c.Ints[ri]))
+				}
+			}
+		})
+	case value.KindFloat:
+		_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				ri := int(selRows[k])
+				if c.Null(ri) {
+					rk[k] = nullKeyBits
+				} else {
+					rk[k] = value.NumBits(c.Floats[ri])
+				}
+			}
+		})
+	}
+}
+
+// denseFromKeys assigns first-appearance dense ids over a key sequence.
+// Parallel morsels build local tables (local id = local first-appearance
+// order), then one serial pass merges the per-morsel key lists **in morsel
+// order** into the global table — a key's global id is therefore assigned at
+// its earliest occurrence in scan order, exactly like the serial map loop —
+// and a final parallel pass rewrites local ids through each morsel's remap.
+func denseFromKeys(rk []uint64, workers int) ([]int32, int32) {
+	m := len(rk)
+	ids := make([]int32, m)
+	nMorsels := (m + morselRows - 1) / morselRows
+	if workers <= 1 || nMorsels <= 1 {
+		mp := make(map[uint64]int32)
+		var next int32
+		for k, key := range rk {
+			id, ok := mp[key]
+			if !ok {
+				id = next
+				next++
+				mp[key] = id
+			}
+			ids[k] = id
+		}
+		return ids, next
+	}
+	localKeys := make([][]uint64, nMorsels)
+	_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+		mp := make(map[uint64]int32)
+		var order []uint64
+		for k := lo; k < hi; k++ {
+			key := rk[k]
+			id, ok := mp[key]
+			if !ok {
+				id = int32(len(order))
+				mp[key] = id
+				order = append(order, key)
+			}
+			ids[k] = id
+		}
+		localKeys[lo/morselRows] = order
+	})
+	global := make(map[uint64]int32)
+	var next int32
+	remaps := make([][]int32, nMorsels)
+	for mi, order := range localKeys {
+		remap := make([]int32, len(order))
+		for li, key := range order {
+			id, ok := global[key]
+			if !ok {
+				id = next
+				next++
+				global[key] = id
+			}
+			remap[li] = id
+		}
+		remaps[mi] = remap
+	}
+	_ = forEachMorsel(nil, m, workers, func(lo, hi int) {
+		remap := remaps[lo/morselRows]
+		for k := lo; k < hi; k++ {
+			ids[k] = remap[ids[k]]
+		}
+	})
+	return ids, next
 }
 
 // vecAggState is the accumulator arrays of one aggregate, indexed by group.
@@ -1587,7 +1767,8 @@ func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 	if opts.WeightOverride != nil {
 		rawW = opts.WeightOverride
 	}
-	comp := &kernelCompiler{snap: snap, weights: rawW, n: snap.Len()}
+	workers := opts.workers()
+	comp := &kernelCompiler{snap: snap, weights: rawW, n: snap.Len(), workers: workers}
 	vaggs, ok := planVectorAggs(comp, sel)
 	if !ok {
 		return nil, false, nil
@@ -1599,10 +1780,10 @@ func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 	// interpreted filter can raise errors other than division by zero, so
 	// the messages differ. A kernel filter's only error is the same
 	// division-by-zero, making the order indistinguishable.
-	if sel.Where != nil && aggsCanErr(vaggs, snap.Len()) && compileFilter(sel.Where, snap, rawW) == nil {
+	if sel.Where != nil && aggsCanErr(vaggs, snap.Len()) && compileFilter(sel.Where, snap, rawW, 1) == nil {
 		return nil, false, nil
 	}
-	selRows, err := selectRows(ctx, snap, sel.Where, rawW)
+	selRows, err := selectRows(ctx, snap, sel.Where, rawW, workers)
 	if err != nil {
 		return nil, true, err
 	}
@@ -1619,7 +1800,7 @@ func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 			selW[k] = 1
 		}
 	}
-	gids, ngroups, firstRow := groupIDs(snap, keyIdx, selRows)
+	gids, ngroups, firstRow := groupIDs(snap, keyIdx, selRows, workers)
 	// A global aggregate over zero selected rows still yields one row of
 	// empty aggregates.
 	emptyGlobal := ngroups == 0 && len(sel.GroupBy) == 0
@@ -1627,14 +1808,33 @@ func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 	if emptyGlobal {
 		nst = 1
 	}
+	// Aggregates parallelize ACROSS items, never across morsels: float
+	// accumulation is order-sensitive (IEEE 754 addition does not
+	// reassociate), so each aggregate's pass walks the selection in scan
+	// order on one goroutine — splitting one sum across workers would change
+	// low-order bits. Independent aggregates touch disjoint states, so a
+	// multi-aggregate query (weighted-global has five) still fans out. Chunked
+	// calls on position-aligned sub-slices keep per-morsel cancellation
+	// checkpoints without changing accumulation order.
 	states := make([]*vecAggState, len(vaggs))
-	for i, a := range vaggs {
-		// Kernel boundary: one check per aggregate's accumulation pass.
-		if err := checkCtx(ctx); err != nil {
-			return nil, true, err
+	err = forEachTask(ctx, len(vaggs), workers, func(i int) error {
+		a := vaggs[i]
+		st := newVecAggState(a.kind, nst)
+		for lo := 0; lo < len(selRows); lo += morselRows {
+			if err := checkCtx(ctx); err != nil {
+				return err
+			}
+			hi := lo + morselRows
+			if hi > len(selRows) {
+				hi = len(selRows)
+			}
+			accumulate(a, st, snap, selRows[lo:hi], gids[lo:hi], selW[lo:hi], rawW)
 		}
-		states[i] = newVecAggState(a.kind, nst)
-		accumulate(a, states[i], snap, selRows, gids, selW, rawW)
+		states[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
 	}
 
 	res = &Result{}
@@ -1722,9 +1922,10 @@ func runProjectionVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 	}
 	sortFirst := sortOK && (!sel.Distinct || distinctOK)
 
+	workers := opts.workers()
 	var k kernel
 	if sel.Where != nil {
-		k = compileFilter(sel.Where, snap, rawW)
+		k = compileFilter(sel.Where, snap, rawW, workers)
 	}
 	switch {
 	case sel.Where != nil && k != nil:
@@ -1742,26 +1943,23 @@ func runProjectionVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 	// Selection vector.
 	var selRows []int32
 	if k != nil {
-		// Kernel boundary: one check covers the whole filter pass.
-		if err := checkCtx(ctx); err != nil {
+		tern, err := evalTern(ctx, k, n, workers)
+		if err != nil {
 			return nil, true, err
 		}
-		tern := make([]int8, n)
-		k.eval(tern)
-		selRows = make([]int32, 0, n)
-		for i, t := range tern {
-			if t == ternErr {
-				if !errFree {
-					return nil, false, nil
-				}
-				return nil, true, errDivisionByZero
-			}
-			if t == ternTrue {
-				selRows = append(selRows, int32(i))
-			}
+		sel32, sawErr, err := ternSelection(ctx, tern, workers)
+		if err != nil {
+			return nil, true, err
 		}
+		if sawErr {
+			if !errFree {
+				return nil, false, nil
+			}
+			return nil, true, errDivisionByZero
+		}
+		selRows = sel32
 	} else {
-		selRows, err = selectRows(ctx, snap, sel.Where, rawW)
+		selRows, err = selectRows(ctx, snap, sel.Where, rawW, workers)
 		if err != nil {
 			return nil, true, err
 		}
@@ -1771,7 +1969,7 @@ func runProjectionVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 	// representatives are exactly dedupRows' first occurrences.
 	cand := selRows
 	if sel.Distinct && distinctOK {
-		_, _, cand = groupIDs(snap, sources, selRows)
+		_, _, cand = groupIDs(snap, sources, selRows, workers)
 	}
 
 	// ORDER BY / LIMIT on row indices, before materialization.
@@ -1787,7 +1985,9 @@ func runProjectionVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 		case sel.Limit > 0 && sel.Limit < len(cand) && keysTotalOrder(sortKeys, cand):
 			cand = topKCandidates(sortKeys, cand, sel.Limit)
 		default:
-			sortCandidates(sortKeys, cand)
+			if err := sortCandidates(ctx, sortKeys, cand, workers); err != nil {
+				return nil, true, err
+			}
 			if sel.Limit >= 0 && len(cand) > sel.Limit {
 				cand = cand[:sel.Limit]
 			}

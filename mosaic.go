@@ -21,13 +21,17 @@
 // under a shared read lock, so any number of them proceed in parallel, while
 // DDL/DML (Exec, Ingest, SetMechanism, AddMarginal) serializes behind a
 // write lock and invalidates the derived caches (trained M-SWG models, IPF
-// fits). Options.Workers additionally parallelizes inside one query: OPEN
-// replicate generation fans across up to Workers goroutines and M-SWG
-// training uses Workers loss workers.
+// fits). Options.Workers additionally parallelizes inside one query: the
+// columnar kernels partition every scan into fixed-size morsels processed by
+// a pool of Workers goroutines, OPEN replicate generation fans across
+// Workers goroutines, and M-SWG training uses Workers loss workers.
 //
 // Determinism guarantee: for a fixed Seed and statement stream, answers are
-// bit-identical regardless of Workers. Every OPEN replicate draws from an
-// RNG stream derived only from (Seed, replicate index) — never from which
+// bit-identical regardless of Workers. Morsel boundaries are a pure function
+// of the row count, and per-morsel state (selection vectors, group tables,
+// sorted runs) merges in morsel order — so the parallel scan reconstructs
+// exactly the serial scan's result. Every OPEN replicate draws from an RNG
+// stream derived only from (Seed, replicate index) — never from which
 // goroutine runs it or in what order — and parallel loss reductions are
 // statically partitioned. Workers trades only wall-clock time, never answer
 // stability.
@@ -98,11 +102,13 @@ type Options struct {
 	// schema-covering samples instead of one optimal sample (the paper's
 	// Sec 7 "Multiple Samples" extension).
 	UnionSamples bool
-	// Workers bounds intra-query parallelism: OPEN queries generate their
-	// replicates across up to Workers goroutines, and M-SWG training uses
-	// Workers loss workers unless SWG.Workers overrides it. Answers are
-	// bit-identical for any Workers value (see the package comment's
-	// determinism guarantee). Default 1 (serial).
+	// Workers bounds intra-query parallelism: columnar kernels scan
+	// morsel-parallel across up to Workers goroutines, OPEN queries generate
+	// their replicates across them, and M-SWG training uses Workers loss
+	// workers unless SWG.Workers overrides it. Answers are bit-identical for
+	// any Workers value (see the package comment's determinism guarantee).
+	// 0 (the default) means all cores — runtime.GOMAXPROCS(0); use 1 for the
+	// true serial path.
 	Workers int
 	// SWG is the base generator configuration for OPEN queries.
 	SWG SWGConfig

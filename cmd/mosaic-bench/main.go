@@ -7,7 +7,7 @@
 //	             mechanism|scope|bayes|tables|concurrent|exec|all
 //	             [-pop N] [-sample N] [-epochs N] [-projections N] [-seed N]
 //	             [-workers N] [-clients LIST] [-queries-per-client N]
-//	             [-rows N] [-exec-workers LIST] [-json out.json]
+//	             [-rows N] [-exec-workers LIST] [-shards LIST] [-json out.json]
 //
 // The default scales are laptop-sized; raise -pop/-epochs/-projections to
 // approach the paper's settings (426k rows, 80 epochs, p=1000).
@@ -23,11 +23,14 @@
 // amortization (per-call parse+plan vs a reused mosaic.Stmt), verifying
 // byte-identical answers on every case. -exec-workers sweeps the vectorized
 // path across worker counts (the morsel-parallel executor must answer
-// byte-identically at every count); -json writes the machine-readable report
-// (committed as BENCH_exec.json at the repo root so the speedup trajectory
-// is tracked PR over PR):
+// byte-identically at every count); -shards sweeps scatter-gather shard
+// counts (at 1 the answer is byte-identical to the row engine; above 1 each
+// cell is verified bit-identical against a single-worker reference at the
+// same shard count — the sharded determinism contract); -json writes the
+// machine-readable report (committed as BENCH_exec.json at the repo root so
+// the speedup trajectory is tracked PR over PR):
 //
-//	mosaic-bench -exp exec -rows 1000000 -exec-workers 1,2,4 -json BENCH_exec.json
+//	mosaic-bench -exp exec -rows 1000000 -exec-workers 1,2,4 -shards 1,2,4 -json BENCH_exec.json
 //
 // # Concurrent clients
 //
@@ -69,6 +72,7 @@ func main() {
 	queriesPerClient := flag.Int("queries-per-client", 8, "queries per client for -exp concurrent")
 	rows := flag.Int("rows", 1_000_000, "table size for -exp exec")
 	execWorkers := flag.String("exec-workers", "1", "comma-separated worker counts swept by -exp exec's vectorized path")
+	execShards := flag.String("shards", "1", "comma-separated scatter-gather shard counts swept by -exp exec's vectorized path")
 	jsonOut := flag.String("json", "", "write a machine-readable JSON report of JSON-capable experiments (exec) to this file")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -81,6 +85,11 @@ func main() {
 	execWorkerCounts, err := parseClients(*execWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mosaic-bench: -exec-workers: %v\n", err)
+		os.Exit(2)
+	}
+	execShardCounts, err := parseClients(*execShards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mosaic-bench: -shards: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -132,7 +141,7 @@ func main() {
 			})
 		},
 		"exec": func() (fmt.Stringer, error) {
-			return bench.RunExecMicro(bench.ExecConfig{Rows: *rows, Seed: *seed, Workers: execWorkerCounts})
+			return bench.RunExecMicro(bench.ExecConfig{Rows: *rows, Seed: *seed, Workers: execWorkerCounts, Shards: execShardCounts})
 		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",

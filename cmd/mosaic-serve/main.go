@@ -7,7 +7,7 @@
 //	mosaic-serve [-addr :7171] [-snapshot state.sql] [-snapshot-interval 30s]
 //	             [-max-concurrent 64] [-request-timeout 30s]
 //	             [-seed N] [-open-samples N] [-swg-epochs N] [-workers N]
-//	             [init.sql ...]
+//	             [-shards N] [init.sql ...]
 //
 // With -snapshot, the server restores the file on boot (when present),
 // rewrites it atomically every -snapshot-interval, and writes a final
@@ -49,12 +49,14 @@ func main() {
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
 	workers := flag.Int("workers", 0, "intra-query workers; 0 = all cores (GOMAXPROCS), answers are identical for any value")
+	shards := flag.Int("shards", 1, "scatter-gather shards for CLOSED/SEMI-OPEN aggregates; 1 = unsharded; unlike -workers the value is part of the answer contract for float aggregates")
 	flag.Parse()
 
 	db := mosaic.Open(&mosaic.Options{
 		Seed:        *seed,
 		OpenSamples: *openSamples,
 		Workers:     *workers,
+		Shards:      *shards,
 		SWG:         mosaic.SWGConfig{Epochs: *epochs},
 	})
 

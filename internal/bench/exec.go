@@ -28,6 +28,7 @@ type ExecConfig struct {
 	Rows    int   // table size (default 1,000,000)
 	Seed    int64 // RNG seed for the synthetic table
 	Workers []int // worker counts swept on the vectorized path (default {1})
+	Shards  []int // shard counts swept on the vectorized path (default {1})
 }
 
 // ExecCase is one measured microbenchmark: one query at one worker count.
@@ -38,6 +39,7 @@ type ExecCase struct {
 	Query   string  `json:"query"`
 	Rows    int     `json:"rows"`
 	Workers int     `json:"workers"`  // vectorized-path worker count
+	Shards  int     `json:"shards"`   // scatter-gather shard count (1 = unsharded)
 	Groups  int     `json:"groups"`   // output rows of the query
 	RowMs   float64 `json:"row_ms"`   // row engine (or baseline path), ms per run
 	VecMs   float64 `json:"vec_ms"`   // vectorized engine (or optimized path), ms per run
@@ -57,9 +59,9 @@ type ExecResult struct {
 func (r *ExecResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Executor microbenchmarks — %d rows (table build %.1fs)\n", r.Rows, r.BuildSecs)
-	fmt.Fprintf(&b, "  %-26s %7s %12s %12s %9s %9s\n", "case", "workers", "row ms/op", "vec ms/op", "speedup", "verified")
+	fmt.Fprintf(&b, "  %-26s %7s %6s %12s %12s %9s %9s\n", "case", "workers", "shards", "row ms/op", "vec ms/op", "speedup", "verified")
 	for _, c := range r.Cases {
-		fmt.Fprintf(&b, "  %-26s %7d %12.2f %12.2f %8.2fx %9v\n", c.Name, c.Workers, c.RowMs, c.VecMs, c.Speedup, c.Match)
+		fmt.Fprintf(&b, "  %-26s %7d %6d %12.2f %12.2f %8.2fx %9v\n", c.Name, c.Workers, c.Shards, c.RowMs, c.VecMs, c.Speedup, c.Match)
 	}
 	return b.String()
 }
@@ -160,6 +162,9 @@ func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
 	if len(cfg.Workers) == 0 {
 		cfg.Workers = []int{1}
 	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1}
+	}
 	buildStart := time.Now()
 	t, err := buildExecTable(cfg)
 	if err != nil {
@@ -172,28 +177,44 @@ func RunExecMicro(cfg ExecConfig) (*ExecResult, error) {
 			return nil, fmt.Errorf("bench exec %s: %v", c.name, err)
 		}
 		// The row baseline times once per query; the vectorized path sweeps
-		// the worker counts, byte-verified against the row answer at every
-		// count (the morsel-merge determinism contract, checked in anger).
+		// workers × shards. Verification matches the determinism contract:
+		// at Shards 1 every answer must be byte-identical to the row engine
+		// (morsel-merge determinism, checked in anger); at Shards > 1 float
+		// aggregates may legitimately differ from the unsharded answer in
+		// low-order bits (partial-state merges reassociate addition), so the
+		// contract is bit-identity across runs and worker counts for the
+		// fixed shard count — every sweep cell is checked against a fresh
+		// single-worker reference at the same Shards value.
 		rowMs, rowRes, err := timeRuns(t, sel, exec.Options{Weighted: true, ForceRow: true})
 		if err != nil {
 			return nil, fmt.Errorf("bench exec %s (row): %v", c.name, err)
 		}
-		for _, w := range cfg.Workers {
-			vecMs, vecRes, err := timeRuns(t, sel, exec.Options{Weighted: true, Workers: w})
-			if err != nil {
-				return nil, fmt.Errorf("bench exec %s (vec, %d workers): %v", c.name, w, err)
+		for _, s := range cfg.Shards {
+			want := rowRes
+			if s > 1 {
+				want, err = exec.Run(t, sel, exec.Options{Weighted: true, Workers: 1, Shards: s})
+				if err != nil {
+					return nil, fmt.Errorf("bench exec %s (%d shards, reference): %v", c.name, s, err)
+				}
 			}
-			out.Cases = append(out.Cases, ExecCase{
-				Name:    c.name,
-				Query:   c.query,
-				Rows:    cfg.Rows,
-				Workers: w,
-				Groups:  len(vecRes.Rows),
-				RowMs:   rowMs,
-				VecMs:   vecMs,
-				Speedup: rowMs / vecMs,
-				Match:   rowRes.String() == vecRes.String(),
-			})
+			for _, w := range cfg.Workers {
+				vecMs, vecRes, err := timeRuns(t, sel, exec.Options{Weighted: true, Workers: w, Shards: s})
+				if err != nil {
+					return nil, fmt.Errorf("bench exec %s (vec, %d workers, %d shards): %v", c.name, w, s, err)
+				}
+				out.Cases = append(out.Cases, ExecCase{
+					Name:    c.name,
+					Query:   c.query,
+					Rows:    cfg.Rows,
+					Workers: w,
+					Shards:  s,
+					Groups:  len(vecRes.Rows),
+					RowMs:   rowMs,
+					VecMs:   vecMs,
+					Speedup: rowMs / vecMs,
+					Match:   want.String() == vecRes.String(),
+				})
+			}
 		}
 	}
 	genCase, err := runOpenGenCase(cfg)
@@ -282,6 +303,7 @@ func runOpenGenCase(cfg ExecConfig) (ExecCase, error) {
 		Query:   fmt.Sprintf("swg decode of %d generated tuples: row-append vs column-native", genN),
 		Rows:    genN,
 		Workers: 1,
+		Shards:  1,
 		Groups:  genN,
 		RowMs:   rowMs,
 		VecMs:   vecMs,
@@ -345,6 +367,7 @@ func runPreparedCase() (ExecCase, error) {
 		Query:   fmt.Sprintf("%s (param 500, %d rows): per-call parse+plan vs prepared Stmt", paramQ, rows),
 		Rows:    rows,
 		Workers: runtime.GOMAXPROCS(0), // the DB's default worker pool
+		Shards:  1,
 		Groups:  len(got.Rows),
 		RowMs:   unpreparedMs,
 		VecMs:   preparedMs,

@@ -55,6 +55,16 @@ type Options struct {
 	// either way — the differential harness and the exec benchmarks rely on
 	// this switch; production engines leave it false.
 	RowExec bool
+	// Shards range-partitions every table scan into this many contiguous
+	// slices and answers CLOSED/SEMI-OPEN aggregate queries by
+	// scatter-gather: per-shard partial states merged in shard order. 1 (the
+	// default) is byte-identical to the unsharded engine. For a fixed Shards
+	// value answers are bit-identical across runs and Workers values; float
+	// aggregates may differ in low-order bits between Shards values, so
+	// Shards is part of the answer contract. OPEN queries always execute
+	// against the unified view (generative models train on the full sample),
+	// never sharded.
+	Shards int
 	// IPF tunes the SEMI-OPEN fit.
 	IPF ipf.Options
 	// SWG is the base M-SWG configuration for OPEN queries; the engine
@@ -74,6 +84,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 0 {
 		o.Workers = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -106,6 +119,13 @@ type Engine struct {
 	cacheMu sync.Mutex
 	models  map[string]*sfEntry[*swg.Model] // key: sample|population
 	ipfFits map[string]*sfEntry[ipfFit]     // key: scope-prefixed sample|population
+
+	// shardScans/shardRows count, per shard index, how many partial scans
+	// the scatter-gather executor ran and how many rows they covered —
+	// /statsz's per-shard counters. Fixed-size (Options.Shards entries), so
+	// concurrent queries update them lock-free.
+	shardScans []atomic.Int64
+	shardRows  []atomic.Int64
 }
 
 // ipfFit is the cached outcome of a SEMI-OPEN IPF fit for one
@@ -204,11 +224,46 @@ func isCtxErr(err error) bool {
 
 // NewEngine creates an engine with an empty catalog.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		cat:     catalog.New(),
 		opts:    opts.withDefaults(),
 		models:  make(map[string]*sfEntry[*swg.Model]),
 		ipfFits: make(map[string]*sfEntry[ipfFit]),
+	}
+	e.shardScans = make([]atomic.Int64, e.opts.Shards)
+	e.shardRows = make([]atomic.Int64, e.opts.Shards)
+	return e
+}
+
+// Shards returns the engine's shard count (≥ 1).
+func (e *Engine) Shards() int { return e.opts.Shards }
+
+// ShardScans returns, per shard index, how many scatter-gather partial scans
+// have executed since the engine started. All zeros when Shards is 1 (the
+// sharded path never engages).
+func (e *Engine) ShardScans() []int64 {
+	out := make([]int64, len(e.shardScans))
+	for i := range e.shardScans {
+		out[i] = e.shardScans[i].Load()
+	}
+	return out
+}
+
+// ShardRows returns, per shard index, how many rows those partial scans
+// covered.
+func (e *Engine) ShardRows() []int64 {
+	out := make([]int64, len(e.shardRows))
+	for i := range e.shardRows {
+		out[i] = e.shardRows[i].Load()
+	}
+	return out
+}
+
+// recordShardScan is the exec.Options.ShardScan observability hook.
+func (e *Engine) recordShardScan(shard, rows int) {
+	if shard >= 0 && shard < len(e.shardScans) {
+		e.shardScans[shard].Add(1)
+		e.shardRows[shard].Add(int64(rows))
 	}
 }
 

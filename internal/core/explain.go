@@ -34,11 +34,17 @@ func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
 		add("kind", "auxiliary table")
 		add("technique", "direct scan (closed world)")
 		add("execution", e.execPlan())
+		if p := e.shardPlan(sql.VisibilityClosed); p != "" {
+			add("sharding", p)
+		}
 		return res, nil
 	case "sample":
 		add("kind", "sample")
 		add("technique", "direct scan over stored weights")
 		add("execution", e.execPlan())
+		if p := e.shardPlan(sql.VisibilityClosed); p != "" {
+			add("sharding", p)
+		}
 		return res, nil
 	}
 	pop, _ := e.cat.Population(sel.From)
@@ -107,6 +113,9 @@ func (e *Engine) Explain(sel *sql.Select) (*exec.Result, error) {
 		}
 	}
 	add("execution", e.execPlan())
+	if p := e.shardPlan(vis); p != "" {
+		add("sharding", p)
+	}
 	return res, nil
 }
 
@@ -123,6 +132,23 @@ func (e *Engine) execPlan() string {
 	}
 	return fmt.Sprintf("vectorized kernels, morsel-parallel scan (%d-row morsels × %d workers, deterministic morsel-order merge)",
 		exec.MorselRows, e.opts.Workers)
+}
+
+// shardPlan describes the scatter-gather shard plan alongside the morsel
+// plan; empty when sharding is off (Shards ≤ 1) so single-shard EXPLAIN
+// output stays byte-identical to the pre-sharding engine. Unlike the morsel
+// plan, the shard plan is part of the answer contract: float aggregates may
+// differ in low-order bits between Shards values (partial-state merges
+// reassociate addition), though for a fixed Shards value answers stay
+// bit-identical across runs and Workers.
+func (e *Engine) shardPlan(vis sql.Visibility) string {
+	if e.opts.Shards <= 1 || e.opts.RowExec {
+		return ""
+	}
+	if vis == sql.VisibilityOpen {
+		return fmt.Sprintf("disabled for OPEN: replicates scan the unified view (models train on the full sample); %d shards serve CLOSED/SEMI-OPEN aggregates only", e.opts.Shards)
+	}
+	return fmt.Sprintf("scatter-gather over %d contiguous range shards (64-row-aligned bounds), partial aggregate states merged in shard order", e.opts.Shards)
 }
 
 // execCopy bulk-loads a CSV file into a table or sample, coercing each field

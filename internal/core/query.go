@@ -42,6 +42,21 @@ func (e *Engine) QueryContext(ctx context.Context, sel *sql.Select) (*exec.Resul
 	return e.query(ctx, sel)
 }
 
+// execOpts assembles the executor options for every CLOSED/SEMI-OPEN (and
+// auxiliary-table) scan: these are the sharded-eligible call sites, so they
+// carry the engine's shard count and the per-shard scan counters. OPEN
+// replicate scans use their own unsharded options (see openReplicate).
+func (e *Engine) execOpts(weighted bool, override []float64) exec.Options {
+	return exec.Options{
+		Weighted:       weighted,
+		WeightOverride: override,
+		ForceRow:       e.opts.RowExec,
+		Workers:        e.opts.Workers,
+		Shards:         e.opts.Shards,
+		ShardScan:      e.recordShardScan,
+	}
+}
+
 func (e *Engine) query(ctx context.Context, sel *sql.Select) (*exec.Result, error) {
 	if sel.NumParams > 0 {
 		return nil, fmt.Errorf("core: statement has %d unbound parameter(s); bind them with a prepared statement", sel.NumParams)
@@ -52,14 +67,14 @@ func (e *Engine) query(ctx context.Context, sel *sql.Select) (*exec.Result, erro
 			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", sel.Visibility, sel.From)
 		}
 		t, _ := e.cat.Table(sel.From)
-		return exec.RunContext(ctx, t, sel, exec.Options{Weighted: false, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
+		return exec.RunContext(ctx, t, sel, e.execOpts(false, nil))
 	case "sample":
 		if sel.Visibility == sql.VisibilitySemiOpen || sel.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", sel.Visibility, sel.From)
 		}
 		s, _ := e.cat.Sample(sel.From)
 		// Direct sample queries honor the stored (user-initialized) weights.
-		return exec.RunContext(ctx, s.Table, sel, exec.Options{Weighted: true, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
+		return exec.RunContext(ctx, s.Table, sel, e.execOpts(true, nil))
 	case "population":
 		pop, _ := e.cat.Population(sel.From)
 		return e.queryPopulation(ctx, pop, sel)
@@ -267,12 +282,7 @@ func (e *Engine) plan(pop *catalog.Population, sel *sql.Select) (*planContext, e
 func (e *Engine) runClosed(ctx context.Context, pc *planContext, sel *sql.Select) (*exec.Result, error) {
 	q := *sel
 	q.Where = andExpr(sel.Where, pc.viewPred)
-	return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{
-		Weighted:       true,
-		WeightOverride: pc.sample.SeedWeights(),
-		ForceRow:       e.opts.RowExec,
-		Workers:        e.opts.Workers,
-	})
+	return exec.RunContext(ctx, pc.sample.Table, &q, e.execOpts(true, pc.sample.SeedWeights()))
 }
 
 // runSemiOpen reweights the sample: inverse inclusion probability when the
@@ -283,7 +293,7 @@ func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Sele
 	} else if ok {
 		q := *sel
 		q.Where = andExpr(sel.Where, pc.viewPred)
-		return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
+		return exec.RunContext(ctx, pc.sample.Table, &q, e.execOpts(true, w))
 	}
 
 	if len(pc.margs) == 0 {
@@ -298,7 +308,7 @@ func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Sele
 			return nil, err
 		}
 		q := *sel
-		return exec.RunContext(ctx, sub, &q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
+		return exec.RunContext(ctx, sub, &q, e.execOpts(true, nil))
 	}
 
 	// Global scope: fit the whole sample to the GP marginals, then answer
@@ -309,7 +319,7 @@ func (e *Engine) runSemiOpen(ctx context.Context, pc *planContext, sel *sql.Sele
 	}
 	q := *sel
 	q.Where = andExpr(sel.Where, pc.viewPred)
-	return exec.RunContext(ctx, pc.sample.Table, &q, exec.Options{Weighted: true, WeightOverride: w, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
+	return exec.RunContext(ctx, pc.sample.Table, &q, e.execOpts(true, w))
 }
 
 // ipfViewFit returns the view-restricted sub-sample fitted to the query
@@ -500,6 +510,10 @@ func (e *Engine) openReplicate(ctx context.Context, pc *planContext, model *swg.
 	if err != nil {
 		return nil, err
 	}
+	// OPEN scans are deliberately unsharded (no Shards in these options): the
+	// generative model trains on the unified sample and each replicate is
+	// already a partition of the OPEN combine, so sharding replicate scans is
+	// future work — the engine must never silently shard an OPEN answer.
 	return exec.RunContext(ctx, gen, q, exec.Options{Weighted: true, ForceRow: e.opts.RowExec, Workers: e.opts.Workers})
 }
 
@@ -596,7 +610,14 @@ func AugmentMarginals(sample *table.Table, margs []*marginal.Marginal) ([]*margi
 }
 
 // combineOpenResults merges replicate answers: group keys must appear in
-// every replicate; numeric (aggregate) columns are averaged.
+// every replicate; numeric (aggregate) columns are averaged. It is a driver
+// of the shared partial-state algebra: averaging across replicates is AVG
+// accumulation at weight 1 per replicate, merged in replicate order (the
+// fixed partition order that keeps OPEN answers bit-identical for any
+// Workers). The replicate-intersection protocol and null handling stay here:
+// a group must appear in every replicate, and a NULL aggregate cell in any
+// replicate poisons that cell to NULL (unlike AVG's skip-null semantics over
+// rows).
 func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("core: no OPEN replicates")
@@ -609,7 +630,7 @@ func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, 
 	}
 	type acc struct {
 		keys  []value.Value
-		sums  []float64
+		sts   []exec.AggState
 		nulls []bool
 		seen  int
 	}
@@ -637,7 +658,7 @@ func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, 
 				}
 				a = &acc{
 					keys:  append([]value.Value(nil), row...),
-					sums:  make([]float64, len(row)),
+					sts:   make([]exec.AggState, len(row)),
 					nulls: make([]bool, len(row)),
 				}
 				accs[k] = a
@@ -654,11 +675,9 @@ func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, 
 					a.nulls[ci] = true
 					continue
 				}
-				f, err := row[ci].Float64()
-				if err != nil {
+				if err := a.sts[ci].Accumulate(sql.AggAvg, row[ci], 1); err != nil {
 					return nil, fmt.Errorf("core: non-numeric aggregate in OPEN combine: %v", err)
 				}
-				a.sums[ci] += f
 			}
 			a.seen = ri + 1
 		}
@@ -677,7 +696,7 @@ func combineOpenResults(results []*exec.Result, sel *sql.Select) (*exec.Result, 
 			case a.nulls[ci]:
 				row[ci] = value.Null()
 			default:
-				row[ci] = value.Float(a.sums[ci] / float64(len(results)))
+				row[ci] = a.sts[ci].Finalize(sql.AggAvg)
 			}
 		}
 		out.Rows = append(out.Rows, row)

@@ -194,9 +194,60 @@ var diffShapes = []string{
 // sizes. Byte-identity across the sweep is the morsel-merge contract.
 var sweepWorkers = []int{1, 2, 4, 8}
 
+// sweepShards is the Shards grid layered on top: unsharded, and two
+// scatter-gather partitionings. At Shards 1 every answer must be
+// byte-identical to the row engine; at Shards > 1 the contract weakens for
+// float aggregates only (partial-state merges reassociate addition), so
+// those cells check bit-identity against a fresh single-worker reference at
+// the same shard count, error-message identity against the row engine, and
+// numeric closeness of the result cells.
+var sweepShards = []int{1, 2, 4}
+
+// resultsClose compares two results cell by cell: columns, row count, row
+// order, kinds, and non-float cells must match exactly; float cells may
+// differ by a relative 1e-9 (the reassociation allowance).
+func resultsClose(a, b *Result) bool {
+	if len(a.Rows) != len(b.Rows) || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if len(ra) != len(rb) {
+			return false
+		}
+		for j := range ra {
+			va, vb := ra[j], rb[j]
+			if va.Kind() != vb.Kind() {
+				return false
+			}
+			if va.Kind() == value.KindFloat {
+				x, y := va.AsFloat(), vb.AsFloat()
+				if x == y || (math.IsNaN(x) && math.IsNaN(y)) {
+					continue
+				}
+				if math.Abs(x-y) <= 1e-9*math.Max(math.Abs(x), math.Abs(y)) {
+					continue
+				}
+				return false
+			}
+			if !value.Equal(va, vb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // runBoth executes sel on the row path and on the vectorized path at every
-// swept worker count, requiring byte-identical outcomes (same error message,
-// or same rendered result) across all of them.
+// swept (workers × shards) cell. Shards 1 cells must be byte-identical to
+// the row answer; Shards > 1 cells must be byte-identical to each other
+// (across Workers and across runs — the reference is a fresh execution) and
+// close to the row answer per resultsClose, with identical error outcomes.
 func runBoth(t *testing.T, tbl *table.Table, src string, opts Options) {
 	t.Helper()
 	sel, err := sql.ParseQuery(src)
@@ -206,21 +257,46 @@ func runBoth(t *testing.T, tbl *table.Table, src string, opts Options) {
 	rowOpts := opts
 	rowOpts.ForceRow = true
 	rres, rerr := Run(tbl, sel, rowOpts)
-	for _, w := range sweepWorkers {
-		vecOpts := opts
-		vecOpts.ForceRow = false
-		vecOpts.Workers = w
-		vres, verr := Run(tbl, sel, vecOpts)
-		switch {
-		case rerr != nil && verr != nil:
-			if rerr.Error() != verr.Error() {
-				t.Errorf("%q: error mismatch\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
+	for _, s := range sweepShards {
+		refRes, refErr := rres, rerr
+		if s > 1 {
+			shardOpts := opts
+			shardOpts.ForceRow = false
+			shardOpts.Workers = 1
+			shardOpts.Shards = s
+			refRes, refErr = Run(tbl, sel, shardOpts)
+			switch {
+			case (rerr == nil) != (refErr == nil):
+				t.Errorf("%q: one path errored\n  row: %v\n  vec(%d shards): %v", src, rerr, s, refErr)
+				continue
+			case rerr != nil:
+				if rerr.Error() != refErr.Error() {
+					t.Errorf("%q: error mismatch\n  row: %v\n  vec(%d shards): %v", src, rerr, s, refErr)
+					continue
+				}
+			case !resultsClose(rres, refRes):
+				t.Errorf("%q: sharded answer diverged beyond float reassociation\n--- row ---\n%s\n--- vec (%d shards) ---\n%s",
+					src, rres, s, refRes)
+				continue
 			}
-		case rerr != nil || verr != nil:
-			t.Errorf("%q: one path errored\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
-		default:
-			if rs, vs := rres.String(), vres.String(); rs != vs {
-				t.Errorf("%q: output mismatch\n--- row ---\n%s\n--- vec (%d workers) ---\n%s", src, rs, w, vs)
+		}
+		for _, w := range sweepWorkers {
+			vecOpts := opts
+			vecOpts.ForceRow = false
+			vecOpts.Workers = w
+			vecOpts.Shards = s
+			vres, verr := Run(tbl, sel, vecOpts)
+			switch {
+			case refErr != nil && verr != nil:
+				if refErr.Error() != verr.Error() {
+					t.Errorf("%q: error mismatch\n  ref: %v\n  vec(%d workers, %d shards): %v", src, refErr, w, s, verr)
+				}
+			case refErr != nil || verr != nil:
+				t.Errorf("%q: one path errored\n  ref: %v\n  vec(%d workers, %d shards): %v", src, refErr, w, s, verr)
+			default:
+				if rs, vs := refRes.String(), vres.String(); rs != vs {
+					t.Errorf("%q: output mismatch\n--- ref ---\n%s\n--- vec (%d workers, %d shards) ---\n%s", src, rs, w, s, vs)
+				}
 			}
 		}
 	}
@@ -228,11 +304,17 @@ func runBoth(t *testing.T, tbl *table.Table, src string, opts Options) {
 
 // TestRowVsVectorGrid is the differential harness: every WHERE × shape ×
 // weighting combination must be byte-identical across the two executors.
+// The table sizes double as the mandatory sharding cells: 0 rows (every
+// shard empty), 1 row (row count not divisible by any swept S > 1, all but
+// one shard empty), 130 rows (not divisible by 4, and under the 64-row-
+// aligned bounds S=4 leaves a trailing shard empty), and 500 rows (spans
+// several 64-row blocks with a partial tail).
 func TestRowVsVectorGrid(t *testing.T) {
 	tables := []*table.Table{
 		diffTable(t, 0, 1),
 		diffTable(t, 1, 2),
 		diffTable(t, 500, 3),
+		diffTable(t, 130, 4),
 	}
 	var override []float64
 	{
@@ -355,18 +437,35 @@ func FuzzRowVsVector(f *testing.F) {
 			return
 		}
 		rres, rerr := Run(tbl, sel, Options{Weighted: true, ForceRow: true})
-		for _, w := range sweepWorkers {
-			vres, verr := Run(tbl, sel, Options{Weighted: true, Workers: w})
-			switch {
-			case rerr != nil && verr != nil:
-				if rerr.Error() != verr.Error() {
-					t.Fatalf("%q: error mismatch\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
+		for _, s := range sweepShards {
+			refRes, refErr := rres, rerr
+			if s > 1 {
+				refRes, refErr = Run(tbl, sel, Options{Weighted: true, Workers: 1, Shards: s})
+				switch {
+				case (rerr == nil) != (refErr == nil):
+					t.Fatalf("%q: one path errored\n  row: %v\n  vec(%d shards): %v", src, rerr, s, refErr)
+				case rerr != nil:
+					if rerr.Error() != refErr.Error() {
+						t.Fatalf("%q: error mismatch\n  row: %v\n  vec(%d shards): %v", src, rerr, s, refErr)
+					}
+				case !resultsClose(rres, refRes):
+					t.Fatalf("%q: sharded answer diverged beyond float reassociation\n--- row ---\n%s\n--- vec (%d shards) ---\n%s",
+						src, rres, s, refRes)
 				}
-			case rerr != nil || verr != nil:
-				t.Fatalf("%q: one path errored\n  row: %v\n  vec(%d workers): %v", src, rerr, w, verr)
-			default:
-				if rs, vs := rres.String(), vres.String(); rs != vs {
-					t.Fatalf("%q: output mismatch\n--- row ---\n%s\n--- vec (%d workers) ---\n%s", src, rs, w, vs)
+			}
+			for _, w := range sweepWorkers {
+				vres, verr := Run(tbl, sel, Options{Weighted: true, Workers: w, Shards: s})
+				switch {
+				case refErr != nil && verr != nil:
+					if refErr.Error() != verr.Error() {
+						t.Fatalf("%q: error mismatch\n  ref: %v\n  vec(%d workers, %d shards): %v", src, refErr, w, s, verr)
+					}
+				case refErr != nil || verr != nil:
+					t.Fatalf("%q: one path errored\n  ref: %v\n  vec(%d workers, %d shards): %v", src, refErr, w, s, verr)
+				default:
+					if rs, vs := refRes.String(), vres.String(); rs != vs {
+						t.Fatalf("%q: output mismatch\n--- ref ---\n%s\n--- vec (%d workers, %d shards) ---\n%s", src, rs, w, s, vs)
+					}
 				}
 			}
 		}

@@ -102,6 +102,20 @@ type Options struct {
 	// serial. Answers are byte-identical for any value — Workers only trades
 	// wall-clock for cores, never changes results.
 	Workers int
+	// Shards range-partitions the scan into this many contiguous slices and
+	// answers kernel-coverable aggregate queries by scatter-gather: per-shard
+	// partial states merged in shard order (see shard.go). 0 or 1 disables
+	// sharding and is byte-identical to the pre-sharding engine. For a fixed
+	// Shards value answers are bit-identical across runs and Workers values,
+	// but float aggregates may differ in low-order bits between different
+	// Shards values (the shard merge reassociates addition) — Shards is part
+	// of the answer contract.
+	Shards int
+	// ShardScan, when non-nil, is called once per executed shard partial
+	// with the shard index and the number of rows its slice scanned — the
+	// observability hook behind /statsz's per-shard counters. Must be safe
+	// for concurrent calls.
+	ShardScan func(shard, rows int)
 }
 
 // workers normalizes Options.Workers for the morsel scheduler.
@@ -144,6 +158,11 @@ func RunSnapshotContext(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 	}
 	sel = foldSelect(sel)
 	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
+		if !opts.ForceRow && opts.Shards > 1 {
+			if res, handled, err := runAggregateSharded(ctx, snap, sel, opts); handled {
+				return res, err
+			}
+		}
 		if !opts.ForceRow {
 			if res, handled, err := runAggregateVector(ctx, snap, sel, opts); handled {
 				return res, err
@@ -352,16 +371,14 @@ func dedupRows(rows [][]value.Value) [][]value.Value {
 	return out
 }
 
-// agg accumulates one aggregate.
+// agg is the row interpreter's driver of one aggregate: it evaluates the
+// input expression per row and folds the result into the shared partial
+// state (the accumulation semantics live in AggState, not here).
 type agg struct {
-	kind     sql.AggKind
-	star     bool
-	e        expr.Expr
-	sumW     float64 // Σ w over contributing rows
-	sumWX    float64 // Σ w·x
-	count    float64 // weighted count of non-null inputs
-	min, max value.Value
-	seen     bool
+	kind sql.AggKind
+	star bool
+	e    expr.Expr
+	st   AggState
 }
 
 func (a *agg) add(b *expr.Binding, w float64, weighted bool) error {
@@ -369,7 +386,7 @@ func (a *agg) add(b *expr.Binding, w float64, weighted bool) error {
 		w = 1
 	}
 	if a.kind == sql.AggCount && a.star {
-		a.count += w
+		a.st.AccumulateStar(w)
 		return nil
 	}
 	v, err := a.e.Eval(b)
@@ -379,56 +396,14 @@ func (a *agg) add(b *expr.Binding, w float64, weighted bool) error {
 	if v.IsNull() {
 		return nil
 	}
-	switch a.kind {
-	case sql.AggCount:
-		a.count += w
-	case sql.AggSum, sql.AggAvg:
-		f, err := v.Float64()
-		if err != nil {
-			return fmt.Errorf("exec: %s over non-numeric value %s", a.kind, v)
-		}
-		a.sumW += w
-		a.sumWX += w * f
-	case sql.AggMin:
-		if !a.seen || value.Compare(v, a.min) < 0 {
-			a.min = v
-		}
-	case sql.AggMax:
-		if !a.seen || value.Compare(v, a.max) > 0 {
-			a.max = v
-		}
+	if err := a.st.Accumulate(a.kind, v, w); err != nil {
+		return fmt.Errorf("exec: %s over non-numeric value %s", a.kind, v)
 	}
-	a.seen = true
 	return nil
 }
 
 func (a *agg) result() value.Value {
-	switch a.kind {
-	case sql.AggCount:
-		return value.Float(a.count)
-	case sql.AggSum:
-		if !a.seen {
-			return value.Null()
-		}
-		return value.Float(a.sumWX)
-	case sql.AggAvg:
-		if !a.seen || a.sumW == 0 {
-			return value.Null()
-		}
-		return value.Float(a.sumWX / a.sumW)
-	case sql.AggMin:
-		if !a.seen {
-			return value.Null()
-		}
-		return a.min
-	case sql.AggMax:
-		if !a.seen {
-			return value.Null()
-		}
-		return a.max
-	default:
-		return value.Null()
-	}
+	return a.st.Finalize(a.kind)
 }
 
 type group struct {

@@ -1,0 +1,246 @@
+// In-process sharded scatter-gather execution for aggregate queries.
+//
+// Options.Shards range-partitions the snapshot into S contiguous slices
+// (shard boundaries are a pure function of the row count and S, and always
+// multiples of 64 so null bitmaps re-slice on word boundaries). Each shard
+// runs the ordinary vectorized aggregate pipeline over its slice and emits
+// mergeable partial states; the gather step then merges partials **in shard
+// order** through the shared partial-state algebra before HAVING / ORDER BY
+// / LIMIT apply. Because shards are contiguous in scan order, a group's
+// global id is assigned at its earliest scan-order appearance — exactly the
+// unsharded first-appearance order — so group sets and output order are
+// identical to the single-shard engine; float aggregate cells may differ in
+// low-order bits (the shard merge reassociates IEEE 754 addition), which is
+// why Shards is part of the answer contract. For a fixed Shards value,
+// answers are bit-identical across runs and across Workers values.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mosaic/internal/expr"
+	"mosaic/internal/sql"
+	"mosaic/internal/table"
+	"mosaic/internal/value"
+)
+
+// shardBounds returns the row ranges of the S contiguous shards of an n-row
+// scan. Every boundary is a multiple of 64 (null-bitmap word alignment);
+// trailing shards may be empty when n is small or not divisible. The bounds
+// are a pure function of (n, S) — never of Workers or scheduling — which is
+// what makes sharded answers reproducible.
+func shardBounds(n, s int) [][2]int {
+	if s < 1 {
+		s = 1
+	}
+	chunk := (n + s - 1) / s
+	chunk = (chunk + 63) / 64 * 64
+	if chunk == 0 {
+		chunk = 64
+	}
+	out := make([][2]int, s)
+	for i := 0; i < s; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// shardPartial is one shard's scatter output: its locally-grouped partial
+// states plus the group identities the gather step merges on. Local group
+// order is the shard's first-appearance scan order.
+type shardPartial struct {
+	keys    []string        // HashKey-concat group identity per local group
+	keyVals [][]value.Value // materialized key values per local group
+	states  []*PartialStates
+}
+
+// runAggregateSharded answers an aggregate query by scattering it over
+// opts.Shards contiguous range partitions and gathering the partial states
+// in shard order. handled=false means the shape is not kernel-coverable (or
+// needs the row path's interleaved error ordering); the caller falls through
+// to the unsharded paths.
+func runAggregateSharded(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options) (*Result, bool, error) {
+	keyIdx, err := resolveGroupKeys(snap, sel)
+	if err != nil {
+		return nil, true, err
+	}
+	rawW := snap.Weights()
+	if opts.WeightOverride != nil {
+		rawW = opts.WeightOverride
+	}
+	workers := opts.workers()
+	// Engagement mirrors runAggregateVector exactly: a query the vectorized
+	// path would decline must take the (unsharded) row path, with the same
+	// error-ordering reasoning.
+	comp := &kernelCompiler{snap: snap, weights: rawW, n: snap.Len(), workers: workers}
+	vaggs, ok := planVectorAggs(comp, sel)
+	if !ok {
+		return nil, false, nil
+	}
+	if sel.Where != nil && aggsCanErr(vaggs, snap.Len()) && compileFilter(sel.Where, snap, rawW, 1) == nil {
+		return nil, false, nil
+	}
+
+	// Scatter: each shard runs the full selection → group-id → accumulate
+	// pipeline over its slice. Shards fan out across the existing worker
+	// pool; a shard's internal morsel scans use the same pool size. Errors
+	// surface in shard order (forEachTask), and within a shard in scan
+	// order — together, the first erroring selected row in global scan order,
+	// exactly like the unsharded scan.
+	bounds := shardBounds(snap.Len(), opts.Shards)
+	partials := make([]*shardPartial, len(bounds))
+	err = forEachTask(ctx, len(bounds), workers, func(s int) error {
+		lo, hi := bounds[s][0], bounds[s][1]
+		sub := snap.SliceRange(lo, hi)
+		var wo []float64
+		if opts.WeightOverride != nil {
+			wo = opts.WeightOverride[lo:hi]
+		}
+		p, err := shardPartialAggregate(ctx, sub, sel, keyIdx, wo, opts, workers)
+		if err != nil {
+			return err
+		}
+		if opts.ShardScan != nil {
+			opts.ShardScan(s, hi-lo)
+		}
+		partials[s] = p
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+
+	// Gather: merge partials in shard order. A group's global id is assigned
+	// at its first appearance across the shard sequence, which — shards being
+	// contiguous scan ranges — is its first appearance in scan order.
+	globalIdx := make(map[string]int)
+	var keyVals [][]value.Value
+	gStates := make([]*PartialStates, len(vaggs))
+	for ai, a := range vaggs {
+		gStates[ai] = NewPartialStates(a.kind, 0)
+	}
+	for _, p := range partials {
+		for lg, k := range p.keys {
+			gi, ok := globalIdx[k]
+			if !ok {
+				gi = len(keyVals)
+				globalIdx[k] = gi
+				keyVals = append(keyVals, p.keyVals[lg])
+				for _, st := range gStates {
+					st.Grow(gi + 1)
+				}
+			}
+			for ai, st := range gStates {
+				st.MergeGroup(gi, p.states[ai], lg)
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, it := range sel.Items {
+		res.Columns = append(res.Columns, it.Name())
+	}
+	outSchema := outputSchema(res.Columns)
+	keyPos := itemKeyPositions(sel)
+	total := len(keyVals)
+	// A global aggregate over zero selected rows still yields one row of
+	// empty aggregates.
+	if total == 0 && len(sel.GroupBy) == 0 {
+		total = 1
+		for _, st := range gStates {
+			st.Grow(1)
+		}
+	}
+	for g := 0; g < total; g++ {
+		row := make([]value.Value, 0, len(sel.Items))
+		ai := 0
+		for ii, it := range sel.Items {
+			if it.Agg == sql.AggNone {
+				row = append(row, keyVals[g][keyPos[ii]])
+			} else {
+				row = append(row, gStates[ai].Finalize(g))
+				ai++
+			}
+		}
+		if sel.Having != nil {
+			ok, err := expr.Truthy(sel.Having, &expr.Binding{Schema: outSchema, Row: row})
+			if err != nil {
+				return nil, true, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := orderAndLimit(ctx, res, sel, outSchema); err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}
+
+// shardPartialAggregate runs the vectorized aggregate pipeline over one
+// shard slice and returns its partial states keyed by group identity.
+func shardPartialAggregate(ctx context.Context, sub *table.Snapshot, sel *sql.Select, keyIdx []int, weightOverride []float64, opts Options, workers int) (*shardPartial, error) {
+	rawW := sub.Weights()
+	if weightOverride != nil {
+		rawW = weightOverride
+	}
+	comp := &kernelCompiler{snap: sub, weights: rawW, n: sub.Len(), workers: workers}
+	vaggs, ok := planVectorAggs(comp, sel)
+	if !ok {
+		// Plannability depends only on schema and expression shape, which
+		// every slice shares with the full snapshot the caller planned.
+		return nil, fmt.Errorf("exec: internal: shard plan diverged from table plan")
+	}
+	selRows, err := selectRows(ctx, sub, sel.Where, rawW, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAggErrs(vaggs, selRows); err != nil {
+		return nil, err
+	}
+	selW := make([]float64, len(selRows))
+	if opts.Weighted {
+		for k, ri := range selRows {
+			selW[k] = rawW[ri]
+		}
+	} else {
+		for k := range selW {
+			selW[k] = 1
+		}
+	}
+	gids, ngroups, firstRow := groupIDs(sub, keyIdx, selRows, workers)
+	states, err := accumulateStates(ctx, vaggs, sub, selRows, gids, selW, rawW, ngroups, workers)
+	if err != nil {
+		return nil, err
+	}
+	p := &shardPartial{
+		keys:    make([]string, ngroups),
+		keyVals: make([][]value.Value, ngroups),
+		states:  states,
+	}
+	var kb strings.Builder
+	for g := 0; g < ngroups; g++ {
+		row := sub.Row(int(firstRow[g]))
+		kv := make([]value.Value, len(keyIdx))
+		kb.Reset()
+		for ki, j := range keyIdx {
+			kv[ki] = row[j]
+			kb.WriteString(row[j].HashKey())
+			kb.WriteByte('\x1f')
+		}
+		p.keys[g] = kb.String()
+		p.keyVals[g] = kv
+	}
+	return p, nil
+}

@@ -19,6 +19,7 @@ package exec
 import (
 	"context"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -230,11 +231,170 @@ func sortCandidates(ctx context.Context, keys []vecSortKey, cand []int32, worker
 	if err := checkCtx(ctx); err != nil {
 		return err
 	}
-	if workers > 1 && len(cand) > morselRows && keysTotalOrder(keys, cand) {
+	totalOrder := keysTotalOrder(keys, cand)
+	// Multi-key sorts re-run the whole key chain on every comparison; under a
+	// strict weak order the chain collapses into one precomputed composite
+	// rank word per candidate, shared by every subsequent comparison.
+	if totalOrder && len(keys) >= 2 {
+		if comp := compositeRanks(keys, cand); comp != nil {
+			return sortByComposite(ctx, cand, comp, workers)
+		}
+	}
+	if workers > 1 && len(cand) > morselRows && totalOrder {
 		return parallelSortCandidates(ctx, keys, cand, workers)
 	}
 	sort.SliceStable(cand, func(a, b int) bool { return vecKeysLess(keys, cand, a, b) })
 	return nil
+}
+
+// compositeRanks collapses a multi-key ORDER BY into one packed uint64 per
+// candidate: each key's values densify into order-preserving ranks (DESC keys
+// invert theirs), and the per-key ranks concatenate most-significant-first,
+// so a single uint64 compare answers exactly what the full key chain would —
+// comp[a] < comp[b] ⟺ rowLess(keys, cand[a], cand[b]), and equality means
+// every key ties (stability then falls to pre-sort position, as always).
+// Requires keysTotalOrder (dense ranks are meaningless when NaN compares
+// equal to everything). Returns nil — caller keeps the per-comparison chain —
+// for single-key sorts, empty candidate sets, or when the combined rank
+// widths exceed 64 bits (keys whose distinct-value product tops 2^64).
+func compositeRanks(keys []vecSortKey, cand []int32) []uint64 {
+	if len(keys) < 2 || len(cand) == 0 {
+		return nil
+	}
+	m := len(cand)
+	perm := make([]int32, m)
+	ranks := make([][]uint64, len(keys))
+	widths := make([]uint, len(keys))
+	var total uint
+	for ki := range keys {
+		k := &keys[ki]
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		// Unstable single-key sort: equal values land on equal ranks no
+		// matter how they permute, so stability is irrelevant here.
+		sort.Slice(perm, func(a, b int) bool { return k.cmp(cand[perm[a]], cand[perm[b]]) < 0 })
+		r := make([]uint64, m)
+		var cur uint64
+		prev := perm[0]
+		for i, p := range perm {
+			if i > 0 && k.cmp(cand[prev], cand[p]) != 0 {
+				cur++
+			}
+			r[p] = cur
+			prev = p
+		}
+		if k.desc {
+			for i := range r {
+				r[i] = cur - r[i]
+			}
+		}
+		ranks[ki] = r
+		widths[ki] = uint(bits.Len64(cur)) // 0 when the key never discriminates
+		total += widths[ki]
+		if total > 64 {
+			return nil
+		}
+	}
+	comp := make([]uint64, m)
+	for ki := range keys {
+		w := widths[ki]
+		if w == 0 {
+			continue
+		}
+		r := ranks[ki]
+		for i := range comp {
+			comp[i] = comp[i]<<w | r[i]
+		}
+	}
+	return comp
+}
+
+// candComposite stable-sorts candidate row ids and their composite rank
+// words as one unit.
+type candComposite struct {
+	cand []int32
+	comp []uint64
+}
+
+func (s candComposite) Len() int           { return len(s.cand) }
+func (s candComposite) Less(a, b int) bool { return s.comp[a] < s.comp[b] }
+func (s candComposite) Swap(a, b int) {
+	s.cand[a], s.cand[b] = s.cand[b], s.cand[a]
+	s.comp[a], s.comp[b] = s.comp[b], s.comp[a]
+}
+
+// sortByComposite stable-sorts cand by its composite rank vector: serial
+// sort.Stable below the parallel threshold, otherwise the same morsel-sort +
+// doubling-merge scheme as parallelSortCandidates with the rank words riding
+// along. Both produce the unique stable permutation of the strict weak order
+// the composite encodes, hence byte-identical output to the key-chain paths.
+func sortByComposite(ctx context.Context, cand []int32, comp []uint64, workers int) error {
+	m := len(cand)
+	if workers <= 1 || m <= morselRows {
+		sort.Stable(candComposite{cand, comp})
+		return nil
+	}
+	if err := forEachMorsel(ctx, m, workers, func(lo, hi int) {
+		sort.Stable(candComposite{cand[lo:hi], comp[lo:hi]})
+	}); err != nil {
+		return err
+	}
+	bufC := make([]int32, m)
+	bufK := make([]uint64, m)
+	srcC, dstC := cand, bufC
+	srcK, dstK := comp, bufK
+	for width := morselRows; width < m; width *= 2 {
+		pairs := (m + 2*width - 1) / (2 * width)
+		w := width
+		sc, dc, sk, dk := srcC, dstC, srcK, dstK
+		if err := forEachTask(ctx, pairs, workers, func(p int) error {
+			if err := checkCtx(ctx); err != nil {
+				return err
+			}
+			lo := p * 2 * w
+			mid, hi := lo+w, lo+2*w
+			if mid > m {
+				mid = m
+			}
+			if hi > m {
+				hi = m
+			}
+			mergeCompositeRuns(sc[lo:mid], sk[lo:mid], sc[mid:hi], sk[mid:hi], dc[lo:hi], dk[lo:hi])
+			return nil
+		}); err != nil {
+			return err
+		}
+		srcC, dstC = dstC, srcC
+		srcK, dstK = dstK, srcK
+	}
+	if &srcC[0] != &cand[0] {
+		copy(cand, srcC)
+	}
+	return nil
+}
+
+// mergeCompositeRuns merges two adjacent sorted runs, taking from b only when
+// its head rank is strictly less (left preference = stability), moving the
+// rank words alongside the row ids.
+func mergeCompositeRuns(aC []int32, aK []uint64, bC []int32, bK []uint64, outC []int32, outK []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(aC) && j < len(bC) {
+		if bK[j] < aK[i] {
+			outC[k], outK[k] = bC[j], bK[j]
+			j++
+		} else {
+			outC[k], outK[k] = aC[i], aK[i]
+			i++
+		}
+		k++
+	}
+	for ; i < len(aC); i, k = i+1, k+1 {
+		outC[k], outK[k] = aC[i], aK[i]
+	}
+	for ; j < len(bC); j, k = j+1, k+1 {
+		outC[k], outK[k] = bC[j], bK[j]
+	}
 }
 
 // parallelSortCandidates: stable-sort each morsel-sized run concurrently,
@@ -339,6 +499,17 @@ func topKCandidates(keys []vecSortKey, cand []int32, k int) []int32 {
 			return c < 0
 		}
 		return a < b
+	}
+	// Multi-key heaps compare O(k log k · n) times; the shared composite rank
+	// vector turns each of those into one uint64 compare. Identical order by
+	// construction (see compositeRanks), so the heap's answer is unchanged.
+	if comp := compositeRanks(keys, cand); comp != nil {
+		less = func(a, b int) bool {
+			if comp[a] != comp[b] {
+				return comp[a] < comp[b]
+			}
+			return a < b
+		}
 	}
 	top := boundedTopK(len(cand), k, less)
 	out := make([]int32, len(top))

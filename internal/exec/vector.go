@@ -1569,65 +1569,17 @@ func denseFromKeys(rk []uint64, workers int) ([]int32, int32) {
 	return ids, next
 }
 
-// vecAggState is the accumulator arrays of one aggregate, indexed by group.
-type vecAggState struct {
-	count  []float64
-	sumW   []float64
-	sumWX  []float64
-	minmax []value.Value
-	seen   []bool
-}
-
-func newVecAggState(kind sql.AggKind, n int) *vecAggState {
-	st := &vecAggState{}
-	switch kind {
-	case sql.AggCount:
-		st.count = make([]float64, n)
-	case sql.AggSum, sql.AggAvg:
-		st.sumW = make([]float64, n)
-		st.sumWX = make([]float64, n)
-		st.seen = make([]bool, n)
-	case sql.AggMin, sql.AggMax:
-		st.minmax = make([]value.Value, n)
-		st.seen = make([]bool, n)
-	}
-	return st
-}
-
-func (st *vecAggState) result(kind sql.AggKind, g int) value.Value {
-	switch kind {
-	case sql.AggCount:
-		return value.Float(st.count[g])
-	case sql.AggSum:
-		if !st.seen[g] {
-			return value.Null()
-		}
-		return value.Float(st.sumWX[g])
-	case sql.AggAvg:
-		if !st.seen[g] || st.sumW[g] == 0 {
-			return value.Null()
-		}
-		return value.Float(st.sumWX[g] / st.sumW[g])
-	case sql.AggMin, sql.AggMax:
-		if !st.seen[g] {
-			return value.Null()
-		}
-		return st.minmax[g]
-	default:
-		return value.Null()
-	}
-}
-
-// accumulate runs one aggregate's tight loop over the selected rows.
-// Accumulation order is scan order and the operation sequence matches
-// agg.add exactly, so float results are bit-identical to the row path.
-func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids []int32, selW, rawW []float64) {
+// accumulate runs one aggregate's tight loop over the selected rows,
+// writing the shared partial-state arrays (PartialStates). Accumulation
+// order is scan order and the operation sequence matches AggState.Accumulate
+// exactly, so float results are bit-identical to the row path.
+func accumulate(a vecAgg, st *PartialStates, snap *table.Snapshot, selRows, gids []int32, selW, rawW []float64) {
 	switch a.kind {
 	case sql.AggCount:
 		if a.star || (a.col == -1 && a.vec == nil) {
 			// COUNT(*) has no input; COUNT(WEIGHT) inputs are never null.
 			for k := range selRows {
-				st.count[gids[k]] += selW[k]
+				st.Count[gids[k]] += selW[k]
 			}
 			return
 		}
@@ -1636,14 +1588,14 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 				if bitGet(a.vec.nulls, int(ri)) {
 					continue
 				}
-				st.count[gids[k]] += selW[k]
+				st.Count[gids[k]] += selW[k]
 			}
 			return
 		}
 		c := snap.Col(a.col)
 		if !c.HasNulls() {
 			for k := range selRows {
-				st.count[gids[k]] += selW[k]
+				st.Count[gids[k]] += selW[k]
 			}
 			return
 		}
@@ -1651,7 +1603,7 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 			if c.Null(int(ri)) {
 				continue
 			}
-			st.count[gids[k]] += selW[k]
+			st.Count[gids[k]] += selW[k]
 		}
 	case sql.AggSum, sql.AggAvg:
 		if a.vec != nil {
@@ -1666,18 +1618,18 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 				} else {
 					x = a.vec.floats[ri]
 				}
-				st.sumW[g] += w
-				st.sumWX[g] += w * x
-				st.seen[g] = true
+				st.SumW[g] += w
+				st.SumWX[g] += w * x
+				st.Seen[g] = true
 			}
 			return
 		}
 		if a.col == -1 {
 			for k := range selRows {
 				g, w := gids[k], selW[k]
-				st.sumW[g] += w
-				st.sumWX[g] += w * rawW[selRows[k]]
-				st.seen[g] = true
+				st.SumW[g] += w
+				st.SumWX[g] += w * rawW[selRows[k]]
+				st.Seen[g] = true
 			}
 			return
 		}
@@ -1689,9 +1641,9 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 					continue
 				}
 				g, w := gids[k], selW[k]
-				st.sumW[g] += w
-				st.sumWX[g] += w * float64(c.Ints[ri])
-				st.seen[g] = true
+				st.SumW[g] += w
+				st.SumWX[g] += w * float64(c.Ints[ri])
+				st.Seen[g] = true
 			}
 		case value.KindFloat:
 			for k, ri := range selRows {
@@ -1699,9 +1651,9 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 					continue
 				}
 				g, w := gids[k], selW[k]
-				st.sumW[g] += w
-				st.sumWX[g] += w * c.Floats[ri]
-				st.seen[g] = true
+				st.SumW[g] += w
+				st.SumWX[g] += w * c.Floats[ri]
+				st.Seen[g] = true
 			}
 		case value.KindBool:
 			for k, ri := range selRows {
@@ -1713,9 +1665,9 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 				if c.Bools[ri] {
 					x = 1
 				}
-				st.sumW[g] += w
-				st.sumWX[g] += w * x // full multiply keeps NaN/±0 flow identical
-				st.seen[g] = true
+				st.SumW[g] += w
+				st.SumWX[g] += w * x // full multiply keeps NaN/±0 flow identical
+				st.Seen[g] = true
 			}
 		}
 	case sql.AggMin, sql.AggMax:
@@ -1741,17 +1693,51 @@ func accumulate(a vecAgg, st *vecAggState, snap *table.Snapshot, selRows, gids [
 				continue
 			}
 			g := gids[k]
-			if !st.seen[g] {
-				st.minmax[g] = v
-				st.seen[g] = true
+			if !st.Seen[g] {
+				st.MinMax[g] = v
+				st.Seen[g] = true
 				continue
 			}
-			c := value.Compare(v, st.minmax[g])
+			c := value.Compare(v, st.MinMax[g])
 			if (wantLess && c < 0) || (!wantLess && c > 0) {
-				st.minmax[g] = v
+				st.MinMax[g] = v
 			}
 		}
 	}
+}
+
+// accumulateStates runs every aggregate's accumulation pass over one
+// selection, producing the shared partial states (nst groups each).
+// Aggregates parallelize ACROSS items, never across morsels: float
+// accumulation is order-sensitive (IEEE 754 addition does not reassociate),
+// so each aggregate's pass walks the selection in scan order on one
+// goroutine — splitting one sum across workers would change low-order bits.
+// Independent aggregates touch disjoint states, so a multi-aggregate query
+// (weighted-global has five) still fans out. Chunked calls on
+// position-aligned sub-slices keep per-morsel cancellation checkpoints
+// without changing accumulation order.
+func accumulateStates(ctx context.Context, vaggs []vecAgg, snap *table.Snapshot, selRows, gids []int32, selW, rawW []float64, nst, workers int) ([]*PartialStates, error) {
+	states := make([]*PartialStates, len(vaggs))
+	err := forEachTask(ctx, len(vaggs), workers, func(i int) error {
+		a := vaggs[i]
+		st := NewPartialStates(a.kind, nst)
+		for lo := 0; lo < len(selRows); lo += morselRows {
+			if err := checkCtx(ctx); err != nil {
+				return err
+			}
+			hi := lo + morselRows
+			if hi > len(selRows) {
+				hi = len(selRows)
+			}
+			accumulate(a, st, snap, selRows[lo:hi], gids[lo:hi], selW[lo:hi], rawW)
+		}
+		states[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return states, nil
 }
 
 // runAggregateVector answers an aggregate query on the columnar path.
@@ -1808,31 +1794,7 @@ func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 	if emptyGlobal {
 		nst = 1
 	}
-	// Aggregates parallelize ACROSS items, never across morsels: float
-	// accumulation is order-sensitive (IEEE 754 addition does not
-	// reassociate), so each aggregate's pass walks the selection in scan
-	// order on one goroutine — splitting one sum across workers would change
-	// low-order bits. Independent aggregates touch disjoint states, so a
-	// multi-aggregate query (weighted-global has five) still fans out. Chunked
-	// calls on position-aligned sub-slices keep per-morsel cancellation
-	// checkpoints without changing accumulation order.
-	states := make([]*vecAggState, len(vaggs))
-	err = forEachTask(ctx, len(vaggs), workers, func(i int) error {
-		a := vaggs[i]
-		st := newVecAggState(a.kind, nst)
-		for lo := 0; lo < len(selRows); lo += morselRows {
-			if err := checkCtx(ctx); err != nil {
-				return err
-			}
-			hi := lo + morselRows
-			if hi > len(selRows) {
-				hi = len(selRows)
-			}
-			accumulate(a, st, snap, selRows[lo:hi], gids[lo:hi], selW[lo:hi], rawW)
-		}
-		states[i] = st
-		return nil
-	})
+	states, err := accumulateStates(ctx, vaggs, snap, selRows, gids, selW, rawW, nst, workers)
 	if err != nil {
 		return nil, true, err
 	}
@@ -1854,7 +1816,7 @@ func runAggregateVector(ctx context.Context, snap *table.Snapshot, sel *sql.Sele
 			if it.Agg == sql.AggNone {
 				row = append(row, snap.Row(int(firstRow[g]))[keyIdx[keyPos[ii]]])
 			} else {
-				row = append(row, states[ai].result(vaggs[ai].kind, g))
+				row = append(row, states[ai].Finalize(g))
 				ai++
 			}
 		}

@@ -352,5 +352,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot())
+	out := s.stats.snapshot()
+	// Per-shard scan counters live on the engine (the server has no view of
+	// scatter-gather execution); merge them in when sharding is on.
+	if eng := s.db.Engine(); eng.Shards() > 1 {
+		out.Sharding = &wire.ShardStats{
+			Shards: eng.Shards(),
+			Scans:  eng.ShardScans(),
+			Rows:   eng.ShardRows(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

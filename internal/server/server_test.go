@@ -170,6 +170,49 @@ func TestExplainHealthStats(t *testing.T) {
 	}
 }
 
+// TestStatsShardCounters pins the /statsz sharding block: absent on an
+// unsharded engine, and populated with per-shard scan counters once a
+// sharded engine has served a CLOSED aggregate.
+func TestStatsShardCounters(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	if st, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	} else if st.Sharding != nil {
+		t.Errorf("unsharded /statsz reports sharding block %+v", st.Sharding)
+	}
+
+	opts := testOpts()
+	opts.Shards = 2
+	_, c = newTestServer(t, Config{DB: mosaic.Open(opts)})
+	if err := c.Exec(`
+		CREATE TABLE T (a INT);
+		INSERT INTO T VALUES (1), (2), (3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT COUNT(*), SUM(a) FROM T"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sharding == nil {
+		t.Fatal("sharded /statsz lacks the sharding block")
+	}
+	if st.Sharding.Shards != 2 || len(st.Sharding.Scans) != 2 || len(st.Sharding.Rows) != 2 {
+		t.Fatalf("sharding block = %+v, want 2 shards with 2 counter slots each", st.Sharding)
+	}
+	var scans, rows int64
+	for i := range st.Sharding.Scans {
+		scans += st.Sharding.Scans[i]
+		rows += st.Sharding.Rows[i]
+	}
+	if scans == 0 || rows != 3 {
+		t.Errorf("sharding counters scans=%d rows=%d, want scans>0 rows=3", scans, rows)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	_, c := newTestServer(t, Config{})
 	// Parse errors arrive as 400s before touching the engine.

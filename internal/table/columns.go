@@ -260,6 +260,62 @@ func clip[T any](v []T, n int) []T {
 	return v[:n:n]
 }
 
+// SliceRange returns an immutable view of rows [lo, hi) of the snapshot —
+// the contiguous range partition the sharded executor scans. lo must be a
+// multiple of 64 so the null bitmaps re-slice on word boundaries (no bit
+// shifting, no copying); hi is clamped to the snapshot length, and lo > hi
+// (a trailing empty shard) yields an empty view. The slice shares the
+// snapshot's dictionary and payload storage, but drops the parent-table
+// pointer: the shared code-vector cache assumes row 0 of the vector is row 0
+// of the table, which is false for any lo > 0, so sliced views always
+// compute code vectors directly.
+func (s *Snapshot) SliceRange(lo, hi int) *Snapshot {
+	if hi > len(s.rows) {
+		hi = len(s.rows)
+	}
+	if lo >= hi {
+		// Empty shard (bounds past the table): no payload, no bitmaps, and
+		// no alignment concern.
+		return &Snapshot{name: s.name, sc: s.sc, dict: s.dict, dictStrs: s.dictStrs,
+			cols: newColumns(s.sc)}
+	}
+	if lo%64 != 0 {
+		panic(fmt.Sprintf("table: SliceRange lo %d is not 64-aligned", lo))
+	}
+	out := &Snapshot{
+		name:     s.name,
+		sc:       s.sc,
+		rows:     s.rows[lo:hi],
+		wts:      s.wts[lo:hi],
+		dict:     s.dict,
+		dictStrs: s.dictStrs,
+	}
+	out.cols = make([]Column, len(s.cols))
+	for i := range s.cols {
+		c := &s.cols[i]
+		nc := Column{
+			Kind:   c.Kind,
+			Ints:   sliceRange(c.Ints, lo, hi),
+			Floats: sliceRange(c.Floats, lo, hi),
+			Bools:  sliceRange(c.Bools, lo, hi),
+			Codes:  sliceRange(c.Codes, lo, hi),
+		}
+		if c.Nulls != nil && lo/64 < len(c.Nulls) {
+			nc.Nulls = c.Nulls[lo/64:]
+		}
+		out.cols[i] = nc
+	}
+	return out
+}
+
+// sliceRange is clip for a sub-range (nil stays nil; hi is pre-clamped).
+func sliceRange[T any](v []T, lo, hi int) []T {
+	if v == nil {
+		return nil
+	}
+	return v[lo:hi:hi]
+}
+
 // Name returns the relation name.
 func (s *Snapshot) Name() string { return s.name }
 

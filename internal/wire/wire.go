@@ -68,6 +68,15 @@ type VisibilityStats struct {
 	Latency HistogramSnapshot `json:"latency"`
 }
 
+// ShardStats reports the engine's sharded-execution counters: how many
+// partial aggregate plans each range shard has served and how many rows each
+// scanned. Present only when the engine runs with Shards > 1.
+type ShardStats struct {
+	Shards int     `json:"shards"`
+	Scans  []int64 `json:"scans"` // per-shard partial-plan executions
+	Rows   []int64 `json:"rows"`  // per-shard rows scanned
+}
+
 // StatsResponse is the body of GET /statsz.
 type StatsResponse struct {
 	UptimeSecs       float64                    `json:"uptime_secs"`
@@ -82,6 +91,7 @@ type StatsResponse struct {
 	Snapshots        int64                      `json:"snapshots"`
 	LastSnapshotUnix int64                      `json:"last_snapshot_unix,omitempty"`
 	LastSnapshotSize int64                      `json:"last_snapshot_bytes,omitempty"`
+	Sharding         *ShardStats                `json:"sharding,omitempty"`
 }
 
 // EncodeValue converts a value.Value to its wire cell.

@@ -36,6 +36,14 @@
 // statically partitioned. Workers trades only wall-clock time, never answer
 // stability.
 //
+// Options.Shards adds in-process scatter-gather: CLOSED/SEMI-OPEN aggregate
+// queries scatter over Shards contiguous range partitions and gather their
+// mergeable partial states in shard order. Unlike Workers, Shards is part of
+// the answer contract: the shard merge reassociates float addition, so
+// answers are bit-identical across runs and Workers only for a fixed Shards
+// value, and Shards 0/1 is byte-identical to the unsharded engine. OPEN
+// queries always scan the unified view.
+//
 // # Quickstart
 //
 //	db := mosaic.Open(nil)
@@ -110,6 +118,16 @@ type Options struct {
 	// 0 (the default) means all cores — runtime.GOMAXPROCS(0); use 1 for the
 	// true serial path.
 	Workers int
+	// Shards range-partitions every table scan into this many contiguous
+	// slices and answers CLOSED/SEMI-OPEN aggregate queries by in-process
+	// scatter-gather: per-shard partial aggregate states merged in shard
+	// order. 0 or 1 (the default) disables sharding and is byte-identical to
+	// the unsharded engine. For a fixed Shards value answers are
+	// bit-identical across runs and Workers values; float aggregates may
+	// differ in low-order bits between different Shards values (the shard
+	// merge reassociates IEEE 754 addition), so Shards is part of the answer
+	// contract. OPEN queries always execute against the unified view.
+	Shards int
 	// SWG is the base generator configuration for OPEN queries.
 	SWG SWGConfig
 	// IPF tunes SEMI-OPEN fitting.
@@ -143,6 +161,7 @@ func Open(opts *Options) *DB {
 		GeneratedRows: o.GeneratedRows,
 		UnionSamples:  o.UnionSamples,
 		Workers:       o.Workers,
+		Shards:        o.Shards,
 		SWG:           o.SWG,
 		IPF:           o.IPF,
 		RowExec:       o.RowExec,

@@ -13,7 +13,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"mosaic"
 	"mosaic/internal/value"
@@ -22,8 +24,10 @@ import (
 
 // Client talks to one mosaic-serve base URL (e.g. "http://127.0.0.1:7171").
 type Client struct {
-	base string
-	http *http.Client
+	base     string
+	http     *http.Client
+	retry    *RetryPolicy // nil = no retries (see WithRetry)
+	priority string       // "" = server-derived default (see WithPriority)
 }
 
 // Option customizes a Client.
@@ -51,24 +55,42 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// RemoteError is a non-2xx answer from the server.
+// RemoteError is a non-2xx answer from the server. RetryAfter carries the
+// server's Retry-After hint on 503 shed/overload answers (0 when absent) —
+// the retry policy honors it, and callers implementing their own backoff
+// should too.
 type RemoteError struct {
 	StatusCode int
 	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("mosaic server: %d: %s", e.StatusCode, e.Message)
 }
 
+// do marshals body once and routes through the retry loop (a no-op unless
+// WithRetry is configured and the path is idempotent).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		raw, err = json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(raw)
+	}
+	return c.doRetry(ctx, method, path, raw, out)
+}
+
+// doOnce performs exactly one HTTP round trip. A context deadline propagates
+// to the server as X-Mosaic-Deadline-Ms (the remaining budget at send time),
+// so the server's admission controller can shed doomed work before
+// executing it.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -76,6 +98,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.priority != "" {
+		req.Header.Set("X-Mosaic-Priority", c.priority)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 0 {
+			ms = 0
+		}
+		req.Header.Set("X-Mosaic-Deadline-Ms", strconv.FormatInt(ms, 10))
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -87,11 +119,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		re := &RemoteError{StatusCode: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			re.RetryAfter = time.Duration(secs) * time.Second
+		}
 		var werr wire.ErrorResponse
 		if json.Unmarshal(raw, &werr) == nil && werr.Error != "" {
-			return &RemoteError{StatusCode: resp.StatusCode, Message: werr.Error}
+			re.Message = werr.Error
+		} else {
+			re.Message = strings.TrimSpace(string(raw))
 		}
-		return &RemoteError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		return re
 	}
 	if out == nil {
 		return nil
@@ -233,26 +271,42 @@ func (c *Client) ScalarContext(ctx context.Context, query string, params ...any)
 	return res.Rows[0][0].Float64()
 }
 
-// Explain asks the server how it would answer the query.
-func (c *Client) Explain(query string) (*mosaic.Result, error) {
+// ExplainContext asks the server how it would answer the query, bounded by
+// ctx (so a dead server cannot hang the caller forever).
+func (c *Client) ExplainContext(ctx context.Context, query string) (*mosaic.Result, error) {
 	var w wire.Result
 	path := "/v1/explain?q=" + url.QueryEscape(query)
-	if err := c.do(context.Background(), http.MethodGet, path, nil, &w); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &w); err != nil {
 		return nil, err
 	}
 	return wire.DecodeResult(&w)
 }
 
+// Explain asks the server how it would answer the query.
+func (c *Client) Explain(query string) (*mosaic.Result, error) {
+	return c.ExplainContext(context.Background(), query)
+}
+
+// HealthContext checks the server's liveness endpoint, bounded by ctx.
+func (c *Client) HealthContext(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
 // Health checks the server's liveness endpoint.
 func (c *Client) Health() error {
-	return c.do(context.Background(), http.MethodGet, "/healthz", nil, nil)
+	return c.HealthContext(context.Background())
+}
+
+// StatsContext fetches the server's /statsz counters, bounded by ctx.
+func (c *Client) StatsContext(ctx context.Context) (*wire.StatsResponse, error) {
+	var s wire.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }
 
 // Stats fetches the server's /statsz counters.
 func (c *Client) Stats() (*wire.StatsResponse, error) {
-	var s wire.StatsResponse
-	if err := c.do(context.Background(), http.MethodGet, "/statsz", nil, &s); err != nil {
-		return nil, err
-	}
-	return &s, nil
+	return c.StatsContext(context.Background())
 }

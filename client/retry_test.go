@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mosaic/internal/faulty"
+)
+
+// shedThenServe answers 503 + Retry-After for the first n requests to path,
+// then delegates to ok.
+func shedThenServe(n *atomic.Int64, retryAfter string, ok http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(-1) >= 0 {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		ok(w, r)
+	}
+}
+
+func TestRetryOn503HonorsRetryAfter(t *testing.T) {
+	var shedsLeft atomic.Int64
+	shedsLeft.Store(2)
+	var served atomic.Int64
+	ts := httptest.NewServer(shedThenServe(&shedsLeft, "1", func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxRetries: 3, BaseBackoff: time.Millisecond, Jitter: -1}))
+	start := time.Now()
+	if err := c.Health(); err != nil {
+		t.Fatalf("health after sheds: %v", err)
+	}
+	if served.Load() != 1 {
+		t.Errorf("server served %d, want 1", served.Load())
+	}
+	// Two sheds, each with Retry-After: 1 → at least ~2s of waiting: the
+	// server's hint overrode the millisecond backoff.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Errorf("retries took %s, want ≥ 2s (Retry-After ignored?)", elapsed)
+	}
+}
+
+func TestRetryOnTransportError(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	// Fail the first two attempts at the transport layer (connection reset
+	// before any byte); the third forwards.
+	httpc := &http.Client{Transport: failNTimes(2)}
+	c := New(ts.URL, WithHTTPClient(httpc), WithRetry(RetryPolicy{MaxRetries: 4, BaseBackoff: time.Millisecond, Jitter: -1}))
+	if err := c.Health(); err != nil {
+		t.Fatalf("health through resets: %v", err)
+	}
+	if served.Load() != 1 {
+		t.Errorf("server served %d, want 1", served.Load())
+	}
+}
+
+// failNTimes is a transport failing its first n round trips, then delegating
+// to the default transport.
+func failNTimes(n int64) http.RoundTripper {
+	var left atomic.Int64
+	left.Store(n)
+	return roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		if left.Add(-1) >= 0 {
+			return nil, faulty.ErrInjectedReset
+		}
+		return http.DefaultTransport.RoundTrip(req)
+	})
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestNeverRetriesExec(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxRetries: 5, BaseBackoff: time.Millisecond, Jitter: -1}))
+	if err := c.Exec("CREATE TABLE T (a INT)"); err == nil {
+		t.Fatal("exec against a shedding server should fail")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("/v1/exec was attempted %d times, want exactly 1 (scripts are not idempotent)", hits.Load())
+	}
+}
+
+func TestNoRetryOnClientErrorsOr504(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusGatewayTimeout} {
+		var hits atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"nope"}`))
+		}))
+		c := New(ts.URL, WithRetry(RetryPolicy{MaxRetries: 5, BaseBackoff: time.Millisecond, Jitter: -1}))
+		var re *RemoteError
+		if err := c.Health(); !errors.As(err, &re) || re.StatusCode != status {
+			t.Errorf("status %d: err = %v, want RemoteError", status, err)
+		}
+		if hits.Load() != 1 {
+			t.Errorf("status %d retried (%d attempts), want 1", status, hits.Load())
+		}
+		ts.Close()
+	}
+}
+
+func TestRetryBudgetCapsAttempts(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	// Budget 1s < the 2s Retry-After hint: exactly one attempt, no wait.
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxRetries: 10, Budget: time.Second, Jitter: -1}))
+	start := time.Now()
+	err := c.Health()
+	var re *RemoteError
+	if !errors.As(err, &re) || re.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 RemoteError", err)
+	}
+	if re.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %s, want 2s", re.RetryAfter)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (budget below the hinted wait)", hits.Load())
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("budget-capped call still waited %s", time.Since(start))
+	}
+}
+
+func TestNoRetryAfterContextCancel(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxRetries: 5, BaseBackoff: 10 * time.Second, Jitter: -1}))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := c.HealthContext(ctx); err == nil {
+		t.Fatal("cancelled health should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled retry loop ran %s", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry past cancellation)", hits.Load())
+	}
+}
+
+func TestDeadlineHeaderPropagates(t *testing.T) {
+	got := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- r.Header.Get("X-Mosaic-Deadline-Ms")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithPriority("interactive"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.HealthContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hdr := <-got
+	if hdr == "" {
+		t.Fatal("no X-Mosaic-Deadline-Ms header with a context deadline set")
+	}
+}
+
+func TestPriorityHeaderPropagates(t *testing.T) {
+	got := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- r.Header.Get("X-Mosaic-Priority")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+	if err := New(ts.URL, WithPriority("batch")).Health(); err != nil {
+		t.Fatal(err)
+	}
+	if hdr := <-got; hdr != "batch" {
+		t.Errorf("priority header = %q, want batch", hdr)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Jitter: -1}.withDefaults()
+	if w := p.backoff(0, 0); w != 100*time.Millisecond {
+		t.Errorf("attempt 0 wait = %s", w)
+	}
+	if w := p.backoff(2, 0); w != 400*time.Millisecond {
+		t.Errorf("attempt 2 wait = %s", w)
+	}
+	if w := p.backoff(10, 0); w != time.Second {
+		t.Errorf("attempt 10 wait = %s, want the 1s cap", w)
+	}
+	if w := p.backoff(0, 3*time.Second); w != 3*time.Second {
+		t.Errorf("hinted wait = %s, want the server's 3s", w)
+	}
+}

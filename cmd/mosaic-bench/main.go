@@ -45,6 +45,19 @@
 // fixed -seed regardless of -workers and -clients; the experiment verifies
 // every client's answers byte-for-byte against a single-threaded reference
 // and fails loudly on divergence.
+//
+// # Overload robustness
+//
+// The "overload" experiment serves the flights workload through a
+// deliberately undersized admission controller behind a flaky reverse proxy
+// (dropped and truncated connections), floods it with batch-class OPEN
+// queries, and verifies the QoS contract: interactive queries keep
+// completing inside their deadline, every shed request carries Retry-After,
+// zero-deadline requests are refused with zero engine work, and every
+// delivered answer — through faults and retries — is byte-identical to an
+// in-process reference engine:
+//
+//	mosaic-bench -exp overload
 package main
 
 import (
@@ -61,7 +74,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, overload, all)")
 	popN := flag.Int("pop", 50000, "population rows")
 	sampleN := flag.Int("sample", 10000, "spiral sample rows")
 	epochs := flag.Int("epochs", 25, "M-SWG training epochs")
@@ -140,12 +153,17 @@ func main() {
 				Flights: flights, Clients: clientCounts, QueriesPerClient: *queriesPerClient,
 			})
 		},
+		"overload": func() (fmt.Stringer, error) {
+			return bench.RunOverload(bench.OverloadConfig{
+				Flights: flights, QueriesPerClient: *queriesPerClient,
+			})
+		},
 		"exec": func() (fmt.Stringer, error) {
 			return bench.RunExecMicro(bench.ExecConfig{Rows: *rows, Seed: *seed, Workers: execWorkerCounts, Shards: execShardCounts})
 		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
-		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "exec"}
+		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "overload", "exec"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

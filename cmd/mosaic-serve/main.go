@@ -5,7 +5,9 @@
 // Usage:
 //
 //	mosaic-serve [-addr :7171] [-snapshot state.sql] [-snapshot-interval 30s]
-//	             [-max-concurrent 64] [-request-timeout 30s]
+//	             [-max-concurrent 64] [-batch-max-concurrent 32]
+//	             [-shed-margin 1.0] [-qos-config qos.json]
+//	             [-request-timeout 30s]
 //	             [-seed N] [-open-samples N] [-swg-epochs N] [-workers N]
 //	             [-shards N] [init.sql ...]
 //
@@ -21,10 +23,25 @@
 // request context), freeing its admission slot immediately. /statsz reports
 // these under "cancelled". Clients can also cancel early by dropping the
 // connection or using mosaic/client's *Context methods.
+//
+// # Quality of service
+//
+// Requests carry a priority class (X-Mosaic-Priority: interactive|batch;
+// queries default by visibility) and optionally a propagated deadline
+// (X-Mosaic-Deadline-Ms). -max-concurrent bounds total concurrency,
+// -batch-max-concurrent caps the batch class so it can never starve
+// interactive work, and -shed-margin scales the latency estimate used to
+// refuse doomed requests up front (503 + Retry-After).
+//
+// SIGHUP reloads the QoS limits live, without dropping in-flight requests:
+// with -qos-config the file ({"max_concurrent": N, "batch_max_concurrent":
+// N, "shed_margin": F}) is re-read; without it SIGHUP reapplies the
+// command-line values (a no-op, but confirms the handler in logs).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +61,9 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot file: restored on boot, rewritten on interval and shutdown")
 	snapshotInterval := flag.Duration("snapshot-interval", 30*time.Second, "background snapshot period")
 	maxConcurrent := flag.Int("max-concurrent", 64, "max concurrently executing requests (admission gate)")
+	batchMaxConcurrent := flag.Int("batch-max-concurrent", 0, "max concurrently executing batch-class requests; 0 = max-concurrent/2")
+	shedMargin := flag.Float64("shed-margin", 1.0, "shed a request when EWMA latency × margin exceeds its deadline budget; negative disables estimate-based shedding")
+	qosConfig := flag.String("qos-config", "", "JSON file with QoS limits, re-read on SIGHUP (overrides the QoS flags)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
@@ -60,13 +80,29 @@ func main() {
 		SWG:         mosaic.SWGConfig{Epochs: *epochs},
 	})
 
+	flagQoS := server.QoSConfig{
+		MaxConcurrent:      *maxConcurrent,
+		BatchMaxConcurrent: *batchMaxConcurrent,
+		ShedMargin:         *shedMargin,
+	}
+	bootQoS := flagQoS
+	if *qosConfig != "" {
+		q, err := loadQoS(*qosConfig, flagQoS)
+		if err != nil {
+			log.Fatalf("mosaic-serve: %v", err)
+		}
+		bootQoS = q
+	}
+
 	srv, err := server.New(server.Config{
-		DB:               db,
-		MaxConcurrent:    *maxConcurrent,
-		RequestTimeout:   *requestTimeout,
-		SnapshotPath:     *snapshot,
-		SnapshotInterval: *snapshotInterval,
-		Logf:             log.Printf,
+		DB:                 db,
+		MaxConcurrent:      bootQoS.MaxConcurrent,
+		BatchMaxConcurrent: bootQoS.BatchMaxConcurrent,
+		ShedMargin:         bootQoS.ShedMargin,
+		RequestTimeout:     *requestTimeout,
+		SnapshotPath:       *snapshot,
+		SnapshotInterval:   *snapshotInterval,
+		Logf:               log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("mosaic-serve: %v", err)
@@ -102,21 +138,56 @@ func main() {
 	}()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-done:
-		if err != nil {
-			log.Fatalf("mosaic-serve: %v", err)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				log.Fatalf("mosaic-serve: %v", err)
+			}
+			break loop
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Live QoS reload: in-flight requests are untouched; only
+				// new admissions see the swapped limits.
+				q := flagQoS
+				if *qosConfig != "" {
+					loaded, err := loadQoS(*qosConfig, flagQoS)
+					if err != nil {
+						log.Printf("SIGHUP: %v (keeping current limits)", err)
+						continue
+					}
+					q = loaded
+				}
+				srv.ApplyQoS(q)
+				log.Printf("SIGHUP: QoS limits reloaded")
+				continue
+			}
+			log.Printf("received %s, shutting down", s)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = httpSrv.Shutdown(ctx)
+			cancel()
+			break loop
 		}
-	case s := <-sig:
-		log.Printf("received %s, shutting down", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		_ = httpSrv.Shutdown(ctx)
-		cancel()
 	}
 	// Final snapshot (when configured): the restart-from-snapshot guarantee.
 	if err := srv.Close(); err != nil {
 		log.Fatalf("mosaic-serve: final snapshot: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "mosaic-serve: bye")
+}
+
+// loadQoS reads a QoS limits file, starting from the flag-derived defaults so
+// a partial file (e.g. only shed_margin) keeps the rest.
+func loadQoS(path string, base server.QoSConfig) (server.QoSConfig, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return base, fmt.Errorf("qos-config: %v", err)
+	}
+	q := base
+	if err := json.Unmarshal(src, &q); err != nil {
+		return base, fmt.Errorf("qos-config %s: %v", path, err)
+	}
+	return q, nil
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"mosaic/internal/sql"
+)
+
+// PlanCache is a bounded LRU of prepared queries keyed by query text. It is
+// the server-side half of the prepared-statement story: every client that
+// sends the same query text gets amortized parse + plan without holding a
+// Stmt handle, because the cache maps text → (parsed skeleton, PreparedQuery)
+// and the PreparedQuery re-resolves itself whenever the engine's DDL/DML
+// generation counter moves — so a cached plan can be stale-checked but never
+// stale-served. Entries are additionally keyed by engine identity: after a
+// Restore swaps engines, lookups against the new engine miss and re-prepare
+// (a PreparedQuery belongs to exactly one Engine).
+//
+// A PlanCache is safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// planEntry is one cached (text → skeleton + prepared plan) binding.
+type planEntry struct {
+	text string
+	eng  *Engine
+	sel  *sql.Select
+	pq   *PreparedQuery
+}
+
+// PlanCacheStats is a point-in-time snapshot of the cache counters.
+type PlanCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Size      int
+	Capacity  int
+}
+
+// NewPlanCache creates a cache holding at most capacity prepared queries
+// (capacity must be positive).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// Lookup returns the cached skeleton and prepared query for text against eng.
+// A hit requires the entry to belong to eng: entries surviving from a
+// pre-Restore engine are dropped and reported as misses.
+func (c *PlanCache) Lookup(eng *Engine, text string) (*sql.Select, *PreparedQuery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[text]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	ent := el.Value.(*planEntry)
+	if ent.eng != eng {
+		c.lru.Remove(el)
+		delete(c.entries, text)
+		c.misses++
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return ent.sel, ent.pq, true
+}
+
+// Store caches sel (already parsed from text) as a prepared query against
+// eng, evicting the least recently used entry when full, and returns the
+// PreparedQuery to execute. Resolution stays lazy: Store does no planning
+// work itself, the first execution (per DDL/DML generation) does.
+func (c *PlanCache) Store(eng *Engine, text string, sel *sql.Select) *PreparedQuery {
+	pq := eng.Prepare(sel)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[text]; ok {
+		// A concurrent Store beat us; keep the winner, refresh staleness.
+		ent := el.Value.(*planEntry)
+		if ent.eng == eng {
+			c.lru.MoveToFront(el)
+			return ent.pq
+		}
+		ent.eng, ent.sel, ent.pq = eng, sel, pq
+		c.lru.MoveToFront(el)
+		return pq
+	}
+	for c.lru.Len() >= c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*planEntry).text)
+		c.evictions++
+	}
+	c.entries[text] = c.lru.PushFront(&planEntry{text: text, eng: eng, sel: sel, pq: pq})
+	return pq
+}
+
+// Stats snapshots the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Capacity:  c.cap,
+	}
+}

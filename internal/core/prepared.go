@@ -73,12 +73,12 @@ func (e *Engine) QueryPrepared(ctx context.Context, pq *PreparedQuery, bound *sq
 		if bound.Visibility == sql.VisibilitySemiOpen || bound.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; %q is an auxiliary table", bound.Visibility, bound.From)
 		}
-		return exec.RunContext(ctx, pq.tbl, bound, exec.Options{Weighted: false, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, pq.tbl, bound, e.execOpts(false, nil))
 	case "sample":
 		if bound.Visibility == sql.VisibilitySemiOpen || bound.Visibility == sql.VisibilityOpen {
 			return nil, fmt.Errorf("core: %s queries apply to populations; query the population %q was sampled from", bound.Visibility, bound.From)
 		}
-		return exec.RunContext(ctx, pq.smp.Table, bound, exec.Options{Weighted: true, ForceRow: e.opts.RowExec})
+		return exec.RunContext(ctx, pq.smp.Table, bound, e.execOpts(true, nil))
 	default: // population
 		// Star expansion depends only on the item shapes, which binding
 		// preserves, so expanding the bound statement matches the skeleton.

@@ -1,0 +1,228 @@
+// Package faulty provides deterministic fault injection for robustness
+// testing of the serving path: a failing/latency-injecting http.RoundTripper
+// for client-side tests, and a flaky TCP reverse proxy that drops, delays,
+// and truncates responses for end-to-end harnesses (the overload
+// experiment). All fault schedules are counter-based — "every Nth request" —
+// so tests are exactly reproducible: no RNG, no timing races in the
+// fault decisions themselves.
+package faulty
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is the transport error injected by RoundTripper: it
+// mimics a connection reset before any response byte arrived, the failure
+// mode a retrying client must treat as "request may never have reached the
+// server".
+var ErrInjectedReset = errors.New("faulty: injected connection reset")
+
+// RoundTripper wraps a base transport, deterministically failing every Nth
+// request and/or delaying every forwarded one. The zero value forwards
+// everything unchanged through http.DefaultTransport.
+type RoundTripper struct {
+	// Base is the wrapped transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// FailEvery injects ErrInjectedReset on request numbers n where
+	// n % FailEvery == 0 (1-indexed). 0 disables failures; 1 fails every
+	// request.
+	FailEvery int
+	// Latency is added before every forwarded request.
+	Latency time.Duration
+
+	n atomic.Int64 // requests seen
+
+	// Failed counts injected failures, Forwarded successful hand-offs.
+	Failed    atomic.Int64
+	Forwarded atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := rt.n.Add(1)
+	if rt.FailEvery > 0 && n%int64(rt.FailEvery) == 0 {
+		rt.Failed.Add(1)
+		// Drain and close the body like a real transport would on failure.
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	}
+	if rt.Latency > 0 {
+		select {
+		case <-time.After(rt.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	rt.Forwarded.Add(1)
+	return base.RoundTrip(req)
+}
+
+// Proxy is a flaky TCP reverse proxy in front of Target. Per accepted
+// connection (1-indexed counter, deterministic):
+//
+//   - every DropEvery-th connection is closed immediately (connection
+//     reset from the client's point of view);
+//   - every TruncateEvery-th connection forwards only TruncateBytes of the
+//     server's response bytes, then closes (a cut-off mid-body);
+//   - every connection's server→client bytes are delayed by Delay.
+//
+// Drop and truncate schedules are independent; a connection matching both
+// drops. HTTP keep-alive means one connection can carry several requests —
+// a truncated or dropped connection surfaces to the client as a transport
+// error on whichever request was in flight, exactly the failure a retry
+// policy must absorb.
+type Proxy struct {
+	// Target is the backend address ("127.0.0.1:port"). Required.
+	Target string
+	// DropEvery drops every Nth accepted connection (0 = never).
+	DropEvery int
+	// TruncateEvery truncates the response stream of every Nth accepted
+	// connection after TruncateBytes bytes (0 = never).
+	TruncateEvery int
+	// TruncateBytes is the response byte budget of a truncated connection.
+	// Default 64.
+	TruncateBytes int
+	// Delay postpones server→client bytes per connection.
+	Delay time.Duration
+
+	ln     net.Listener
+	n      atomic.Int64 // connections accepted
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // live client+backend conns, closed by Close
+
+	// Dropped and Truncated count injected connection faults.
+	Dropped   atomic.Int64
+	Truncated atomic.Int64
+}
+
+// Start listens on a loopback port and begins proxying. It returns the
+// address clients should dial.
+func (p *Proxy) Start() (string, error) {
+	if p.Target == "" {
+		return "", fmt.Errorf("faulty: Proxy.Target is required")
+	}
+	if p.TruncateBytes <= 0 {
+		p.TruncateBytes = 64
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	p.ln = ln
+	p.conns = make(map[net.Conn]struct{})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting, severs live connections (idle keep-alive
+// connections would otherwise pin the proxy until a transport timeout), and
+// waits for the forwarding goroutines to unwind.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	if p.ln != nil {
+		_ = p.ln.Close()
+	}
+	p.connMu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.connMu.Unlock()
+	p.wg.Wait()
+}
+
+// track registers c for force-close on Close; untrack forgets it.
+func (p *Proxy) track(c net.Conn) {
+	p.connMu.Lock()
+	p.conns[c] = struct{}{}
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.n.Add(1)
+		if p.DropEvery > 0 && n%int64(p.DropEvery) == 0 {
+			p.Dropped.Add(1)
+			_ = conn.Close()
+			continue
+		}
+		truncate := p.TruncateEvery > 0 && n%int64(p.TruncateEvery) == 0
+		p.wg.Add(1)
+		go p.serve(conn, truncate)
+	}
+}
+
+func (p *Proxy) serve(client net.Conn, truncate bool) {
+	defer p.wg.Done()
+	p.track(client)
+	defer p.untrack(client)
+	defer client.Close()
+	backend, err := net.Dial("tcp", p.Target)
+	if err != nil {
+		return
+	}
+	p.track(backend)
+	defer p.untrack(backend)
+	defer backend.Close()
+	done := make(chan struct{}, 2)
+	// client → backend: forwarded verbatim.
+	go func() {
+		_, _ = io.Copy(backend, client)
+		// Half-close so the backend sees EOF on its read side.
+		if tc, ok := backend.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	// backend → client: optionally delayed and truncated.
+	go func() {
+		if p.Delay > 0 {
+			time.Sleep(p.Delay)
+		}
+		if truncate {
+			_, _ = io.CopyN(client, backend, int64(p.TruncateBytes))
+			p.Truncated.Add(1)
+			// Cut the connection mid-response: the client sees an
+			// unexpected EOF / reset on the in-flight request.
+			_ = client.Close()
+			_ = backend.Close()
+		} else {
+			_, _ = io.Copy(client, backend)
+			if tc, ok := client.(*net.TCPConn); ok {
+				_ = tc.CloseWrite()
+			}
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,107 @@
+package faulty
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripperFailsEveryNth(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	rt := &RoundTripper{FailEvery: 3}
+	c := &http.Client{Transport: rt}
+	var failed, okCount int
+	for i := 0; i < 9; i++ {
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			if !errors.Is(err, ErrInjectedReset) {
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			failed++
+			continue
+		}
+		resp.Body.Close()
+		okCount++
+	}
+	if failed != 3 || okCount != 6 {
+		t.Errorf("failed=%d ok=%d, want 3/6 (deterministic every-3rd schedule)", failed, okCount)
+	}
+	if rt.Failed.Load() != 3 || rt.Forwarded.Load() != 6 {
+		t.Errorf("counters failed=%d forwarded=%d, want 3/6", rt.Failed.Load(), rt.Forwarded.Load())
+	}
+}
+
+func TestProxyDropsAndTruncatesDeterministically(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 4096))
+	}))
+	defer ts.Close()
+	p := &Proxy{
+		Target:        strings.TrimPrefix(ts.URL, "http://"),
+		DropEvery:     4,
+		TruncateEvery: 3,
+	}
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var transportErrs, okCount int
+	for i := 0; i < 12; i++ {
+		// One connection per request: disable keep-alive so the per-connection
+		// fault schedule maps 1:1 onto requests.
+		c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+		resp, err := c.Get("http://" + addr)
+		if err != nil {
+			transportErrs++
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || len(body) != 4096 {
+			transportErrs++
+			continue
+		}
+		okCount++
+	}
+	// Connections 3,6,9,12 truncate; 4,8,12 drop (12 matches both → drop
+	// takes precedence). 6 faulted connections, 6 clean.
+	if p.Dropped.Load() != 3 {
+		t.Errorf("dropped = %d, want 3", p.Dropped.Load())
+	}
+	if p.Truncated.Load() != 3 {
+		t.Errorf("truncated = %d, want 3", p.Truncated.Load())
+	}
+	if okCount != 6 || transportErrs != 6 {
+		t.Errorf("ok=%d errs=%d, want 6/6", okCount, transportErrs)
+	}
+}
+
+func TestProxyForwardsCleanlyWithoutFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(w, r.Body)
+	}))
+	defer ts.Close()
+	p := &Proxy{Target: strings.TrimPrefix(ts.URL, "http://")}
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	resp, err := http.Post("http://"+addr, "text/plain", strings.NewReader("echo me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "echo me" {
+		t.Errorf("proxied echo = %q", body)
+	}
+}

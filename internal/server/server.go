@@ -5,17 +5,37 @@
 //	POST /v1/exec    {"script": "CREATE ...;"}  → {"results": [null | result, ...]}
 //	GET  /v1/explain?q=SELECT ...               → plan description result
 //	GET  /healthz                               → liveness
-//	GET  /statsz                                → per-visibility counters + latency histograms
+//	GET  /statsz                                → per-visibility and per-class counters + latency histograms
 //
-// Every /v1 request passes a configurable admission gate (at most
-// MaxConcurrent requests execute at once; the rest wait, then 503) and a
-// per-request timeout (504). The request context threads into the engine, so
-// a timed-out or client-cancelled request actually aborts the server-side
-// work — M-SWG training, OPEN replicate generation, IPF fitting, and
-// executor scans all checkpoint the context — and the admission slot frees
-// as soon as the engine unwinds (/statsz counts these under "cancelled").
-// Values travel in the exact wire encoding of internal/wire, so a client
-// decodes answers byte-for-byte identical to an in-process engine's.
+// Every /v1 request passes a priority-aware admission controller before any
+// work starts. Requests carry a priority class (X-Mosaic-Priority:
+// interactive|batch; queries default by visibility — OPEN is batch,
+// everything else interactive) and optionally a propagated client deadline
+// (X-Mosaic-Deadline-Ms), intersected with RequestTimeout. The controller:
+//
+//   - sheds work it cannot finish — budget already spent, or the per-class
+//     EWMA latency estimate exceeds the remaining budget — with
+//     503 + Retry-After BEFORE execution starts (zero engine work);
+//   - bounds per-class concurrency (batch can never occupy every slot) and
+//     hands freed slots to interactive waiters first;
+//   - answers 503 + Retry-After when no slot frees within the deadline, and
+//     504 when an admitted request exceeds it mid-execution.
+//
+// Every rejection is a distinct counter in /statsz, split by class. The
+// request context threads into the engine, so a timed-out or
+// client-cancelled request actually aborts the server-side work — M-SWG
+// training, OPEN replicate generation, IPF fitting, and executor scans all
+// checkpoint the context — and the admission slot frees as soon as the
+// engine unwinds (/statsz counts these under "cancelled").
+//
+// A bounded LRU plan cache keyed by query text gives every client amortized
+// parse + plan without holding a Stmt: cached plans self-invalidate via the
+// engine's DDL/DML generation counter, so a hit is never stale. Values
+// travel in the exact wire encoding of internal/wire, so a client decodes
+// answers byte-for-byte identical to an in-process engine's.
+//
+// The admission limits and shed threshold reload at runtime (ApplyQoS —
+// mosaic-serve wires it to SIGHUP) without dropping in-flight requests.
 //
 // When SnapshotPath is set the server restores it on boot (if present),
 // rewrites it atomically every SnapshotInterval, and again on Close — the
@@ -25,13 +45,19 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mosaic"
+	"mosaic/internal/core"
+	"mosaic/internal/exec"
 	"mosaic/internal/sql"
 	"mosaic/internal/wire"
 )
@@ -43,11 +69,24 @@ type Config struct {
 	// MaxConcurrent bounds the number of /v1 requests executing at once;
 	// excess requests wait for a slot until their timeout. Default 64.
 	MaxConcurrent int
-	// RequestTimeout bounds each /v1 request (admission wait + execution).
-	// Default 30s.
+	// BatchMaxConcurrent bounds concurrently executing batch-class requests
+	// (OPEN queries, exec scripts) so batch work can never occupy every
+	// slot. Default max(1, MaxConcurrent/2); clamped below MaxConcurrent.
+	BatchMaxConcurrent int
+	// ShedMargin scales the per-class EWMA latency estimate when deciding
+	// whether a request's deadline is worth admitting: the request is shed
+	// (503 + Retry-After, before any engine work) when estimate×margin
+	// exceeds its remaining budget. Default 1.0; negative disables
+	// estimate-based shedding (already-expired deadlines still shed).
+	ShedMargin float64
+	// RequestTimeout bounds each /v1 request (admission wait + execution),
+	// intersected with any client-propagated X-Mosaic-Deadline-Ms. Default 30s.
 	RequestTimeout time.Duration
-	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	// MaxBodyBytes bounds request bodies (413 beyond it). Default 8 MiB.
 	MaxBodyBytes int64
+	// PlanCacheSize bounds the server-side prepared-plan cache (distinct
+	// query texts). Default 256; negative disables the cache.
+	PlanCacheSize int
 	// SnapshotPath, when non-empty, enables persistence: restored on boot,
 	// written atomically every SnapshotInterval and on Close.
 	SnapshotPath string
@@ -68,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
 	if c.SnapshotInterval <= 0 {
 		c.SnapshotInterval = 30 * time.Second
 	}
@@ -77,13 +119,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// qos extracts the live-reloadable slice of the configuration.
+func (c Config) qos() QoSConfig {
+	return QoSConfig{
+		MaxConcurrent:      c.MaxConcurrent,
+		BatchMaxConcurrent: c.BatchMaxConcurrent,
+		ShedMargin:         c.ShedMargin,
+	}.withDefaults()
+}
+
 // Server is the HTTP front end of one mosaic.DB.
 type Server struct {
 	cfg   Config
 	db    *mosaic.DB
 	stats *stats
-	gate  chan struct{}
+	adm   *admission
+	plans *core.PlanCache // nil when disabled
 	mux   *http.ServeMux
+
+	qosMu      sync.Mutex
+	qosCur     QoSConfig
+	shedMargin atomic64f
 
 	stopOnce sync.Once
 	stopSnap chan struct{}
@@ -92,6 +148,13 @@ type Server struct {
 
 	restored bool // a boot snapshot was loaded
 }
+
+// atomic64f is a float64 stored in a uint64 atomic (the shed margin is read
+// on every request and swapped by ApplyQoS).
+type atomic64f struct{ bits atomic.Uint64 }
+
+func (a *atomic64f) store(f float64) { a.bits.Store(math.Float64bits(f)) }
+func (a *atomic64f) load() float64   { return math.Float64frombits(a.bits.Load()) }
 
 // Restored reports whether New loaded an existing snapshot on boot. Callers
 // that seed a fresh instance (e.g. mosaic-serve's positional init scripts)
@@ -105,13 +168,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("server: Config.DB is required")
 	}
+	qos := cfg.qos()
 	s := &Server{
 		cfg:      cfg,
 		db:       cfg.DB,
 		stats:    newStats(),
-		gate:     make(chan struct{}, cfg.MaxConcurrent),
+		adm:      newAdmission(qos),
 		mux:      http.NewServeMux(),
+		qosCur:   qos,
 		stopSnap: make(chan struct{}),
+	}
+	s.shedMargin.store(qos.ShedMargin)
+	if cfg.PlanCacheSize > 0 {
+		s.plans = core.NewPlanCache(cfg.PlanCacheSize)
 	}
 	if cfg.SnapshotPath != "" {
 		if _, err := os.Stat(cfg.SnapshotPath); err == nil {
@@ -136,6 +205,28 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// ApplyQoS swaps the admission limits and shed threshold at runtime without
+// dropping in-flight requests: work already admitted runs to completion, a
+// raised limit wakes waiters immediately, a lowered one only throttles new
+// admissions. mosaic-serve calls this on SIGHUP.
+func (s *Server) ApplyQoS(q QoSConfig) {
+	q = q.withDefaults()
+	s.qosMu.Lock()
+	s.qosCur = q
+	s.qosMu.Unlock()
+	s.shedMargin.store(q.ShedMargin)
+	s.adm.setLimits(q)
+	s.cfg.Logf("qos: max_concurrent=%d batch_max_concurrent=%d shed_margin=%g",
+		q.MaxConcurrent, q.BatchMaxConcurrent, q.ShedMargin)
+}
+
+// QoS returns the currently effective admission configuration.
+func (s *Server) QoS() QoSConfig {
+	s.qosMu.Lock()
+	defer s.qosMu.Unlock()
+	return s.qosCur
+}
 
 // Close stops the snapshot loop and writes a final snapshot (when
 // persistence is configured).
@@ -182,26 +273,6 @@ func (s *Server) snapshotLoop() {
 	}
 }
 
-// admit reserves an execution slot, waiting until the request context
-// expires. It reports whether the slot was granted; the caller must release
-// on true.
-func (s *Server) admit(ctx context.Context) bool {
-	select {
-	case s.gate <- struct{}{}:
-		return true
-	default:
-	}
-	select {
-	case s.gate <- struct{}{}:
-		return true
-	case <-ctx.Done():
-		s.stats.rejected.Add(1)
-		return false
-	}
-}
-
-func (s *Server) release() { <-s.gate }
-
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -212,33 +283,88 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// run executes fn under the admission gate and the per-request timeout,
-// answering 503 (never admitted) or 504 (admitted but over deadline). The
-// request context (bounded by RequestTimeout) is handed to fn, which must
-// pass it into the engine: on 504 the statement is cancelled server-side —
-// the engine unwinds at its next checkpoint, the admission slot frees, and
-// no work keeps burning CPU for an answer nobody will read.
-func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, int)) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	if !s.admit(ctx) {
-		writeError(w, http.StatusServiceUnavailable, "server overloaded: no slot within timeout")
+// retryAfterSecs derives the Retry-After hint from the class's latency
+// estimate: roughly one expected request duration, at least one second.
+func (s *Server) retryAfterSecs(cl class) int {
+	secs := int(math.Ceil(s.stats.classes[cl].estimate().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeUnavailable answers 503 with a Retry-After hint — the contract for
+// both shed (deadline unmeetable) and rejected (no slot) outcomes.
+func (s *Server) writeUnavailable(w http.ResponseWriter, cl class, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(cl)))
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// run executes fn for priority class cl under the admission controller and
+// the per-request deadline (RequestTimeout intersected with any propagated
+// X-Mosaic-Deadline-Ms). Outcomes:
+//
+//	503 + Retry-After — shed before any work: the budget is already spent,
+//	                    or the class's EWMA latency estimate says the
+//	                    deadline cannot be met;
+//	503 + Retry-After — no slot freed within the deadline;
+//	504               — admitted but the deadline expired mid-execution; the
+//	                    statement is cancelled server-side (the engine
+//	                    unwinds at its next checkpoint and the slot frees).
+//
+// fn receives the request context and must pass it into the engine.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, cl class, fn func(ctx context.Context) (any, int)) {
+	timeout := s.cfg.RequestTimeout
+	budget, ok, err := deadlineFromHeader(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if ok {
+		if budget <= 0 {
+			s.stats.recordShed(cl)
+			s.writeUnavailable(w, cl, "deadline already expired (budget %s); shed before execution", budget)
+			return
+		}
+		if budget < timeout {
+			timeout = budget
+		}
+	}
+	// Estimate-based shedding: admitting work whose deadline the recent
+	// latency EWMA says cannot be met only burns CPU toward a guaranteed
+	// 504 — refuse it up front instead, with a Retry-After hint.
+	if margin := s.shedMargin.load(); margin > 0 {
+		if est := s.stats.classes[cl].estimate(); est > 0 && time.Duration(float64(est)*margin) > timeout {
+			s.stats.recordShed(cl)
+			s.writeUnavailable(w, cl, "%s budget %s below the estimated latency %s; shed before execution",
+				cl, timeout.Round(time.Millisecond), est.Round(time.Millisecond))
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if !s.adm.acquire(ctx, cl) {
+		s.stats.recordRejected(cl)
+		s.writeUnavailable(w, cl, "server overloaded: no %s slot within %s", cl, timeout)
+		return
+	}
+	s.stats.classes[cl].admitted.Add(1)
 	s.stats.inflight.Add(1)
+	start := time.Now()
 	type outcome struct {
 		body   any
 		status int
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		defer s.release()
+		defer s.adm.release(cl)
 		defer s.stats.inflight.Add(-1)
 		body, status := fn(ctx)
 		done <- outcome{body, status}
 	}()
 	select {
 	case out := <-done:
+		s.stats.classes[cl].observe(time.Since(start))
 		if out.status >= 400 {
 			if msg, ok := out.body.(string); ok {
 				writeError(w, out.status, "%s", msg)
@@ -247,9 +373,46 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func(ctx context
 		}
 		writeJSON(w, out.status, out.body)
 	case <-ctx.Done():
-		s.stats.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request exceeded %s (the statement was cancelled server-side)", s.cfg.RequestTimeout)
+		// The class estimate must reflect expiries too, or a saturated
+		// class keeps a rosy EWMA and the shedder never engages.
+		s.stats.classes[cl].observe(time.Since(start))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.stats.recordTimeout(cl)
+			writeError(w, http.StatusGatewayTimeout, "request exceeded %s (the statement was cancelled server-side)", timeout)
+			return
+		}
+		// Client went away: nobody reads the response; the engine-side
+		// unwinding records the cancellation (recordQuery/recordCancelled).
+		writeError(w, http.StatusServiceUnavailable, "client cancelled")
 	}
+}
+
+// decodeBody decodes a JSON request body under the MaxBodyBytes cap,
+// answering 413 for oversized bodies and 400 for malformed ones. It reports
+// whether decoding succeeded; on false the response has been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// classForVisibility derives the default priority class of a query: OPEN
+// queries train and sample generative models — batch; CLOSED and SEMI-OPEN
+// answer from stored samples — interactive.
+func classForVisibility(vis sql.Visibility) class {
+	if vis == sql.VisibilityOpen {
+		return classBatch
+	}
+	return classInteractive
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -258,15 +421,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req wire.QueryRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	sel, err := sql.ParseQuery(req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+	// Plan-cache lookup before parsing: a hit skips parse + plan entirely
+	// (the PreparedQuery re-resolves itself if DDL/DML moved the generation
+	// counter, so hits are never stale).
+	eng := s.db.Engine()
+	var sel *sql.Select
+	var pq *core.PreparedQuery
+	if s.plans != nil {
+		sel, pq, _ = s.plans.Lookup(eng, req.Query)
+	}
+	if sel == nil {
+		parsed, err := sql.ParseQuery(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		sel = parsed
+		if s.plans != nil {
+			pq = s.plans.Store(eng, req.Query, sel)
+		}
 	}
 	params, err := wire.DecodeValues(req.Params)
 	if err != nil {
@@ -279,14 +455,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	vis := bound.Visibility
-	s.run(w, r, func(ctx context.Context) (any, int) {
+	cl, err := classFromHeader(r, classForVisibility(vis))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.run(w, r, cl, func(ctx context.Context) (any, int) {
 		start := time.Now()
 		// Query the engine with the already-parsed statement (db.Query would
-		// re-parse the string).
-		res, err := s.db.Engine().QueryContext(ctx, bound)
-		s.stats.recordQuery(vis, time.Since(start), err)
-		if err != nil {
-			return err.Error(), http.StatusUnprocessableEntity
+		// re-parse the string); through the prepared plan when cached.
+		var res *exec.Result
+		var qerr error
+		if pq != nil {
+			res, qerr = eng.QueryPrepared(ctx, pq, bound)
+		} else {
+			res, qerr = eng.QueryContext(ctx, bound)
+		}
+		s.stats.recordQuery(vis, time.Since(start), qerr)
+		if qerr != nil {
+			return qerr.Error(), http.StatusUnprocessableEntity
 		}
 		return wire.EncodeResult(res), http.StatusOK
 	})
@@ -298,12 +485,17 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req wire.ExecRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	s.run(w, r, func(ctx context.Context) (any, int) {
+	// Scripts can carry arbitrary DDL/DML and heavy SELECTs: batch class
+	// unless the client says otherwise.
+	cl, err := classFromHeader(r, classBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.run(w, r, cl, func(ctx context.Context) (any, int) {
 		s.stats.execs.Add(1)
 		results, err := s.db.RunContext(ctx, req.Script)
 		if err != nil {
@@ -333,7 +525,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.run(w, r, func(ctx context.Context) (any, int) {
+	cl, err := classFromHeader(r, classInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.run(w, r, cl, func(ctx context.Context) (any, int) {
 		_ = ctx // EXPLAIN plans without executing; nothing long-running to cancel
 		s.stats.explains.Add(1)
 		res, err := s.db.Engine().Explain(sel)
@@ -352,7 +549,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	out := s.stats.snapshot()
+	out := s.stats.snapshot(s.adm, s.plans)
 	// Per-shard scan counters live on the engine (the server has no view of
 	// scatter-gather execution); merge them in when sharding is on.
 	if eng := s.db.Engine(); eng.Shards() > 1 {

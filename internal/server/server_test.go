@@ -235,18 +235,24 @@ func TestAdmissionGateRejectsWhenSaturated(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Saturate the single slot out-of-band.
-	if !s.admit(context.Background()) {
+	if !s.adm.acquire(context.Background(), classInteractive) {
 		t.Fatal("could not take the only slot")
 	}
-	defer s.release()
+	defer s.adm.release(classInteractive)
 	_, err := c.Query("SELECT COUNT(*) FROM T")
 	re, ok := err.(*client.RemoteError)
 	if !ok || re.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated query = %v, want 503 RemoteError", err)
 	}
+	if re.RetryAfter <= 0 {
+		t.Errorf("503 without Retry-After hint: %+v", re)
+	}
 	st, _ := c.Stats()
 	if st.Rejected == 0 {
 		t.Error("Rejected counter did not move")
+	}
+	if st.Classes["interactive"].Rejected == 0 {
+		t.Error("per-class Rejected counter did not move")
 	}
 }
 
@@ -254,7 +260,7 @@ func TestRequestTimeoutAnswers504(t *testing.T) {
 	s, _ := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodGet, "/x", nil)
-	s.run(rec, req, func(context.Context) (any, int) {
+	s.run(rec, req, classInteractive, func(context.Context) (any, int) {
 		time.Sleep(300 * time.Millisecond)
 		return "late", http.StatusOK
 	})

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mosaic/internal/core"
 	"mosaic/internal/sql"
 	"mosaic/internal/wire"
 )
@@ -59,21 +60,60 @@ func (h *histogram) snapshot() wire.HistogramSnapshot {
 	return out
 }
 
-// stats aggregates per-visibility query counters and latency histograms plus
-// whole-server request accounting.
+// ewmaAlphaInv is the inverse smoothing factor of the per-class latency
+// EWMA (α = 1/8): slow enough that one outlier does not trip the shedder,
+// fast enough to track a saturation within a handful of requests.
+const ewmaAlphaInv = 8
+
+// classStats aggregates one priority class's admission counters, latency
+// histogram, and the EWMA latency estimate the shedder consults.
+type classStats struct {
+	admitted atomic.Int64 // granted an execution slot
+	shed     atomic.Int64 // refused up front: deadline unmeetable (503 + Retry-After)
+	rejected atomic.Int64 // no slot within the deadline (503 + Retry-After)
+	timeouts atomic.Int64 // admitted but deadline expired mid-execution (504)
+	ewmaNs   atomic.Int64 // EWMA of completed-request latency
+	latency  histogram
+}
+
+// observe records one completed request's latency into the histogram and the
+// EWMA estimate.
+func (cs *classStats) observe(d time.Duration) {
+	cs.latency.observe(d)
+	for {
+		old := cs.ewmaNs.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/ewmaAlphaInv
+		}
+		if cs.ewmaNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// estimate returns the current EWMA latency estimate (0 = no data yet).
+func (cs *classStats) estimate() time.Duration {
+	return time.Duration(cs.ewmaNs.Load())
+}
+
+// stats aggregates per-visibility query counters, per-class admission
+// accounting, and whole-server request accounting.
 type stats struct {
 	started time.Time
 
-	queries  [4]atomic.Int64 // indexed by sql.Visibility
-	errors   atomic.Int64
-	execs    atomic.Int64
-	explains atomic.Int64
-	rejected  atomic.Int64 // admission-gate rejections
-	timeouts  atomic.Int64 // per-request deadline expiries
+	queries   [4]atomic.Int64 // indexed by sql.Visibility
+	errors    atomic.Int64
+	execs     atomic.Int64
+	explains  atomic.Int64
+	rejected  atomic.Int64 // admission-gate rejections (all classes)
+	shed      atomic.Int64 // deadline-unmeetable sheds (all classes)
+	timeouts  atomic.Int64 // per-request deadline expiries (all classes)
 	cancelled atomic.Int64 // engine calls aborted by context cancellation
 	inflight  atomic.Int64
 
 	latency [4]histogram // per visibility
+	classes [numClasses]classStats
 
 	snapshots        atomic.Int64
 	lastSnapshotUnix atomic.Int64
@@ -103,11 +143,29 @@ func (s *stats) recordCancelled(err error) {
 	}
 }
 
+// recordShed counts one up-front shed for cl.
+func (s *stats) recordShed(cl class) {
+	s.shed.Add(1)
+	s.classes[cl].shed.Add(1)
+}
+
+// recordRejected counts one admission-gate rejection for cl.
+func (s *stats) recordRejected(cl class) {
+	s.rejected.Add(1)
+	s.classes[cl].rejected.Add(1)
+}
+
+// recordTimeout counts one mid-execution deadline expiry for cl.
+func (s *stats) recordTimeout(cl class) {
+	s.timeouts.Add(1)
+	s.classes[cl].timeouts.Add(1)
+}
+
 func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (s *stats) snapshot() wire.StatsResponse {
+func (s *stats) snapshot(adm *admission, plans *core.PlanCache) wire.StatsResponse {
 	out := wire.StatsResponse{
 		UptimeSecs:       time.Since(s.started).Seconds(),
 		Inflight:         s.inflight.Load(),
@@ -115,9 +173,11 @@ func (s *stats) snapshot() wire.StatsResponse {
 		Explains:         s.explains.Load(),
 		QueryErrors:      s.errors.Load(),
 		Rejected:         s.rejected.Load(),
+		Shed:             s.shed.Load(),
 		Timeouts:         s.timeouts.Load(),
 		Cancelled:        s.cancelled.Load(),
 		Visibilities:     make(map[string]wire.VisibilityStats, 4),
+		Classes:          make(map[string]wire.ClassStats, numClasses),
 		Snapshots:        s.snapshots.Load(),
 		LastSnapshotUnix: s.lastSnapshotUnix.Load(),
 		LastSnapshotSize: s.lastSnapshotSize.Load(),
@@ -127,6 +187,29 @@ func (s *stats) snapshot() wire.StatsResponse {
 		out.Visibilities[name] = wire.VisibilityStats{
 			Queries: s.queries[vis].Load(),
 			Latency: s.latency[vis].snapshot(),
+		}
+	}
+	for cl := classInteractive; cl < numClasses; cl++ {
+		cs := &s.classes[cl]
+		out.Classes[cl.String()] = wire.ClassStats{
+			Admitted:   cs.admitted.Load(),
+			Shed:       cs.shed.Load(),
+			Rejected:   cs.rejected.Load(),
+			Timeouts:   cs.timeouts.Load(),
+			Inflight:   int64(adm.inflightCount(cl)),
+			QueueDepth: int64(adm.queueDepth(cl)),
+			EWMAMs:     float64(cs.ewmaNs.Load()) / 1e6,
+			Latency:    cs.latency.snapshot(),
+		}
+	}
+	if plans != nil {
+		ps := plans.Stats()
+		out.PlanCache = &wire.PlanCacheStats{
+			Hits:      ps.Hits,
+			Misses:    ps.Misses,
+			Evictions: ps.Evictions,
+			Size:      ps.Size,
+			Capacity:  ps.Capacity,
 		}
 	}
 	return out

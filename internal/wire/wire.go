@@ -68,6 +68,33 @@ type VisibilityStats struct {
 	Latency HistogramSnapshot `json:"latency"`
 }
 
+// ClassStats is one priority class's admission accounting in /statsz. The
+// serving layer splits every counter by class (interactive vs batch) so
+// overload behavior is observable per class: how much was admitted, shed up
+// front (deadline unmeetable → 503 + Retry-After), rejected at the gate,
+// timed out mid-execution, and how the latency distribution looks.
+type ClassStats struct {
+	Admitted   int64             `json:"admitted"`
+	Shed       int64             `json:"shed"`
+	Rejected   int64             `json:"rejected"`
+	Timeouts   int64             `json:"timeouts"`
+	Inflight   int64             `json:"inflight"`
+	QueueDepth int64             `json:"queue_depth"`
+	EWMAMs     float64           `json:"ewma_ms"` // the shedder's latency estimate
+	Latency    HistogramSnapshot `json:"latency"`
+}
+
+// PlanCacheStats reports the server-side prepared-plan cache: hits mean a
+// request skipped parse + plan entirely (plans self-invalidate on DDL/DML
+// via the engine generation counter, so a hit is never stale).
+type PlanCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
 // ShardStats reports the engine's sharded-execution counters: how many
 // partial aggregate plans each range shard has served and how many rows each
 // scanned. Present only when the engine runs with Shards > 1.
@@ -85,9 +112,12 @@ type StatsResponse struct {
 	Explains         int64                      `json:"explains"`
 	QueryErrors      int64                      `json:"query_errors"`
 	Rejected         int64                      `json:"rejected"`
+	Shed             int64                      `json:"shed"`
 	Timeouts         int64                      `json:"timeouts"`
 	Cancelled        int64                      `json:"cancelled"`
 	Visibilities     map[string]VisibilityStats `json:"visibilities"`
+	Classes          map[string]ClassStats      `json:"classes,omitempty"`
+	PlanCache        *PlanCacheStats            `json:"plan_cache,omitempty"`
 	Snapshots        int64                      `json:"snapshots"`
 	LastSnapshotUnix int64                      `json:"last_snapshot_unix,omitempty"`
 	LastSnapshotSize int64                      `json:"last_snapshot_bytes,omitempty"`

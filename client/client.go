@@ -120,9 +120,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	}
 	if resp.StatusCode/100 != 2 {
 		re := &RemoteError{StatusCode: resp.StatusCode}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			re.RetryAfter = time.Duration(secs) * time.Second
-		}
+		re.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		var werr wire.ErrorResponse
 		if json.Unmarshal(raw, &werr) == nil && werr.Error != "" {
 			re.Message = werr.Error
@@ -138,6 +136,29 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		return fmt.Errorf("mosaic client: bad response body: %v", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds ("3") or an HTTP-date ("Wed, 21 Oct 2026 07:28:00 GMT",
+// including the obsolete RFC 850 and asctime spellings http.ParseTime
+// accepts). A date in the past, an unparseable value, or an absent header
+// yield 0.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // QueryContext runs a single SELECT on the server. Cancelling ctx (or
@@ -171,6 +192,30 @@ func (c *Client) QueryParamsContext(ctx context.Context, query string, params ..
 // QueryParams runs a parameterized SELECT (see QueryParamsContext).
 func (c *Client) QueryParams(query string, params ...any) (*mosaic.Result, error) {
 	return c.QueryParamsContext(context.Background(), query, params...)
+}
+
+// QueryRawContext runs an already-encoded wire query request and returns the
+// raw wire result without decoding. The fleet coordinator's pass-through
+// path uses it to relay a shard's answer byte-for-byte; ordinary callers
+// want QueryContext.
+func (c *Client) QueryRawContext(ctx context.Context, req *wire.QueryRequest) (*wire.Result, error) {
+	var w wire.Result
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// PartialContext requests one shard's partial aggregate states — the fleet
+// coordinator's scatter primitive (POST /v1/partial). The path is
+// idempotent, so WithRetry replays it like a query. Ordinary callers never
+// need it.
+func (c *Client) PartialContext(ctx context.Context, req *wire.PartialRequest) (*wire.PartialResponse, error) {
+	var w wire.PartialResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/partial", req, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
 }
 
 // encodeParams coerces Go-native parameters to wire cells.
@@ -221,19 +266,39 @@ func (s *Stmt) QueryContext(ctx context.Context, params ...any) (*mosaic.Result,
 // RunContext executes a semicolon-separated script and returns the result of
 // every statement (nil for DDL/DML), mirroring mosaic.DB.Run.
 func (c *Client) RunContext(ctx context.Context, script string) ([]*mosaic.Result, error) {
+	out, _, err := c.RunGenerationContext(ctx, script)
+	return out, err
+}
+
+// ExecRawContext executes a script and returns the raw wire response without
+// decoding — the fleet coordinator's fan-out primitive, letting it relay one
+// shard's answer byte-for-byte. Like every /v1/exec call it is never retried.
+func (c *Client) ExecRawContext(ctx context.Context, script string) (*wire.ExecResponse, error) {
 	var w wire.ExecResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/exec", wire.ExecRequest{Script: script}, &w); err != nil {
 		return nil, err
+	}
+	return &w, nil
+}
+
+// RunGenerationContext is RunContext plus the server's DDL/DML generation
+// counter after the script ran — the fleet coordinator's handshake for
+// confirming that every shard landed on the same state after a fanned-out
+// exec. Like /v1/exec itself it is never retried.
+func (c *Client) RunGenerationContext(ctx context.Context, script string) ([]*mosaic.Result, uint64, error) {
+	w, err := c.ExecRawContext(ctx, script)
+	if err != nil {
+		return nil, 0, err
 	}
 	out := make([]*mosaic.Result, len(w.Results))
 	for i, res := range w.Results {
 		dec, err := wire.DecodeResult(res)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		out[i] = dec
 	}
-	return out, nil
+	return out, w.Generation, nil
 }
 
 // Run executes a semicolon-separated script, mirroring mosaic.DB.Run.

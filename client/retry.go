@@ -20,9 +20,11 @@ import (
 // spent the request's deadline.
 //
 // Waits follow exponential backoff with jitter: attempt n waits
-// min(BaseBackoff·2ⁿ, MaxBackoff), randomized into [w·(1-Jitter), w], except
-// when the server supplied Retry-After — the server's hint wins. Budget caps
-// the total time spent across all attempts and waits.
+// min(BaseBackoff·2ⁿ, MaxBackoff), randomized into [w·(1-Jitter), w]. A
+// server Retry-After hint replaces the exponential schedule for that
+// attempt, but is still clamped to MaxBackoff and jittered — the hint steers
+// the wait, it never overrides the policy's caps. Budget caps the total time
+// spent across all attempts and waits.
 type RetryPolicy struct {
 	// MaxRetries is the number of retry attempts after the first try.
 	// Default 3.
@@ -98,7 +100,7 @@ func jitterFloat() float64 {
 // state and is excluded by design.
 func idempotentPath(path string) bool {
 	switch path {
-	case "/v1/query", "/healthz", "/statsz":
+	case "/v1/query", "/v1/partial", "/healthz", "/statsz":
 		return true
 	}
 	return len(path) >= len("/v1/explain") && path[:len("/v1/explain")] == "/v1/explain"
@@ -129,12 +131,16 @@ func retryable(err error) (wait time.Duration, ok bool) {
 }
 
 // backoff computes attempt n's wait (n counts from 0), honoring a server
-// Retry-After hint when present.
+// Retry-After hint when present. The hint replaces the exponential schedule
+// but never escapes the policy: it is clamped to MaxBackoff (a skewed or
+// hostile hint must not burn the whole Budget in one wait) and jittered like
+// any other wait (synchronized clients all honoring the same whole-second
+// hint would otherwise herd back on the same instant).
 func (p RetryPolicy) backoff(n int, retryAfter time.Duration) time.Duration {
-	if retryAfter > 0 {
-		return retryAfter
+	w := retryAfter
+	if w <= 0 {
+		w = p.BaseBackoff << uint(n)
 	}
-	w := p.BaseBackoff << uint(n)
 	if w <= 0 || w > p.MaxBackoff {
 		w = p.MaxBackoff
 	}

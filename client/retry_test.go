@@ -229,7 +229,95 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 	if w := p.backoff(10, 0); w != time.Second {
 		t.Errorf("attempt 10 wait = %s, want the 1s cap", w)
 	}
-	if w := p.backoff(0, 3*time.Second); w != 3*time.Second {
-		t.Errorf("hinted wait = %s, want the server's 3s", w)
+	if w := p.backoff(0, 500*time.Millisecond); w != 500*time.Millisecond {
+		t.Errorf("hinted wait = %s, want the server's 500ms", w)
+	}
+}
+
+// TestRetryAfterHintClampedToMaxBackoff pins the fix for the Retry-After
+// bypass: a hint beyond MaxBackoff used to be honored verbatim, letting one
+// skewed or hostile header burn the entire retry Budget in a single wait.
+func TestRetryAfterHintClampedToMaxBackoff(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Jitter: -1}.withDefaults()
+	if w := p.backoff(0, time.Hour); w != time.Second {
+		t.Errorf("hour-long hint waited %s, want the 1s MaxBackoff clamp", w)
+	}
+	if w := p.backoff(3, 30*time.Second); w != time.Second {
+		t.Errorf("30s hint waited %s, want the 1s MaxBackoff clamp", w)
+	}
+}
+
+// TestRetryAfterHintJittered pins the other half of the fix: a hinted wait
+// must be jittered into [w·(1-Jitter), w] like any other wait, or
+// synchronized clients all honoring the same whole-second hint herd back on
+// the same instant.
+func TestRetryAfterHintJittered(t *testing.T) {
+	p := RetryPolicy{MaxBackoff: 10 * time.Second, Jitter: 0.5}.withDefaults()
+	hint := 4 * time.Second
+	lo, hi := 2*time.Second, 4*time.Second
+	sawBelowHint := false
+	for i := 0; i < 200; i++ {
+		w := p.backoff(0, hint)
+		if w < lo || w > hi {
+			t.Fatalf("jittered hint wait %s outside [%s, %s]", w, lo, hi)
+		}
+		if w < hint-100*time.Millisecond {
+			sawBelowHint = true
+		}
+	}
+	if !sawBelowHint {
+		t.Error("200 jittered waits never landed below the hint — jitter not applied to Retry-After")
+	}
+	// A hint over the cap jitters off the clamped value, not the raw hint.
+	pc := RetryPolicy{MaxBackoff: time.Second, Jitter: 0.5}.withDefaults()
+	for i := 0; i < 50; i++ {
+		if w := pc.backoff(0, time.Hour); w > time.Second {
+			t.Fatalf("clamped+jittered wait %s exceeds the 1s cap", w)
+		}
+	}
+}
+
+// TestParseRetryAfterForms pins the Retry-After parse fix: RFC 9110 allows
+// both delta-seconds and an HTTP-date, and the date form used to silently
+// parse as 0 (no hint), so date-speaking servers lost their backoff signal.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, time.August, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"garbage", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past date: no wait
+		{now.Add(2 * time.Second).Format(time.RFC850), 2 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.header, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestRetryHonorsHTTPDateRetryAfter drives the date form end to end: a 503
+// carrying an HTTP-date Retry-After must surface a positive RetryAfter on
+// the RemoteError, exactly like the delta-seconds form.
+func TestRetryHonorsHTTPDateRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+	err := New(ts.URL).Health()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.RetryAfter < 25*time.Second || re.RetryAfter > 30*time.Second {
+		t.Errorf("RetryAfter = %s from an HTTP-date header, want ≈30s", re.RetryAfter)
 	}
 }

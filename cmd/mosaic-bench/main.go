@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mosaic-bench -exp fig5|fig6|fig7|visibility|sweep|lambda|projections|
-//	             mechanism|scope|bayes|tables|concurrent|exec|all
+//	             mechanism|scope|bayes|tables|concurrent|exec|fleet|all
 //	             [-pop N] [-sample N] [-epochs N] [-projections N] [-seed N]
 //	             [-workers N] [-clients LIST] [-queries-per-client N]
 //	             [-rows N] [-exec-workers LIST] [-shards LIST] [-json out.json]
@@ -58,6 +58,18 @@
 // in-process reference engine:
 //
 //	mosaic-bench -exp overload
+//
+// # Multi-process fleet
+//
+// The "fleet" experiment boots, for each -shards count N, a fleet of N
+// internal/server shard instances from one snapshot plus a mosaic-coord
+// scatter-gather coordinator, and drives the aggregate workload through real
+// HTTP with concurrent clients. Every fleet answer is verified byte-for-byte
+// against an in-process engine opened with Options.Shards: N — the fleet
+// determinism contract — and the report splits queries into scattered
+// (partial fan-out) vs pass-through (relayed whole to shard 0):
+//
+//	mosaic-bench -exp fleet -shards 1,2,4 -clients 4 -queries-per-client 4
 package main
 
 import (
@@ -74,7 +86,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, overload, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, overload, exec, fleet, all)")
 	popN := flag.Int("pop", 50000, "population rows")
 	sampleN := flag.Int("sample", 10000, "spiral sample rows")
 	epochs := flag.Int("epochs", 25, "M-SWG training epochs")
@@ -161,9 +173,14 @@ func main() {
 		"exec": func() (fmt.Stringer, error) {
 			return bench.RunExecMicro(bench.ExecConfig{Rows: *rows, Seed: *seed, Workers: execWorkerCounts, Shards: execShardCounts})
 		},
+		"fleet": func() (fmt.Stringer, error) {
+			return bench.RunFleet(bench.FleetConfig{
+				Flights: flights, Shards: execShardCounts, Rounds: *queriesPerClient, Clients: clientCounts[len(clientCounts)-1],
+			})
+		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
-		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "overload", "exec"}
+		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "overload", "exec", "fleet"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

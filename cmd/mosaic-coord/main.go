@@ -1,0 +1,112 @@
+// Command mosaic-coord fronts a fleet of mosaic-serve shard processes with
+// one coordinator endpoint speaking the same wire protocol (POST /v1/query,
+// POST /v1/exec, GET /v1/explain, /healthz, /statsz).
+//
+// Usage:
+//
+//	mosaic-coord -shards http://h1:7171,http://h2:7171[,...]
+//	             [-addr :7172] [-request-timeout 30s]
+//	             [-retries 3] [-boot-timeout 30s]
+//
+// Every shard holds the full dataset: /v1/exec scripts fan out to all shards
+// under a generation handshake, and CLOSED/SEMI-OPEN aggregate queries
+// scatter as per-shard partial plans (shard i computes slice i of N over its
+// copy) whose states merge in the fixed -shards order — so fleet answers are
+// bit-identical to a single engine opened with Options.Shards: N, and a
+// one-shard fleet is byte-identical to the row engine. OPEN and
+// non-aggregate queries pass through whole to the first shard.
+//
+// On boot the coordinator probes every shard until the fleet agrees on one
+// DDL/DML generation (or -boot-timeout expires). A shard that later answers
+// at a different generation — a restart, a side-channel mutation — turns
+// queries into clean 503s rather than wrong answers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mosaic/client"
+	"mosaic/internal/coord"
+)
+
+func main() {
+	addr := flag.String("addr", ":7172", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://h1:7171,http://h2:7171; the order is part of the float-aggregate answer contract")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline, end to end across all shard calls")
+	retries := flag.Int("retries", 3, "per-shard retries of idempotent calls (queries, scatters); exec is never retried")
+	bootTimeout := flag.Duration("boot-timeout", 30*time.Second, "how long to wait for every shard to come up and agree on a generation")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("mosaic-coord: -shards is required (comma-separated shard base URLs)")
+	}
+
+	c, err := coord.New(coord.Config{
+		Shards:         urls,
+		Retry:          client.RetryPolicy{MaxRetries: *retries},
+		RequestTimeout: *requestTimeout,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("mosaic-coord: %v", err)
+	}
+
+	// Boot handshake: serve only once the whole fleet is reachable and agrees
+	// on one generation. Shards may still be starting — keep probing.
+	bootCtx, bootCancel := context.WithTimeout(context.Background(), *bootTimeout)
+	for {
+		err = c.Sync(bootCtx)
+		if err == nil {
+			break
+		}
+		select {
+		case <-bootCtx.Done():
+			log.Fatalf("mosaic-coord: fleet did not converge within %s: %v", *bootTimeout, err)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	bootCancel()
+	log.Printf("mosaic-coord: fleet of %d shards at generation %d", len(urls), c.Generation())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: c.Handler()}
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("mosaic-coord listening on %s", *addr)
+		err := httpSrv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		done <- err
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("mosaic-coord: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	fmt.Fprintln(os.Stderr, "mosaic-coord: bye")
+}

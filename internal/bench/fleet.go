@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaic"
+	"mosaic/client"
+	"mosaic/internal/coord"
+	"mosaic/internal/server"
+	"mosaic/internal/wire"
+)
+
+// FleetConfig tunes the multi-process fleet experiment: for each swept shard
+// count N, boot N internal/server shard instances on loopback listeners from
+// the identical snapshot, front them with a mosaic-coord scatter-gather
+// coordinator, and drive the aggregate workload through real HTTP. Every
+// fleet answer is compared byte-for-byte against an in-process reference
+// engine opened with Options.Shards: N — the fleet's determinism contract —
+// so a mismatch means the coordinator, wire codec, or merge order corrupted
+// an answer, never noise.
+type FleetConfig struct {
+	Flights FlightsConfig
+	Shards  []int // fleet sizes to sweep; default {1, 2, 4}
+	Rounds  int   // times the query set is driven per fleet size; default 4
+	Clients int   // concurrent clients driving the coordinator; default 4
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4}
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	return c
+}
+
+// fleetBenchQueries is the scatter workload: every mergeable aggregate kind,
+// grouped and global, over both stored-weight paths, plus HAVING/ORDER/LIMIT
+// post-aggregation — and two non-aggregate shapes that exercise the
+// coordinator's pass-through relay to shard 0.
+var fleetBenchQueries = []string{
+	"SELECT CLOSED COUNT(*) FROM Flights",
+	"SELECT CLOSED AVG(distance) FROM Flights WHERE elapsed_time > 200",
+	"SELECT CLOSED SUM(distance), MIN(taxi_out), MAX(taxi_in) FROM Flights",
+	"SELECT CLOSED carrier, COUNT(*) AS n, AVG(distance) FROM Flights GROUP BY carrier HAVING n > 10 ORDER BY carrier LIMIT 5",
+	"SELECT SEMI-OPEN AVG(taxi_in) FROM Flights WHERE elapsed_time < 200",
+	"SELECT SEMI-OPEN carrier, AVG(elapsed_time) FROM Flights WHERE distance > 1000 GROUP BY carrier ORDER BY carrier",
+	"SELECT COUNT(*), AVG(distance) FROM FlightsSample",
+	"SELECT carrier, distance FROM FlightsSample WHERE distance > 2000",
+	"SELECT DISTINCT carrier FROM FlightsSample",
+}
+
+// FleetRow is one swept fleet size.
+type FleetRow struct {
+	Shards      int
+	Queries     int
+	Secs        float64
+	QPS         float64
+	Scattered   int64 // coordinator queries answered by partial fan-out
+	PassThrough int64 // coordinator queries relayed whole to shard 0
+}
+
+// FleetResult is the full sweep.
+type FleetResult struct {
+	Rows     []FleetRow
+	Verified int // fleet answers checked byte-for-byte against Options.Shards: N references
+}
+
+// String renders the sweep as an aligned table.
+func (r *FleetResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet — multi-process scatter-gather vs in-process Options.Shards: N (%d answers verified byte-for-byte)\n", r.Verified)
+	b.WriteString("  shards  queries   secs      q/s  scattered  pass-through\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %6d  %7d  %6.2f  %7.1f  %9d  %12d\n",
+			row.Shards, row.Queries, row.Secs, row.QPS, row.Scattered, row.PassThrough)
+	}
+	return b.String()
+}
+
+// fleetShard is one booted in-process shard server.
+type fleetShard struct {
+	srv     *server.Server
+	httpSrv *http.Server
+	url     string
+}
+
+func bootFleetShard(script string, opts *mosaic.Options) (*fleetShard, error) {
+	db := mosaic.Open(opts)
+	if err := db.Restore(script); err != nil {
+		return nil, fmt.Errorf("bench: restore shard: %v", err)
+	}
+	srv, err := server.New(server.Config{DB: db, RequestTimeout: 5 * time.Minute})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return &fleetShard{srv: srv, httpSrv: httpSrv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *fleetShard) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = s.httpSrv.Shutdown(ctx)
+	cancel()
+	s.srv.Close()
+}
+
+// RunFleet builds the flights workload once, then for each swept shard count
+// boots a fresh fleet (N shard servers + coordinator, all real HTTP on
+// loopback), verifies every answer byte-for-byte against an in-process
+// reference at Options.Shards: N, and reports coordinator throughput along
+// with its scatter/pass-through split.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	cfg = cfg.withDefaults()
+	setup, err := BuildFlights(cfg.Flights)
+	if err != nil {
+		return nil, err
+	}
+	script, err := setup.Engine.DumpScript()
+	if err != nil {
+		return nil, err
+	}
+	baseOpts := mosaic.Options{
+		Seed:        setup.Cfg.Seed,
+		OpenSamples: setup.Cfg.OpenSamples,
+		SWG:         setup.Cfg.SWG,
+		IPF:         setup.Cfg.IPF,
+	}
+
+	out := &FleetResult{}
+	for _, n := range cfg.Shards {
+		row, verified, err := runFleetOnce(script, baseOpts, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fleet of %d: %v", n, err)
+		}
+		out.Rows = append(out.Rows, row)
+		out.Verified += verified
+	}
+	return out, nil
+}
+
+func runFleetOnce(script string, baseOpts mosaic.Options, n int, cfg FleetConfig) (FleetRow, int, error) {
+	shards := make([]*fleetShard, 0, n)
+	defer func() {
+		for _, s := range shards {
+			s.close()
+		}
+	}()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := bootFleetShard(script, &baseOpts)
+		if err != nil {
+			return FleetRow{}, 0, err
+		}
+		shards = append(shards, s)
+		urls[i] = s.url
+	}
+
+	c, err := coord.New(coord.Config{
+		Shards:         urls,
+		Retry:          client.RetryPolicy{MaxRetries: 2, BaseBackoff: 10 * time.Millisecond, Budget: 30 * time.Second},
+		RequestTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		return FleetRow{}, 0, err
+	}
+	syncCtx, syncCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = c.Sync(syncCtx)
+	syncCancel()
+	if err != nil {
+		return FleetRow{}, 0, fmt.Errorf("fleet sync: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return FleetRow{}, 0, err
+	}
+	coordSrv := &http.Server{Handler: c.Handler()}
+	go func() { _ = coordSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = coordSrv.Shutdown(ctx)
+		cancel()
+	}()
+	coordURL := "http://" + ln.Addr().String()
+
+	// The reference engine IS the contract: same snapshot, same options, with
+	// in-process scatter-gather at the same shard count.
+	refOpts := baseOpts
+	refOpts.Shards = n
+	ref := mosaic.Open(&refOpts)
+	if err := ref.Restore(script); err != nil {
+		return FleetRow{}, 0, fmt.Errorf("restore reference: %v", err)
+	}
+
+	// Warm both sides and pin the reference renderings.
+	refs := make([]string, len(fleetBenchQueries))
+	warm := client.New(coordURL)
+	verified := 0
+	for i, q := range fleetBenchQueries {
+		want, err := ref.Query(q)
+		if err != nil {
+			return FleetRow{}, 0, fmt.Errorf("reference %q: %v", q, err)
+		}
+		refs[i] = renderResult(want)
+		got, err := warm.Query(q)
+		if err != nil {
+			return FleetRow{}, 0, fmt.Errorf("fleet %q: %v", q, err)
+		}
+		if renderResult(got) != refs[i] {
+			return FleetRow{}, 0, fmt.Errorf("%q: fleet answer diverged from Options.Shards: %d reference", q, n)
+		}
+		verified++
+	}
+
+	// Timed run: concurrent clients replay the verified set through the
+	// coordinator, still byte-checking every answer.
+	total := cfg.Clients * cfg.Rounds * len(fleetBenchQueries)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			cc := client.New(coordURL)
+			for r := 0; r < cfg.Rounds; r++ {
+				for i, q := range fleetBenchQueries {
+					res, err := cc.Query(q)
+					if err != nil {
+						errs[cl] = fmt.Errorf("client %d round %d %q: %v", cl, r, q, err)
+						return
+					}
+					if renderResult(res) != refs[i] {
+						errs[cl] = fmt.Errorf("client %d round %d %q: fleet answer diverged", cl, r, q)
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return FleetRow{}, 0, err
+		}
+	}
+	verified += total
+
+	var st wire.CoordStatsResponse
+	resp, err := http.Get(coordURL + "/statsz")
+	if err != nil {
+		return FleetRow{}, 0, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return FleetRow{}, 0, fmt.Errorf("statsz: %v", err)
+	}
+
+	return FleetRow{
+		Shards:      n,
+		Queries:     total,
+		Secs:        secs,
+		QPS:         float64(total) / secs,
+		Scattered:   st.Scattered,
+		PassThrough: st.PassThrough,
+	}, verified, nil
+}

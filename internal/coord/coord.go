@@ -1,0 +1,559 @@
+// Package coord implements the mosaic fleet coordinator: an HTTP process
+// that owns a static shard membership list and answers the mosaic-serve wire
+// protocol by fanning work out to N independent mosaic-serve shard
+// processes.
+//
+// Topology: replicated data, partitioned compute. Every shard process holds
+// the FULL dataset — /v1/exec scripts fan out to all shards under a
+// generation handshake — and a scatter asks shard i for the partial
+// aggregate states of slice i of N over its own copy (POST /v1/partial).
+// The coordinator gathers the decoded partials in fixed shard order through
+// the same exec.GatherPartials the in-process engine uses, so a fleet of N
+// shards answers bit-identically to one engine opened with Options.Shards: N
+// — and a fleet of 1 byte-identically to the row engine.
+//
+// Queries the partial plan cannot serve (OPEN visibility, non-aggregate
+// shapes) pass through whole to shard 0, whose answer is relayed verbatim —
+// valid precisely because every shard holds the full data.
+//
+// Failure contract: a shard that cannot answer — unreachable after retries,
+// at a diverged generation, or mid-crash — turns the whole query into a 503
+// with a Retry-After hint. The coordinator never synthesizes an answer from
+// a subset of shards: a wrong answer is worse than no answer.
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mosaic/client"
+	"mosaic/internal/exec"
+	"mosaic/internal/sql"
+	"mosaic/internal/value"
+	"mosaic/internal/wire"
+)
+
+// deadlineHeader mirrors the mosaic-serve header: the client's remaining
+// budget in milliseconds, intersected with the coordinator's own
+// RequestTimeout and re-propagated to every shard call.
+const deadlineHeader = "X-Mosaic-Deadline-Ms"
+
+// Config configures a Coordinator.
+type Config struct {
+	// Shards are the shard base URLs, e.g. "http://127.0.0.1:7181". The order
+	// is the fan-out order and part of the answer contract: partial aggregate
+	// states merge in this order, and float addition does not reassociate.
+	Shards []string
+	// Retry is the per-shard retry policy for idempotent calls (scatter,
+	// pass-through, health). Zero-valued fields take client defaults.
+	Retry client.RetryPolicy
+	// RequestTimeout bounds every request end to end, intersected with any
+	// client-propagated X-Mosaic-Deadline-Ms. Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator fans the mosaic wire protocol over a fixed shard fleet.
+type Coordinator struct {
+	cfg     Config
+	shards  []*client.Client
+	started time.Time
+	mux     *http.ServeMux
+
+	// gen is the coordinator's view of the fleet's DDL/DML generation
+	// counter. Every scatter carries it and every shard refuses (409) on
+	// mismatch, so a shard that restarted empty or was mutated behind the
+	// coordinator's back can never contribute a partial to an answer.
+	gen atomic.Uint64
+	// fleetMu serializes mutations against queries: exec fan-out holds the
+	// write lock (the generation moves), scatters hold the read lock.
+	fleetMu sync.RWMutex
+
+	queries     atomic.Int64
+	scattered   atomic.Int64
+	passThrough atomic.Int64
+	execs       atomic.Int64
+	explains    atomic.Int64
+	unavail     atomic.Int64
+	shardErrors atomic.Int64
+}
+
+// New creates a Coordinator over cfg.Shards. Call Sync before serving to
+// adopt the fleet's current generation.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("coord: no shards configured")
+	}
+	c := &Coordinator{cfg: cfg, started: time.Now()}
+	for _, base := range cfg.Shards {
+		u, err := url.Parse(base)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("coord: bad shard URL %q", base)
+		}
+		c.shards = append(c.shards, client.New(base, client.WithRetry(cfg.Retry)))
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/v1/query", c.handleQuery)
+	c.mux.HandleFunc("/v1/exec", c.handleExec)
+	c.mux.HandleFunc("/v1/explain", c.handleExplain)
+	c.mux.HandleFunc("/healthz", c.handleHealth)
+	c.mux.HandleFunc("/statsz", c.handleStats)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Generation returns the coordinator's view of the fleet generation.
+func (c *Coordinator) Generation() uint64 { return c.gen.Load() }
+
+// Sync probes every shard's generation and adopts it when the fleet agrees.
+// It is the boot handshake — a coordinator must not serve ahead of it — and
+// the recovery path after a degraded exec.
+func (c *Coordinator) Sync(ctx context.Context) error {
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	gens, err := c.probeGenerations(ctx)
+	if err != nil {
+		return err
+	}
+	for i, g := range gens {
+		if g != gens[0] {
+			return fmt.Errorf("coord: shard generations diverged: shard 0 at %d, shard %d at %d", gens[0], i, g)
+		}
+	}
+	c.gen.Store(gens[0])
+	return nil
+}
+
+// probeGenerations fetches every shard's /statsz generation in parallel.
+// Callers hold fleetMu.
+func (c *Coordinator) probeGenerations(ctx context.Context) ([]uint64, error) {
+	gens := make([]uint64, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.shards[i].StatsContext(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			gens[i] = st.Generation
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("coord: shard %d (%s): %v", i, c.cfg.Shards[i], err)
+		}
+	}
+	return gens, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeUnavailable answers 503 with a Retry-After hint — the coordinator's
+// only failure answer for shard trouble; it never serves a partial result.
+func (c *Coordinator) writeUnavailable(w http.ResponseWriter, hint time.Duration, format string, args ...any) {
+	c.unavail.Add(1)
+	secs := int(hint.Round(time.Second).Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// decodeBody decodes a JSON body under the MaxBodyBytes cap (413 oversized,
+// 400 malformed), reporting success.
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// requestCtx derives the request's end-to-end deadline: RequestTimeout
+// intersected with any propagated X-Mosaic-Deadline-Ms. The remaining budget
+// re-propagates to every shard call through the client's own header logic.
+func (c *Coordinator) requestCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	timeout := c.cfg.RequestTimeout
+	if raw := r.Header.Get(deadlineHeader); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad %s %q: want integer milliseconds", deadlineHeader, raw)
+			return nil, nil, false
+		}
+		budget := time.Duration(ms) * time.Millisecond
+		if budget <= 0 {
+			c.writeUnavailable(w, time.Second, "deadline already expired (budget %s)", budget)
+			return nil, nil, false
+		}
+		if budget < timeout {
+			timeout = budget
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, true
+}
+
+// relayRemote relays a shard's answer for pass-through paths: deterministic
+// engine answers (4xx) travel verbatim; everything else — transport
+// failures, shard 5xx — becomes the coordinator's own 503.
+func (c *Coordinator) relayRemote(w http.ResponseWriter, err error, what string) {
+	c.shardErrors.Add(1)
+	var re *client.RemoteError
+	if errors.As(err, &re) {
+		if re.StatusCode/100 == 4 {
+			writeError(w, re.StatusCode, "%s", re.Message)
+			return
+		}
+		c.writeUnavailable(w, re.RetryAfter, "%s unavailable: %s", what, re.Message)
+		return
+	}
+	c.writeUnavailable(w, 0, "%s unreachable: %v", what, err)
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req wire.QueryRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	sel, err := sql.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel, ok := c.requestCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	c.queries.Add(1)
+	// OPEN queries train generative models on the unified view and
+	// non-aggregate shapes return raw tuples — neither decomposes into
+	// mergeable partial states. Both pass through whole; every shard holds
+	// the full data, so shard 0's answer IS the fleet's answer.
+	if sel.Visibility == sql.VisibilityOpen || !sel.HasAggregates() {
+		c.passQuery(ctx, w, &req)
+		return
+	}
+	c.scatterQuery(ctx, w, &req, sel)
+}
+
+// passQuery relays the whole query to shard 0 and its answer verbatim.
+func (c *Coordinator) passQuery(ctx context.Context, w http.ResponseWriter, req *wire.QueryRequest) {
+	c.fleetMu.RLock()
+	defer c.fleetMu.RUnlock()
+	res, err := c.shards[0].QueryRawContext(ctx, req)
+	if err != nil {
+		c.relayRemote(w, err, "shard 0")
+		return
+	}
+	c.passThrough.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// scatterQuery fans the partial plan over every shard, gathers the states in
+// fixed shard order, and finishes the aggregation (merge, HAVING, ORDER BY,
+// LIMIT) locally. Any shard failing, declining, or answering at the wrong
+// generation aborts the whole answer.
+func (c *Coordinator) scatterQuery(ctx context.Context, w http.ResponseWriter, req *wire.QueryRequest, sel *sql.Select) {
+	c.fleetMu.RLock()
+	defer c.fleetMu.RUnlock()
+	gen := c.gen.Load()
+	n := len(c.shards)
+	resps := make([]*wire.PartialResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.shards[i].PartialContext(ctx, &wire.PartialRequest{
+				Query:           req.Query,
+				Params:          req.Params,
+				Shard:           i,
+				Shards:          n,
+				Generation:      gen,
+				CheckGeneration: true,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		c.shardErrors.Add(1)
+		var re *client.RemoteError
+		if errors.As(err, &re) {
+			switch {
+			case re.StatusCode == http.StatusConflict:
+				// The shard's data diverged from the fleet: refusing is the
+				// whole point of the handshake — never answer from it.
+				c.writeUnavailable(w, re.RetryAfter, "shard %d diverged from fleet generation %d: %s", i, gen, re.Message)
+			case re.StatusCode/100 == 4:
+				// Deterministic engine errors (unknown relation, unanswerable
+				// visibility) fail identically on every shard; relay the first.
+				writeError(w, re.StatusCode, "%s", re.Message)
+			default:
+				c.writeUnavailable(w, re.RetryAfter, "shard %d unavailable: %s", i, re.Message)
+			}
+		} else {
+			c.writeUnavailable(w, 0, "shard %d unreachable: %v", i, err)
+		}
+		return
+	}
+	for _, resp := range resps {
+		if !resp.Handled {
+			// The plan shape is not partial-executable on this engine (e.g.
+			// row-path only). Every shard runs the same engine version, so
+			// fall back to one whole pass-through query.
+			c.passQuery(ctx, w, req)
+			return
+		}
+	}
+	partials := make([]*exec.ShardPartial, n)
+	for i, resp := range resps {
+		p, err := wire.DecodePartial(resp)
+		if err != nil {
+			c.shardErrors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard %d answer undecodable: %v", i, err)
+			return
+		}
+		partials[i] = p
+	}
+	vals, err := wire.DecodeValues(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad parameters: %v", err)
+		return
+	}
+	bound, err := sql.BindParams(sel, vals)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := exec.GatherPartials(ctx, bound, partials)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	c.scattered.Add(1)
+	writeJSON(w, http.StatusOK, wire.EncodeResult(res))
+}
+
+func (c *Coordinator) handleExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req wire.ExecRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel, ok := c.requestCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	c.execs.Add(1)
+	// The generation moves: hold the write lock so no scatter reads a
+	// half-updated fleet.
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	n := len(c.shards)
+	resps := make([]*wire.ExecResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.shards[i].ExecRawContext(ctx, req.Script)
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	failed := false
+	for _, err := range errs {
+		if err != nil {
+			failed = true
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.shardErrors.Add(1)
+		}
+	}
+	if !failed {
+		for i, resp := range resps {
+			if resp.Generation != resps[0].Generation {
+				// All shards applied the script yet disagree on the counter:
+				// they were divergent before this exec. Do NOT adopt either
+				// side — the stale coordinator generation makes every future
+				// scatter 409 into a clean 503 until an operator intervenes.
+				c.cfg.Logf("coord: exec left shards diverged: shard 0 at %d, shard %d at %d", resps[0].Generation, i, resp.Generation)
+				writeError(w, http.StatusBadGateway, "fleet degraded: shard generations diverged after exec (shard 0 at %d, shard %d at %d)", resps[0].Generation, i, resp.Generation)
+				return
+			}
+		}
+		c.gen.Store(resps[0].Generation)
+		writeJSON(w, http.StatusOK, resps[0])
+		return
+	}
+	// At least one shard failed. A deterministic script error (bad SQL,
+	// unknown table) fails identically everywhere and still bumps each
+	// shard's generation identically — probe to confirm the fleet converged,
+	// adopt the agreed counter, and relay the engine's error. Anything else
+	// leaves the coordinator's generation stale on purpose: divergent shards
+	// must answer 409, not wrong partials.
+	probeCtx, probeCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer probeCancel()
+	gens, perr := c.probeGenerations(probeCtx)
+	if perr == nil {
+		agreed := true
+		for _, g := range gens {
+			if g != gens[0] {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			c.gen.Store(gens[0])
+			c.relayRemote(w, firstErr, "exec fan-out")
+			return
+		}
+	}
+	c.cfg.Logf("coord: exec fan-out degraded the fleet: %v (probe: %v)", firstErr, perr)
+	writeError(w, http.StatusBadGateway, "fleet degraded: exec failed on some shards and generations diverged: %v", firstErr)
+}
+
+func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	sel, err := sql.ParseQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel, ok := c.requestCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	c.explains.Add(1)
+	c.fleetMu.RLock()
+	defer c.fleetMu.RUnlock()
+	shardPlan, err := c.shards[0].ExplainContext(ctx, q)
+	if err != nil {
+		c.relayRemote(w, err, "shard 0")
+		return
+	}
+	mode := fmt.Sprintf("scatter-gather over %d shard processes, partial states merged in shard order", len(c.shards))
+	if sel.Visibility == sql.VisibilityOpen || !sel.HasAggregates() {
+		mode = "pass-through to shard 0 (not partial-executable; every shard holds the full data)"
+	}
+	res := &exec.Result{Columns: []string{"property", "value"}}
+	res.Rows = append(res.Rows,
+		[]value.Value{value.Text("fleet"), value.Text(mode)},
+		[]value.Value{value.Text("fleet generation"), value.Text(strconv.FormatUint(c.gen.Load(), 10))},
+	)
+	res.Rows = append(res.Rows, shardPlan.Rows...)
+	writeJSON(w, http.StatusOK, wire.EncodeResult(res))
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	out := wire.CoordHealthResponse{
+		Status:     "ok",
+		UptimeSecs: time.Since(c.started).Seconds(),
+		Shards:     make(map[string]bool, len(c.shards)),
+	}
+	alive := make([]bool, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			alive[i] = c.shards[i].HealthContext(ctx) == nil
+		}(i)
+	}
+	wg.Wait()
+	for i, ok := range alive {
+		out.Shards[c.cfg.Shards[i]] = ok
+		if !ok {
+			out.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.CoordStatsResponse{
+		UptimeSecs:  time.Since(c.started).Seconds(),
+		Shards:      append([]string(nil), c.cfg.Shards...),
+		Generation:  c.gen.Load(),
+		Queries:     c.queries.Load(),
+		Scattered:   c.scattered.Load(),
+		PassThrough: c.passThrough.Load(),
+		Execs:       c.execs.Load(),
+		Explains:    c.explains.Load(),
+		Unavailable: c.unavail.Load(),
+		ShardErrors: c.shardErrors.Load(),
+	})
+}

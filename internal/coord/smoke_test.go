@@ -1,0 +1,191 @@
+package coord_test
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mosaic"
+	"mosaic/client"
+)
+
+// TestFleetProcessSmoke is the fleet story with real processes: build
+// cmd/mosaic-serve and cmd/mosaic-coord, boot two shard processes seeded
+// with the same script, front them with a coordinator process, and require
+// byte-identical answers to the in-process Options.Shards: 2 reference —
+// through real HTTP, real process boundaries, and a real SIGKILL of one
+// shard (which must surface as 503 + Retry-After, never a partial answer).
+func TestFleetProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots real processes")
+	}
+	script, opts := worldScript(t)
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "mosaic-serve")
+	coordBin := filepath.Join(dir, "mosaic-coord")
+	for bin, pkg := range map[string]string{serveBin: "mosaic/cmd/mosaic-serve", coordBin: "mosaic/cmd/mosaic-coord"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	init := filepath.Join(dir, "world.sql")
+	if err := os.WriteFile(init, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shard processes booted from the identical script: replicated data.
+	addrs := []string{procAddr(t), procAddr(t)}
+	procs := make([]*exec.Cmd, 2)
+	for i, addr := range addrs {
+		procs[i] = startProc(t, serveBin, "-addr", addr, "-seed", "1", init)
+	}
+	for _, addr := range addrs {
+		waitUp(t, client.New("http://"+addr))
+	}
+
+	coordAddr := procAddr(t)
+	coordProc := startProc(t, coordBin,
+		"-addr", coordAddr,
+		"-shards", "http://"+addrs[0]+",http://"+addrs[1],
+		"-boot-timeout", "30s")
+	cc := client.New("http://" + coordAddr)
+	waitUp(t, cc)
+
+	refOpts := *opts
+	refOpts.Shards = 2
+	ref := mosaic.Open(&refOpts)
+	if err := ref.Restore(script); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT CLOSED carrier, AVG(distance) FROM Flights GROUP BY carrier ORDER BY carrier",
+		"SELECT SEMI-OPEN AVG(taxi_in) FROM Flights WHERE elapsed_time < 200",
+		"SELECT COUNT(*) FROM FlightsSample",
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, q := range queries {
+			want, err := ref.Query(q)
+			if err != nil {
+				t.Fatalf("%s: reference %q: %v", stage, q, err)
+			}
+			got, err := cc.Query(q)
+			if err != nil {
+				t.Fatalf("%s: fleet %q: %v", stage, q, err)
+			}
+			if render(got) != render(want) {
+				t.Errorf("%s: %q diverged from the in-process reference\nfleet: %q\nref:   %q", stage, q, render(got), render(want))
+			}
+		}
+	}
+	check("boot")
+
+	// DDL/DML through the coordinator fans to both real processes.
+	const dml = "CREATE TABLE Smoke (v INT); INSERT INTO Smoke VALUES (1), (2), (3)"
+	if err := cc.Exec(dml); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Exec(dml); err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries, "SELECT COUNT(*), SUM(v) FROM Smoke")
+	check("post-exec")
+
+	// SIGKILL shard 1 — no graceful shutdown, the TCP peer just vanishes.
+	if err := procs[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = waitProcExit(procs[1], 10*time.Second)
+	var re *client.RemoteError
+	for i := 0; i < 3; i++ {
+		_, err := cc.Query(queries[0])
+		if err == nil {
+			t.Fatalf("aggregate %d after SIGKILL answered — a partial answer escaped", i)
+		}
+		if !asRemote(err, &re) || re.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("aggregate %d after SIGKILL: %v, want 503", i, err)
+		}
+		if re.RetryAfter <= 0 {
+			t.Errorf("aggregate %d: 503 lacks Retry-After", i)
+		}
+	}
+	// The coordinator reports the fleet as degraded but stays up itself.
+	resp, err := http.Get("http://" + coordAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), `"status":"degraded"`) {
+		t.Errorf("healthz after shard death = %s, want degraded", body[:n])
+	}
+
+	_ = coordProc.Process.Signal(syscall.SIGTERM)
+	_ = waitProcExit(coordProc, 10*time.Second)
+}
+
+func asRemote(err error, re **client.RemoteError) bool {
+	r, ok := err.(*client.RemoteError)
+	if ok {
+		*re = r
+	}
+	return ok
+}
+
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	return cmd
+}
+
+func procAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitUp(t *testing.T, c *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := c.Health(); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("process never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func waitProcExit(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("timeout after %s", timeout)
+	}
+}

@@ -1,4 +1,4 @@
-// In-process sharded scatter-gather execution for aggregate queries.
+// Sharded scatter-gather execution for aggregate queries.
 //
 // Options.Shards range-partitions the snapshot into S contiguous slices
 // (shard boundaries are a pure function of the row count and S, and always
@@ -13,6 +13,13 @@
 // low-order bits (the shard merge reassociates IEEE 754 addition), which is
 // why Shards is part of the answer contract. For a fixed Shards value,
 // answers are bit-identical across runs and across Workers values.
+//
+// The same scatter and gather halves are exported (PartialAggregate,
+// GatherPartials) for the multi-process fleet: a coordinator asks each shard
+// process for PartialAggregate(shard i of N) over its own full copy of the
+// data and gathers the serialized ShardPartials in shard order — the merge
+// is the identical code path, so fleet answers are bit-identical to
+// in-process Options.Shards: N.
 package exec
 
 import (
@@ -54,13 +61,128 @@ func shardBounds(n, s int) [][2]int {
 	return out
 }
 
-// shardPartial is one shard's scatter output: its locally-grouped partial
+// ShardPartial is one shard's scatter output: its locally-grouped partial
 // states plus the group identities the gather step merges on. Local group
-// order is the shard's first-appearance scan order.
-type shardPartial struct {
-	keys    []string        // HashKey-concat group identity per local group
-	keyVals [][]value.Value // materialized key values per local group
-	states  []*PartialStates
+// order is the shard's first-appearance scan order. Keys are derived from
+// KeyVals (HashKey concatenation), so a deserialized partial can rebuild
+// them from the values alone.
+type ShardPartial struct {
+	Keys    []string        // HashKey-concat group identity per local group
+	KeyVals [][]value.Value // materialized key values per local group
+	States  []*PartialStates
+	Rows    int // rows the shard slice scanned (observability)
+}
+
+// GroupKey builds the canonical gather key for one group's key values — the
+// same encoding shardPartialAggregate produces, so remote partials merge into
+// the identical group identity space.
+func GroupKey(kv []value.Value) string {
+	var kb strings.Builder
+	for _, v := range kv {
+		kb.WriteString(v.HashKey())
+		kb.WriteByte('\x1f')
+	}
+	return kb.String()
+}
+
+// PartialAggregate runs the scatter half of sharded execution for shard
+// `shard` of `shards` over the full snapshot: it plans against the full
+// table (so the engage/decline decision is identical on every shard), slices
+// out the shard's contiguous range, and returns its partial states.
+// handled=false means the shape is not kernel-coverable (or needs the row
+// path's interleaved error ordering) — the caller must answer the query
+// through the ordinary unsharded path instead. This is the entry point the
+// fleet's /v1/partial endpoint serves; opts.Shards is ignored in favor of
+// the explicit shard/shards pair.
+func PartialAggregate(ctx context.Context, snap *table.Snapshot, sel *sql.Select, opts Options, shard, shards int) (*ShardPartial, bool, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, true, fmt.Errorf("exec: shard %d of %d out of range", shard, shards)
+	}
+	if opts.WeightOverride != nil && len(opts.WeightOverride) != snap.Len() {
+		return nil, true, fmt.Errorf("exec: weight override has %d entries for %d rows", len(opts.WeightOverride), snap.Len())
+	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, true, err
+	}
+	sel = foldSelect(sel)
+	if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
+		return nil, false, nil
+	}
+	keyIdx, err := resolveGroupKeys(snap, sel)
+	if err != nil {
+		return nil, true, err
+	}
+	rawW := snap.Weights()
+	if opts.WeightOverride != nil {
+		rawW = opts.WeightOverride
+	}
+	workers := opts.workers()
+	// The engage/decline decision runs against the FULL snapshot, exactly as
+	// runAggregateSharded's does: plannability depends only on schema and
+	// expression shape, and the error-ordering guard (aggsCanErr without a
+	// compilable filter) on the full row count — so every shard process
+	// holding the same data reaches the same decision.
+	comp := &kernelCompiler{snap: snap, weights: rawW, n: snap.Len(), workers: workers}
+	vaggs, ok := planVectorAggs(comp, sel)
+	if !ok {
+		return nil, false, nil
+	}
+	if sel.Where != nil && aggsCanErr(vaggs, snap.Len()) && compileFilter(sel.Where, snap, rawW, 1) == nil {
+		return nil, false, nil
+	}
+	bounds := shardBounds(snap.Len(), shards)
+	lo, hi := bounds[shard][0], bounds[shard][1]
+	sub := snap.SliceRange(lo, hi)
+	var wo []float64
+	if opts.WeightOverride != nil {
+		wo = opts.WeightOverride[lo:hi]
+	}
+	p, err := shardPartialAggregate(ctx, sub, sel, keyIdx, wo, opts, workers)
+	if err != nil {
+		return nil, true, err
+	}
+	p.Rows = hi - lo
+	if opts.ShardScan != nil {
+		opts.ShardScan(shard, hi-lo)
+	}
+	return p, true, nil
+}
+
+// GatherPartials merges per-shard partials **in slice order** through the
+// shared partial-state algebra and finalizes the result: group global ids by
+// first appearance across the shard sequence, then HAVING / ORDER BY /
+// LIMIT. It is the gather half of both in-process sharding and the
+// multi-process fleet (where partials arrive deserialized off the wire); for
+// identical inputs in identical order the output is bit-identical to
+// runAggregateSharded's.
+func GatherPartials(ctx context.Context, sel *sql.Select, partials []*ShardPartial) (*Result, error) {
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("exec: gather of zero partials")
+	}
+	sel = foldSelect(sel)
+	naggs := 0
+	for _, it := range sel.Items {
+		if it.Agg != sql.AggNone {
+			naggs++
+		}
+	}
+	for i, p := range partials {
+		if p == nil {
+			return nil, fmt.Errorf("exec: gather: partial %d is nil", i)
+		}
+		if len(p.States) != naggs {
+			return nil, fmt.Errorf("exec: gather: partial %d carries %d aggregate states, query has %d", i, len(p.States), naggs)
+		}
+		if len(p.Keys) != len(p.KeyVals) {
+			return nil, fmt.Errorf("exec: gather: partial %d has %d keys for %d key-value rows", i, len(p.Keys), len(p.KeyVals))
+		}
+		for ai, st := range p.States {
+			if st.Kind != partials[0].States[ai].Kind {
+				return nil, fmt.Errorf("exec: gather: partial %d aggregate %d is %v, partial 0 has %v", i, ai, st.Kind, partials[0].States[ai].Kind)
+			}
+		}
+	}
+	return gatherShardPartials(ctx, sel, partials)
 }
 
 // runAggregateSharded answers an aggregate query by scattering it over
@@ -97,7 +219,7 @@ func runAggregateSharded(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 	// order — together, the first erroring selected row in global scan order,
 	// exactly like the unsharded scan.
 	bounds := shardBounds(snap.Len(), opts.Shards)
-	partials := make([]*shardPartial, len(bounds))
+	partials := make([]*ShardPartial, len(bounds))
 	err = forEachTask(ctx, len(bounds), workers, func(s int) error {
 		lo, hi := bounds[s][0], bounds[s][1]
 		sub := snap.SliceRange(lo, hi)
@@ -109,6 +231,7 @@ func runAggregateSharded(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 		if err != nil {
 			return err
 		}
+		p.Rows = hi - lo
 		if opts.ShardScan != nil {
 			opts.ShardScan(s, hi-lo)
 		}
@@ -118,29 +241,37 @@ func runAggregateSharded(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 	if err != nil {
 		return nil, true, err
 	}
+	res, err := gatherShardPartials(ctx, sel, partials)
+	if err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}
 
-	// Gather: merge partials in shard order. A group's global id is assigned
-	// at its first appearance across the shard sequence, which — shards being
-	// contiguous scan ranges — is its first appearance in scan order.
+// gatherShardPartials is the shared gather: merge partials in slice order,
+// assign group global ids at first appearance (shards being contiguous scan
+// ranges, that is scan order), finalize every aggregate, and apply HAVING /
+// ORDER BY / LIMIT. Aggregate kinds come from the partials themselves.
+func gatherShardPartials(ctx context.Context, sel *sql.Select, partials []*ShardPartial) (*Result, error) {
 	globalIdx := make(map[string]int)
 	var keyVals [][]value.Value
-	gStates := make([]*PartialStates, len(vaggs))
-	for ai, a := range vaggs {
-		gStates[ai] = NewPartialStates(a.kind, 0)
+	gStates := make([]*PartialStates, len(partials[0].States))
+	for ai, st := range partials[0].States {
+		gStates[ai] = NewPartialStates(st.Kind, 0)
 	}
 	for _, p := range partials {
-		for lg, k := range p.keys {
+		for lg, k := range p.Keys {
 			gi, ok := globalIdx[k]
 			if !ok {
 				gi = len(keyVals)
 				globalIdx[k] = gi
-				keyVals = append(keyVals, p.keyVals[lg])
+				keyVals = append(keyVals, p.KeyVals[lg])
 				for _, st := range gStates {
 					st.Grow(gi + 1)
 				}
 			}
 			for ai, st := range gStates {
-				st.MergeGroup(gi, p.states[ai], lg)
+				st.MergeGroup(gi, p.States[ai], lg)
 			}
 		}
 	}
@@ -174,7 +305,7 @@ func runAggregateSharded(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 		if sel.Having != nil {
 			ok, err := expr.Truthy(sel.Having, &expr.Binding{Schema: outSchema, Row: row})
 			if err != nil {
-				return nil, true, err
+				return nil, err
 			}
 			if !ok {
 				continue
@@ -183,14 +314,14 @@ func runAggregateSharded(ctx context.Context, snap *table.Snapshot, sel *sql.Sel
 		res.Rows = append(res.Rows, row)
 	}
 	if err := orderAndLimit(ctx, res, sel, outSchema); err != nil {
-		return nil, true, err
+		return nil, err
 	}
-	return res, true, nil
+	return res, nil
 }
 
 // shardPartialAggregate runs the vectorized aggregate pipeline over one
 // shard slice and returns its partial states keyed by group identity.
-func shardPartialAggregate(ctx context.Context, sub *table.Snapshot, sel *sql.Select, keyIdx []int, weightOverride []float64, opts Options, workers int) (*shardPartial, error) {
+func shardPartialAggregate(ctx context.Context, sub *table.Snapshot, sel *sql.Select, keyIdx []int, weightOverride []float64, opts Options, workers int) (*ShardPartial, error) {
 	rawW := sub.Weights()
 	if weightOverride != nil {
 		rawW = weightOverride
@@ -224,23 +355,19 @@ func shardPartialAggregate(ctx context.Context, sub *table.Snapshot, sel *sql.Se
 	if err != nil {
 		return nil, err
 	}
-	p := &shardPartial{
-		keys:    make([]string, ngroups),
-		keyVals: make([][]value.Value, ngroups),
-		states:  states,
+	p := &ShardPartial{
+		Keys:    make([]string, ngroups),
+		KeyVals: make([][]value.Value, ngroups),
+		States:  states,
 	}
-	var kb strings.Builder
 	for g := 0; g < ngroups; g++ {
 		row := sub.Row(int(firstRow[g]))
 		kv := make([]value.Value, len(keyIdx))
-		kb.Reset()
 		for ki, j := range keyIdx {
 			kv[ki] = row[j]
-			kb.WriteString(row[j].HashKey())
-			kb.WriteByte('\x1f')
 		}
-		p.keys[g] = kb.String()
-		p.keyVals[g] = kv
+		p.Keys[g] = GroupKey(kv)
+		p.KeyVals[g] = kv
 	}
 	return p, nil
 }

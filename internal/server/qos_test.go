@@ -373,6 +373,72 @@ func TestPlanCacheHitsAndDDLInvalidation(t *testing.T) {
 	}
 }
 
+// TestCancelStormDoesNotPolluteEWMA pins the shedder's blind spot fix: a
+// storm of fast client cancellations must NOT be recorded as completions.
+// Each abandoned request unwinds in milliseconds, so feeding those into the
+// class EWMA drags the estimate toward zero and disarms estimate-based
+// shedding exactly when real completions are slow. Before the fix, run()'s
+// ctx.Done branch observed every cancellation; this test fails there.
+func TestCancelStormDoesNotPolluteEWMA(t *testing.T) {
+	s, _ := newRawServer(t, Config{RequestTimeout: time.Minute})
+	cl := classInteractive
+
+	// Seed the estimate with healthy-but-slow completions at ~80ms.
+	const seed = 80 * time.Millisecond
+	for i := 0; i < 16; i++ {
+		s.stats.classes[cl].observe(seed)
+	}
+	before := s.stats.classes[cl].estimate()
+	if before < seed/2 {
+		t.Fatalf("seeded estimate = %s, want ≈%s", before, seed)
+	}
+
+	// Storm: 32 requests admitted, then cancelled by the client within
+	// milliseconds while the handler is still parked.
+	for i := 0; i < 32; i++ {
+		gate := make(chan struct{})
+		cctx, cancel := context.WithCancel(context.Background())
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", nil).WithContext(cctx)
+		go func() {
+			deadline := time.Now().Add(5 * time.Second)
+			for s.adm.inflightCount(cl) == 0 {
+				if time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			cancel()
+		}()
+		s.run(rec, req, cl, func(ctx context.Context) (any, int) {
+			<-gate
+			return "ok", http.StatusOK
+		})
+		close(gate)
+		cancel()
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("storm request %d answered %d, want 503 (client cancelled)", i, rec.Code)
+		}
+		// Let the parked handler goroutine release its slot before the next
+		// iteration's watcher polls inflight.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.adm.inflightCount(cl) != 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("storm slot never released")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	after := s.stats.classes[cl].estimate()
+	if after < before/2 {
+		t.Fatalf("cancel storm dragged the EWMA from %s to %s — the shedder is disarmed", before, after)
+	}
+	if got := s.stats.classes[cl].timeouts.Load(); got != 0 {
+		t.Errorf("client cancellations counted as %d timeout(s)", got)
+	}
+}
+
 // TestQoSConfigDefaults pins the clamping rules the reload path relies on.
 func TestQoSConfigDefaults(t *testing.T) {
 	q := QoSConfig{}.withDefaults()

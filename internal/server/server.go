@@ -196,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 		go s.snapshotLoop()
 	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/partial", s.handlePartial)
 	s.mux.HandleFunc("/v1/exec", s.handleExec)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -373,10 +374,13 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, cl class, fn func(c
 		}
 		writeJSON(w, out.status, out.body)
 	case <-ctx.Done():
-		// The class estimate must reflect expiries too, or a saturated
-		// class keeps a rosy EWMA and the shedder never engages.
-		s.stats.classes[cl].observe(time.Since(start))
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The class estimate must reflect expiries too, or a saturated
+			// class keeps a rosy EWMA and the shedder never engages. Client
+			// cancellations must NOT feed it: a cancel storm of fast aborts
+			// would drag the EWMA down and disarm the shedder exactly when
+			// real completions are slow.
+			s.stats.classes[cl].observe(time.Since(start))
 			s.stats.recordTimeout(cl)
 			writeError(w, http.StatusGatewayTimeout, "request exceeded %s (the statement was cancelled server-side)", timeout)
 			return
@@ -479,6 +483,71 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePartial serves one shard's half of a fleet scatter: it executes the
+// per-shard partial aggregate plan over this process's full data copy and
+// returns the serialized partial states. With check_generation set, the
+// request carries the coordinator's view of the fleet's DDL/DML generation;
+// a mismatch answers 409 Conflict — this shard's data diverged from the
+// fleet, and serving a partial from it could silently corrupt a merged
+// answer. The generation is read under the engine lock the partial executes
+// under, so the check cannot race a concurrent mutation.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req wire.PartialRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Shards < 1 || req.Shard < 0 || req.Shard >= req.Shards {
+		writeError(w, http.StatusBadRequest, "shard %d of %d out of range", req.Shard, req.Shards)
+		return
+	}
+	sel, err := sql.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params, err := wire.DecodeValues(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bound, err := sql.BindParams(sel, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Partials serve only CLOSED/SEMI-OPEN aggregates (OPEN is unhandled),
+	// so the default class is interactive, like the equivalent /v1/query.
+	cl, err := classFromHeader(r, classInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.run(w, r, cl, func(ctx context.Context) (any, int) {
+		eng := s.db.Engine()
+		p, gen, handled, perr := eng.PartialContext(ctx, bound, req.Shard, req.Shards)
+		if req.CheckGeneration && gen != req.Generation {
+			return fmt.Sprintf("shard at generation %d, coordinator expected %d: shard state diverged from the fleet", gen, req.Generation), http.StatusConflict
+		}
+		if perr != nil {
+			s.stats.recordCancelled(perr)
+			return perr.Error(), http.StatusUnprocessableEntity
+		}
+		if !handled {
+			return &wire.PartialResponse{Handled: false, Generation: gen}, http.StatusOK
+		}
+		s.stats.partials.Add(1)
+		resp, eerr := wire.EncodePartial(p, gen)
+		if eerr != nil {
+			return eerr.Error(), http.StatusInternalServerError
+		}
+		return resp, http.StatusOK
+	})
+}
+
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -506,6 +575,9 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		for i, res := range results {
 			out.Results[i] = wire.EncodeResult(res)
 		}
+		// The post-script generation is the fleet coordinator's handshake:
+		// every shard must land on the same counter after a fanned-out exec.
+		out.Generation = s.db.Engine().Generation()
 		return out, http.StatusOK
 	})
 }
@@ -550,6 +622,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := s.stats.snapshot(s.adm, s.plans)
+	out.Generation = s.db.Engine().Generation()
 	// Per-shard scan counters live on the engine (the server has no view of
 	// scatter-gather execution); merge them in when sharding is on.
 	if eng := s.db.Engine(); eng.Shards() > 1 {

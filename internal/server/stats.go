@@ -106,6 +106,7 @@ type stats struct {
 	errors    atomic.Int64
 	execs     atomic.Int64
 	explains  atomic.Int64
+	partials  atomic.Int64 // /v1/partial plans served (fleet shard duty)
 	rejected  atomic.Int64 // admission-gate rejections (all classes)
 	shed      atomic.Int64 // deadline-unmeetable sheds (all classes)
 	timeouts  atomic.Int64 // per-request deadline expiries (all classes)
@@ -171,6 +172,7 @@ func (s *stats) snapshot(adm *admission, plans *core.PlanCache) wire.StatsRespon
 		Inflight:         s.inflight.Load(),
 		Execs:            s.execs.Load(),
 		Explains:         s.explains.Load(),
+		Partials:         s.partials.Load(),
 		QueryErrors:      s.errors.Load(),
 		Rejected:         s.rejected.Load(),
 		Shed:             s.shed.Load(),

@@ -50,9 +50,13 @@ type Result struct {
 	Rows    [][]Cell `json:"rows"`
 }
 
-// ExecResponse is the body of a successful POST /v1/exec.
+// ExecResponse is the body of a successful POST /v1/exec. Generation is the
+// engine's DDL/DML generation counter after the script ran — the fleet
+// coordinator's handshake for confirming every shard landed on the same
+// state.
 type ExecResponse struct {
-	Results []*Result `json:"results"`
+	Results    []*Result `json:"results"`
+	Generation uint64    `json:"generation"`
 }
 
 // HistogramSnapshot is the JSON form of one latency histogram in /statsz.
@@ -122,6 +126,11 @@ type StatsResponse struct {
 	LastSnapshotUnix int64                      `json:"last_snapshot_unix,omitempty"`
 	LastSnapshotSize int64                      `json:"last_snapshot_bytes,omitempty"`
 	Sharding         *ShardStats                `json:"sharding,omitempty"`
+	// Generation is the engine's DDL/DML generation counter — the fleet
+	// coordinator probes it to (re)synchronize with a shard's state.
+	Generation uint64 `json:"generation"`
+	// Partials counts /v1/partial plans served (fleet shard duty).
+	Partials int64 `json:"partials,omitempty"`
 }
 
 // EncodeValue converts a value.Value to its wire cell.

@@ -352,14 +352,77 @@ func (c *Client) Explain(query string) (*mosaic.Result, error) {
 	return c.ExplainContext(context.Background(), query)
 }
 
-// HealthContext checks the server's liveness endpoint, bounded by ctx.
-func (c *Client) HealthContext(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+// HealthStatus is the decoded /healthz answer of a mosaic-serve or
+// mosaic-coord process. Status is "ok" or "degraded"; the detail fields are
+// populated according to what the target is: a follower reports its
+// replication state, a coordinator reports per-shard and per-replica
+// liveness.
+type HealthStatus struct {
+	Status     string
+	UptimeSecs float64
+	// Follower reports replication state when the target runs in follower
+	// mode (mosaic-serve -follow).
+	Follower *wire.FollowerStats
+	// Shards and Replicas report per-backend liveness when the target is a
+	// coordinator (replica keys are "shard/URL").
+	Shards   map[string]bool
+	Replicas map[string]bool
+}
+
+// Degraded reports whether the process answered but declared itself
+// degraded — a stale follower, or a coordinator with a dead backend.
+func (h *HealthStatus) Degraded() bool { return h.Status != "ok" }
+
+// HealthContext fetches and decodes the server's /healthz, bounded by ctx.
+// A non-nil status with Degraded() true means the process is alive but
+// impaired; an error means it did not answer coherently at all.
+func (c *Client) HealthContext(ctx context.Context) (*HealthStatus, error) {
+	var raw struct {
+		Status     string              `json:"status"`
+		UptimeSecs float64             `json:"uptime_secs"`
+		Follower   *wire.FollowerStats `json:"follower"`
+		Shards     map[string]bool     `json:"shards"`
+		Replicas   map[string]bool     `json:"replicas"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &raw); err != nil {
+		return nil, err
+	}
+	return &HealthStatus{
+		Status:     raw.Status,
+		UptimeSecs: raw.UptimeSecs,
+		Follower:   raw.Follower,
+		Shards:     raw.Shards,
+		Replicas:   raw.Replicas,
+	}, nil
 }
 
 // Health checks the server's liveness endpoint.
 func (c *Client) Health() error {
-	return c.HealthContext(context.Background())
+	_, err := c.HealthContext(context.Background())
+	return err
+}
+
+// SnapshotContext fetches the server's full dump script plus the generation
+// it captures (GET /v1/snapshot) — the follower bootstrap primitive.
+func (c *Client) SnapshotContext(ctx context.Context) (*wire.SnapshotResponse, error) {
+	var w wire.SnapshotResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// SnapshotDeltaContext fetches the statement suffix advancing generation
+// `from` to the primary's current generation (GET /v1/snapshot/delta). A
+// *RemoteError with StatusCode 410 (Gone) means `from` fell out of the
+// primary's bounded statement log and the follower must re-bootstrap from
+// SnapshotContext.
+func (c *Client) SnapshotDeltaContext(ctx context.Context, from uint64) (*wire.DeltaResponse, error) {
+	var w wire.DeltaResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/snapshot/delta?from="+strconv.FormatUint(from, 10), nil, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
 }
 
 // StatsContext fetches the server's /statsz counters, bounded by ctx.

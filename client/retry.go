@@ -100,7 +100,10 @@ func jitterFloat() float64 {
 // state and is excluded by design.
 func idempotentPath(path string) bool {
 	switch path {
-	case "/v1/query", "/v1/partial", "/healthz", "/statsz":
+	case "/v1/query", "/v1/partial", "/v1/snapshot", "/healthz", "/statsz":
+		return true
+	}
+	if len(path) >= len("/v1/snapshot/delta") && path[:len("/v1/snapshot/delta")] == "/v1/snapshot/delta" {
 		return true
 	}
 	return len(path) >= len("/v1/explain") && path[:len("/v1/explain")] == "/v1/explain"

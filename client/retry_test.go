@@ -172,7 +172,7 @@ func TestNoRetryAfterContextCancel(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	if err := c.HealthContext(ctx); err == nil {
+	if _, err := c.HealthContext(ctx); err == nil {
 		t.Fatal("cancelled health should fail")
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
@@ -194,7 +194,7 @@ func TestDeadlineHeaderPropagates(t *testing.T) {
 	c := New(ts.URL, WithPriority("interactive"))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := c.HealthContext(ctx); err != nil {
+	if _, err := c.HealthContext(ctx); err != nil {
 		t.Fatal(err)
 	}
 	hdr := <-got

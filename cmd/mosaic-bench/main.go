@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mosaic-bench -exp fig5|fig6|fig7|visibility|sweep|lambda|projections|
-//	             mechanism|scope|bayes|tables|concurrent|exec|fleet|all
+//	             mechanism|scope|bayes|tables|concurrent|exec|fleet|replica|all
 //	             [-pop N] [-sample N] [-epochs N] [-projections N] [-seed N]
 //	             [-workers N] [-clients LIST] [-queries-per-client N]
 //	             [-rows N] [-exec-workers LIST] [-shards LIST] [-json out.json]
@@ -70,6 +70,18 @@
 // (partial fan-out) vs pass-through (relayed whole to shard 0):
 //
 //	mosaic-bench -exp fleet -shards 1,2,4 -clients 4 -queries-per-client 4
+//
+// # Follower read scaling
+//
+// The "replica" experiment boots, for each -replicas count R, one primary
+// internal/server instance, R `-follow`-style read replicas bootstrapped
+// from its snapshot over real HTTP, and a coordinator registered with all
+// of them, then drives the read workload with concurrent clients. Every
+// routed answer — whichever backend served it — is verified byte-for-byte
+// against an in-process reference, and the report splits reads by role
+// (primary vs replica) so the scaling is attributable:
+//
+//	mosaic-bench -exp replica -replicas 0,1,2 -clients 4 -queries-per-client 4 -json BENCH_replica.json
 package main
 
 import (
@@ -86,7 +98,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, overload, exec, fleet, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5, fig6, fig7, visibility, sweep, lambda, projections, mechanism, scope, bayes, tables, concurrent, http, overload, exec, fleet, replica, all)")
 	popN := flag.Int("pop", 50000, "population rows")
 	sampleN := flag.Int("sample", 10000, "spiral sample rows")
 	epochs := flag.Int("epochs", 25, "M-SWG training epochs")
@@ -98,7 +110,8 @@ func main() {
 	rows := flag.Int("rows", 1_000_000, "table size for -exp exec")
 	execWorkers := flag.String("exec-workers", "1", "comma-separated worker counts swept by -exp exec's vectorized path")
 	execShards := flag.String("shards", "1", "comma-separated scatter-gather shard counts swept by -exp exec's vectorized path")
-	jsonOut := flag.String("json", "", "write a machine-readable JSON report of JSON-capable experiments (exec) to this file")
+	replicaSweep := flag.String("replicas", "0,1,2", "comma-separated follower counts swept by -exp replica")
+	jsonOut := flag.String("json", "", "write a machine-readable JSON report of JSON-capable experiments (exec, replica) to this file")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -115,6 +128,11 @@ func main() {
 	execShardCounts, err := parseClients(*execShards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mosaic-bench: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	replicaCounts, err := parseCounts(*replicaSweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mosaic-bench: -replicas: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -178,9 +196,14 @@ func main() {
 				Flights: flights, Shards: execShardCounts, Rounds: *queriesPerClient, Clients: clientCounts[len(clientCounts)-1],
 			})
 		},
+		"replica": func() (fmt.Stringer, error) {
+			return bench.RunReplica(bench.ReplicaConfig{
+				Flights: flights, Replicas: replicaCounts, Rounds: *queriesPerClient, Clients: clientCounts[len(clientCounts)-1],
+			})
+		},
 	}
 	order := []string{"tables", "visibility", "fig5", "fig6", "fig7", "sweep",
-		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "overload", "exec", "fleet"}
+		"lambda", "projections", "mechanism", "scope", "bayes", "concurrent", "http", "overload", "exec", "fleet", "replica"}
 
 	selected := []string{*exp}
 	if *exp == "all" {
@@ -214,6 +237,27 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseCounts parses a comma-separated list of non-negative counts (a
+// replica sweep legitimately starts at 0 — the no-follower baseline).
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // parseClients parses a comma-separated list of positive client counts.

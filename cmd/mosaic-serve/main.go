@@ -8,6 +8,8 @@
 //	             [-max-concurrent 64] [-batch-max-concurrent 32]
 //	             [-shed-margin 1.0] [-qos-config qos.json]
 //	             [-request-timeout 30s]
+//	             [-follow http://primary:7171] [-follow-interval 500ms]
+//	             [-follow-staleness 10s] [-follow-boot-timeout 30s]
 //	             [-seed N] [-open-samples N] [-swg-epochs N] [-workers N]
 //	             [-shards N] [init.sql ...]
 //
@@ -16,6 +18,15 @@
 // snapshot on SIGINT/SIGTERM before exiting — so a kill + restart preserves
 // the catalog, rows, metadata, and sample weights exactly. Positional
 // scripts run after the boot restore (useful to seed a fresh instance).
+//
+// With -follow, the process runs as a read-only follower replica: it
+// bootstraps from the primary's GET /v1/snapshot, tails its statement log
+// (GET /v1/snapshot/delta) every -follow-interval, refuses DDL/DML with
+// 403, and reports replication lag in /statsz. The follower MUST run with
+// the same -seed/-shards/-open-samples/-swg-epochs as its primary:
+// statement replay is only bit-identical across identical engine Options.
+// -follow excludes -snapshot and init scripts — a follower's state comes
+// from its primary, nowhere else.
 //
 // -request-timeout is a real bound on server-side work, not just on the
 // response: a request that exceeds it answers 504 AND is cancelled inside
@@ -53,6 +64,8 @@ import (
 	"time"
 
 	"mosaic"
+	"mosaic/client"
+	"mosaic/internal/repl"
 	"mosaic/internal/server"
 )
 
@@ -65,11 +78,16 @@ func main() {
 	shedMargin := flag.Float64("shed-margin", 1.0, "shed a request when EWMA latency × margin exceeds its deadline budget; negative disables estimate-based shedding")
 	qosConfig := flag.String("qos-config", "", "JSON file with QoS limits, re-read on SIGHUP (overrides the QoS flags)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	follow := flag.String("follow", "", "primary base URL to replicate from; runs this process as a read-only follower")
+	followInterval := flag.Duration("follow-interval", 500*time.Millisecond, "delta poll period in follower mode")
+	followStaleness := flag.Duration("follow-staleness", 10*time.Second, "mark the follower degraded after this long without a successful sync (health only)")
+	followBootTimeout := flag.Duration("follow-boot-timeout", 30*time.Second, "how long to wait for the primary to serve the initial bootstrap snapshot")
 	seed := flag.Int64("seed", 1, "random seed driving IPF/M-SWG determinism")
 	openSamples := flag.Int("open-samples", 10, "generated samples averaged per OPEN query")
 	epochs := flag.Int("swg-epochs", 20, "M-SWG training epochs for OPEN queries")
 	workers := flag.Int("workers", 0, "intra-query workers; 0 = all cores (GOMAXPROCS), answers are identical for any value")
 	shards := flag.Int("shards", 1, "scatter-gather shards for CLOSED/SEMI-OPEN aggregates; 1 = unsharded; unlike -workers the value is part of the answer contract for float aggregates")
+	stmtLog := flag.Int("stmt-log", 0, "mutations retained for follower replication deltas; 0 = default (1024), negative forces followers onto full snapshots")
 	flag.Parse()
 
 	db := mosaic.Open(&mosaic.Options{
@@ -78,6 +96,7 @@ func main() {
 		Workers:     *workers,
 		Shards:      *shards,
 		SWG:         mosaic.SWGConfig{Epochs: *epochs},
+		StmtLogSize: *stmtLog,
 	})
 
 	flagQoS := server.QoSConfig{
@@ -94,7 +113,7 @@ func main() {
 		bootQoS = q
 	}
 
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		DB:                 db,
 		MaxConcurrent:      bootQoS.MaxConcurrent,
 		BatchMaxConcurrent: bootQoS.BatchMaxConcurrent,
@@ -103,7 +122,51 @@ func main() {
 		SnapshotPath:       *snapshot,
 		SnapshotInterval:   *snapshotInterval,
 		Logf:               log.Printf,
-	})
+	}
+
+	// Follower mode: the process's state comes from its primary and nowhere
+	// else — local persistence and init scripts are contradictions, not
+	// conveniences, so they are hard errors.
+	var follower *repl.Follower
+	if *follow != "" {
+		if *snapshot != "" {
+			log.Fatal("mosaic-serve: -follow excludes -snapshot (a follower's state comes from its primary)")
+		}
+		if flag.NArg() > 0 {
+			log.Fatalf("mosaic-serve: -follow excludes init scripts %v (a follower's state comes from its primary)", flag.Args())
+		}
+		f, err := repl.NewFollower(repl.Config{
+			Primary:      *follow,
+			DB:           db,
+			PollInterval: *followInterval,
+			StalenessMax: *followStaleness,
+			Retry:        client.RetryPolicy{},
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("mosaic-serve: %v", err)
+		}
+		// The primary may still be booting: keep retrying the bootstrap
+		// until it serves a snapshot or the boot window closes.
+		bootCtx, bootCancel := context.WithTimeout(context.Background(), *followBootTimeout)
+		for {
+			err = f.Start(bootCtx)
+			if err == nil {
+				break
+			}
+			select {
+			case <-bootCtx.Done():
+				log.Fatalf("mosaic-serve: primary %s did not serve a bootstrap snapshot within %s: %v", *follow, *followBootTimeout, err)
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+		bootCancel()
+		follower = f
+		srvCfg.Follower = f
+		log.Printf("mosaic-serve: following %s from generation %d", *follow, f.Generation())
+	}
+
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		log.Fatalf("mosaic-serve: %v", err)
 	}
@@ -170,6 +233,9 @@ loop:
 			cancel()
 			break loop
 		}
+	}
+	if follower != nil {
+		follower.Close()
 	}
 	// Final snapshot (when configured): the restart-from-snapshot guarantee.
 	if err := srv.Close(); err != nil {

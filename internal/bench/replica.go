@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaic"
+	"mosaic/client"
+	"mosaic/internal/coord"
+	"mosaic/internal/repl"
+	"mosaic/internal/server"
+	"mosaic/internal/wire"
+)
+
+// ReplicaConfig tunes the follower read-scaling experiment: for each swept
+// replica count R, boot one primary internal/server instance, R followers
+// bootstrapped from its snapshot over real HTTP, and a coordinator
+// registered with all of them, then drive the read workload with concurrent
+// clients. Every routed answer — whichever backend served it — is compared
+// byte-for-byte against an in-process reference engine, so the sweep
+// measures read scaling without ever trusting it: a replica serving stale
+// or divergent bytes fails the run, it does not skew a curve.
+type ReplicaConfig struct {
+	Flights  FlightsConfig
+	Replicas []int // follower counts to sweep; default {0, 1, 2}
+	Rounds   int   // times the query set is driven per replica count; default 4
+	Clients  int   // concurrent clients driving the coordinator; default 4
+}
+
+func (c ReplicaConfig) withDefaults() ReplicaConfig {
+	if len(c.Replicas) == 0 {
+		c.Replicas = []int{0, 1, 2}
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	return c
+}
+
+// ReplicaRow is one swept follower count.
+type ReplicaRow struct {
+	Replicas     int     `json:"replicas"`
+	Queries      int     `json:"queries"`
+	Secs         float64 `json:"secs"`
+	QPS          float64 `json:"qps"`
+	PrimaryReads int64   `json:"primary_reads"`
+	ReplicaReads int64   `json:"replica_reads"`
+	Failovers    int64   `json:"failovers"`
+}
+
+// ReplicaResult is the full sweep.
+type ReplicaResult struct {
+	Rows     []ReplicaRow `json:"rows"`
+	Verified int          `json:"verified"` // answers byte-checked against the in-process reference
+}
+
+// String renders the sweep as an aligned table.
+func (r *ReplicaResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replica — follower read scaling, coordinator-routed vs in-process reference (%d answers verified byte-for-byte)\n", r.Verified)
+	b.WriteString("  replicas  queries   secs      q/s  primary-reads  replica-reads  failovers\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %8d  %7d  %6.2f  %7.1f  %13d  %13d  %9d\n",
+			row.Replicas, row.Queries, row.Secs, row.QPS, row.PrimaryReads, row.ReplicaReads, row.Failovers)
+	}
+	return b.String()
+}
+
+// JSON renders the machine-readable report for CI artifacts.
+func (r *ReplicaResult) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// replicaFollower is one booted in-process follower: a fresh DB replicating
+// the primary plus the read-only serving layer in front of it.
+type replicaFollower struct {
+	f       *repl.Follower
+	srv     *server.Server
+	httpSrv *http.Server
+	url     string
+}
+
+func bootReplicaFollower(primary string, opts *mosaic.Options) (*replicaFollower, error) {
+	db := mosaic.Open(opts)
+	f, err := repl.NewFollower(repl.Config{
+		Primary:      primary,
+		DB:           db,
+		PollInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = f.Start(ctx)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("bench: follower bootstrap: %v", err)
+	}
+	srv, err := server.New(server.Config{DB: db, RequestTimeout: 5 * time.Minute, Follower: f})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		f.Close()
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return &replicaFollower{f: f, srv: srv, httpSrv: httpSrv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *replicaFollower) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = s.httpSrv.Shutdown(ctx)
+	cancel()
+	s.srv.Close()
+	s.f.Close()
+}
+
+// RunReplica builds the flights workload once, then for each swept follower
+// count boots a primary + followers + coordinator (all real HTTP on
+// loopback), verifies every routed answer byte-for-byte against an
+// in-process reference, and reports read throughput along with the
+// primary/replica routing split.
+func RunReplica(cfg ReplicaConfig) (*ReplicaResult, error) {
+	cfg = cfg.withDefaults()
+	setup, err := BuildFlights(cfg.Flights)
+	if err != nil {
+		return nil, err
+	}
+	script, err := setup.Engine.DumpScript()
+	if err != nil {
+		return nil, err
+	}
+	baseOpts := mosaic.Options{
+		Seed:        setup.Cfg.Seed,
+		OpenSamples: setup.Cfg.OpenSamples,
+		SWG:         setup.Cfg.SWG,
+		IPF:         setup.Cfg.IPF,
+	}
+
+	out := &ReplicaResult{}
+	for _, r := range cfg.Replicas {
+		row, verified, err := runReplicaOnce(script, baseOpts, r, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d replicas: %v", r, err)
+		}
+		out.Rows = append(out.Rows, row)
+		out.Verified += verified
+	}
+	return out, nil
+}
+
+func runReplicaOnce(script string, baseOpts mosaic.Options, nReplicas int, cfg ReplicaConfig) (ReplicaRow, int, error) {
+	primary, err := bootFleetShard(script, &baseOpts)
+	if err != nil {
+		return ReplicaRow{}, 0, err
+	}
+	defer primary.close()
+	followers := make([]*replicaFollower, 0, nReplicas)
+	defer func() {
+		for _, f := range followers {
+			f.close()
+		}
+	}()
+	replicas := make(map[int][]string)
+	for i := 0; i < nReplicas; i++ {
+		f, err := bootReplicaFollower(primary.url, &baseOpts)
+		if err != nil {
+			return ReplicaRow{}, 0, err
+		}
+		followers = append(followers, f)
+		replicas[0] = append(replicas[0], f.url)
+	}
+
+	c, err := coord.New(coord.Config{
+		Shards:              []string{primary.url},
+		Replicas:            replicas,
+		ReplicaPollInterval: 20 * time.Millisecond,
+		Retry:               client.RetryPolicy{MaxRetries: 2, BaseBackoff: 10 * time.Millisecond, Budget: 30 * time.Second},
+		RequestTimeout:      5 * time.Minute,
+	})
+	if err != nil {
+		return ReplicaRow{}, 0, err
+	}
+	defer c.Close()
+	syncCtx, syncCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = c.Sync(syncCtx)
+	syncCancel()
+	if err != nil {
+		return ReplicaRow{}, 0, fmt.Errorf("fleet sync: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ReplicaRow{}, 0, err
+	}
+	coordSrv := &http.Server{Handler: c.Handler()}
+	go func() { _ = coordSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = coordSrv.Shutdown(ctx)
+		cancel()
+	}()
+	coordURL := "http://" + ln.Addr().String()
+
+	// Wait for the coordinator's poller to see every follower caught up, so
+	// the timed run actually exercises replica routing.
+	if err := waitReplicasCaughtUp(coordURL, nReplicas, 10*time.Second); err != nil {
+		return ReplicaRow{}, 0, err
+	}
+
+	// The reference IS the contract: same snapshot, same options, in-process.
+	ref := mosaic.Open(&baseOpts)
+	if err := ref.Restore(script); err != nil {
+		return ReplicaRow{}, 0, fmt.Errorf("restore reference: %v", err)
+	}
+	refs := make([]string, len(fleetBenchQueries))
+	warm := client.New(coordURL)
+	verified := 0
+	for i, q := range fleetBenchQueries {
+		want, err := ref.Query(q)
+		if err != nil {
+			return ReplicaRow{}, 0, fmt.Errorf("reference %q: %v", q, err)
+		}
+		refs[i] = renderResult(want)
+		got, err := warm.Query(q)
+		if err != nil {
+			return ReplicaRow{}, 0, fmt.Errorf("fleet %q: %v", q, err)
+		}
+		if renderResult(got) != refs[i] {
+			return ReplicaRow{}, 0, fmt.Errorf("%q: routed answer diverged from the reference", q)
+		}
+		verified++
+	}
+
+	// Timed run: concurrent clients replay the verified set through the
+	// coordinator, still byte-checking every answer.
+	total := cfg.Clients * cfg.Rounds * len(fleetBenchQueries)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			cc := client.New(coordURL)
+			for r := 0; r < cfg.Rounds; r++ {
+				for i, q := range fleetBenchQueries {
+					res, err := cc.Query(q)
+					if err != nil {
+						errs[cl] = fmt.Errorf("client %d round %d %q: %v", cl, r, q, err)
+						return
+					}
+					if renderResult(res) != refs[i] {
+						errs[cl] = fmt.Errorf("client %d round %d %q: routed answer diverged", cl, r, q)
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ReplicaRow{}, 0, err
+		}
+	}
+	verified += total
+
+	st, err := fetchCoordStats(coordURL)
+	if err != nil {
+		return ReplicaRow{}, 0, err
+	}
+	if nReplicas > 0 && st.ReplicaReads == 0 {
+		return ReplicaRow{}, 0, fmt.Errorf("%d followers registered but no read was routed to any of them", nReplicas)
+	}
+	return ReplicaRow{
+		Replicas:     nReplicas,
+		Queries:      total,
+		Secs:         secs,
+		QPS:          float64(total) / secs,
+		PrimaryReads: st.PrimaryReads,
+		ReplicaReads: st.ReplicaReads,
+		Failovers:    st.Failovers,
+	}, verified, nil
+}
+
+func fetchCoordStats(coordURL string) (*wire.CoordStatsResponse, error) {
+	resp, err := http.Get(coordURL + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st wire.CoordStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("statsz: %v", err)
+	}
+	return &st, nil
+}
+
+func waitReplicasCaughtUp(coordURL string, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := fetchCoordStats(coordURL)
+		if err == nil {
+			caught := 0
+			for _, b := range st.Backends {
+				if b.Role == "replica" && b.CaughtUp {
+					caught++
+				}
+			}
+			if caught == want {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("coordinator never saw %d caught-up replicas", want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

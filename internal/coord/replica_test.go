@@ -1,0 +1,393 @@
+// Replica fleet tests: coordinators routing reads across primaries plus
+// snapshot-shipped followers must stay bit-identical to the in-process
+// reference for every replica count, survive any single follower's death
+// without a wrong, partial, or failed read, and never consult a lagging
+// replica.
+package coord_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mosaic"
+	"mosaic/client"
+	"mosaic/internal/coord"
+	"mosaic/internal/repl"
+	"mosaic/internal/server"
+	"mosaic/internal/wire"
+)
+
+// followerProc is one in-process stand-in for a `mosaic-serve -follow` replica.
+type followerProc struct {
+	db *mosaic.DB
+	f  *repl.Follower
+	ts *httptest.Server
+}
+
+// startFollower boots a follower of primary: a fresh same-Options DB
+// bootstrapped over HTTP from the primary's snapshot, tailing its statement
+// log, served behind the read-only follower handler.
+func startFollower(t *testing.T, primary string, opts *mosaic.Options, poll time.Duration) *followerProc {
+	t.Helper()
+	db := mosaic.Open(opts)
+	f, err := repl.NewFollower(repl.Config{
+		Primary:      primary,
+		DB:           db,
+		PollInterval: poll,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, RequestTimeout: time.Minute, Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		f.Close()
+	})
+	return &followerProc{db: db, f: f, ts: ts}
+}
+
+// replicaFleet is a running fleet of primaries + followers + coordinator.
+type replicaFleet struct {
+	cc        *client.Client
+	primaries []*shardProc
+	followers [][]*followerProc // [shard][replica]
+	c         *coord.Coordinator
+	url       string
+}
+
+// startReplicaFleet boots n primary shards, r followers per shard (already
+// caught up — Start bootstraps synchronously), and a coordinator registered
+// with every follower.
+func startReplicaFleet(t *testing.T, n, r int, script string, opts *mosaic.Options, followerPoll, coordPoll time.Duration) *replicaFleet {
+	t.Helper()
+	fl := &replicaFleet{
+		primaries: make([]*shardProc, n),
+		followers: make([][]*followerProc, n),
+	}
+	urls := make([]string, n)
+	replicas := make(map[int][]string)
+	for i := range fl.primaries {
+		fl.primaries[i] = startShard(t, script, opts)
+		urls[i] = fl.primaries[i].ts.URL
+		for j := 0; j < r; j++ {
+			fp := startFollower(t, urls[i], opts, followerPoll)
+			fl.followers[i] = append(fl.followers[i], fp)
+			replicas[i] = append(replicas[i], fp.ts.URL)
+		}
+	}
+	c, err := coord.New(coord.Config{
+		Shards:              urls,
+		Replicas:            replicas,
+		ReplicaPollInterval: coordPoll,
+		Retry:               client.RetryPolicy{MaxRetries: 2, BaseBackoff: 10 * time.Millisecond, Budget: 5 * time.Second},
+		RequestTimeout:      time.Minute,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Sync(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(c.Handler())
+	t.Cleanup(cts.Close)
+	fl.cc = client.New(cts.URL)
+	fl.c = c
+	fl.url = cts.URL
+	return fl
+}
+
+func coordStats(t *testing.T, coordURL string) wire.CoordStatsResponse {
+	t.Helper()
+	resp, err := http.Get(coordURL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st wire.CoordStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// caughtUpReplicas counts replica backends the coordinator currently deems
+// eligible for generation-gated reads.
+func caughtUpReplicas(st wire.CoordStatsResponse) int {
+	n := 0
+	for _, b := range st.Backends {
+		if b.Role == "replica" && b.CaughtUp {
+			n++
+		}
+	}
+	return n
+}
+
+// waitCaughtUp blocks until the coordinator's poller marks want replicas
+// caught up (the poller is advisory and asynchronous; tests must not race it).
+func waitCaughtUp(t *testing.T, coordURL string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if caughtUpReplicas(coordStats(t, coordURL)) == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never saw %d caught-up replicas: %+v", want, coordStats(t, coordURL).Backends)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicaFleetBitIdenticalAcrossReplicaCounts is the tentpole answer
+// contract: for replicas ∈ {0, 1, 2} per shard, every read through the
+// coordinator — whichever backend serves it — answers bit-identically to
+// the in-process Options.Shards reference, across repeated runs.
+func TestReplicaFleetBitIdenticalAcrossReplicaCounts(t *testing.T) {
+	script, opts := worldScript(t)
+	for _, r := range []int{0, 1, 2} {
+		t.Run(fmt.Sprintf("replicas=%d", r), func(t *testing.T) {
+			fl := startReplicaFleet(t, 2, r, script, opts, 10*time.Millisecond, 5*time.Millisecond)
+			waitCaughtUp(t, fl.url, 2*r)
+			refOpts := *opts
+			refOpts.Shards = 2
+			ref := mosaic.Open(&refOpts)
+			if err := ref.Restore(script); err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 3; round++ {
+				for _, q := range fleetQueries {
+					want, err := ref.Query(q)
+					if err != nil {
+						t.Fatalf("%s: reference: %v", q, err)
+					}
+					got, err := fl.cc.Query(q)
+					if err != nil {
+						t.Fatalf("round %d %s: fleet: %v", round, q, err)
+					}
+					if render(got) != render(want) {
+						t.Errorf("round %d %s: replicated fleet diverged\nfleet: %q\nref:   %q", round, q, render(got), render(want))
+					}
+				}
+			}
+			st := coordStats(t, fl.url)
+			if r == 0 {
+				if st.ReplicaReads != 0 {
+					t.Errorf("replica_reads = %d with no replicas registered", st.ReplicaReads)
+				}
+				return
+			}
+			// EWMA balancing must actually spread reads onto followers: after
+			// the first primary read establishes a nonzero latency estimate,
+			// untouched replicas sort first.
+			if st.ReplicaReads == 0 {
+				t.Errorf("no reads routed to replicas: %+v", st.Backends)
+			}
+			if st.PrimaryReads == 0 {
+				t.Errorf("no reads routed to primaries: %+v", st.Backends)
+			}
+			for _, b := range st.Backends {
+				if b.Role == "replica" && b.Lag != 0 {
+					t.Errorf("caught-up replica %s reports lag %d", b.URL, b.Lag)
+				}
+			}
+		})
+	}
+}
+
+// TestReplicaDeathNeverFailsReads is the failover acceptance criterion:
+// kill one follower while reads flow — every read keeps answering
+// bit-identical bytes (rerouted to the surviving backends), never a wrong,
+// partial, or unnecessarily failed answer, and /healthz degrades.
+func TestReplicaDeathNeverFailsReads(t *testing.T) {
+	script, opts := worldScript(t)
+	// A long coordinator poll interval freezes eligibility at boot: the dead
+	// follower STAYS a read candidate, so the failover path itself (try,
+	// fail, reroute) is exercised deterministically rather than the poller
+	// quietly delisting the corpse first.
+	fl := startReplicaFleet(t, 1, 2, script, opts, 10*time.Millisecond, time.Hour)
+	waitCaughtUp(t, fl.url, 2)
+	ref := mosaic.Open(opts)
+	if err := ref.Restore(script); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT CLOSED carrier, AVG(distance) FROM Flights GROUP BY carrier ORDER BY carrier"
+	want, err := ref.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One read before the kill gives the primary a nonzero latency estimate,
+	// so the untouched (soon-dead) replicas sort ahead of it afterwards.
+	got, err := fl.cc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Fatal("fleet diverged before the kill — test setup broken")
+	}
+
+	fl.followers[0][0].ts.Close() // the follower process dies
+
+	for i := 0; i < 10; i++ {
+		got, err := fl.cc.Query(q)
+		if err != nil {
+			t.Fatalf("read %d after follower death failed: %v", i, err)
+		}
+		if render(got) != render(want) {
+			t.Fatalf("read %d after follower death answered wrong bytes: %q", i, render(got))
+		}
+	}
+	st := coordStats(t, fl.url)
+	if st.Failovers == 0 {
+		t.Error("no failovers recorded — the dead follower was never tried, so the reroute path went unexercised")
+	}
+	// Health must name the dead replica while the fleet stays serving.
+	resp, err := http.Get(fl.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h wire.CoordHealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	deadKey := fmt.Sprintf("0/%s", fl.followers[0][0].ts.URL)
+	if alive, found := h.Replicas[deadKey]; !found || alive {
+		t.Errorf("healthz replicas = %+v, want %q dead", h.Replicas, deadKey)
+	}
+	if h.Status != "degraded" {
+		t.Errorf("healthz status = %q with a dead replica, want degraded", h.Status)
+	}
+}
+
+// TestReplicaLaggingNeverConsulted: a follower that has not replicated the
+// fleet's generation is invisible to read routing — reads stay on the
+// primary and stay correct — and rejoins once it catches up.
+func TestReplicaLaggingNeverConsulted(t *testing.T) {
+	script, opts := worldScript(t)
+	// Follower poll interval of an hour: it only syncs when the test says so.
+	fl := startReplicaFleet(t, 1, 1, script, opts, time.Hour, 5*time.Millisecond)
+	waitCaughtUp(t, fl.url, 1)
+
+	// Writes go to primaries only; the follower now lags the fleet.
+	if err := fl.cc.Exec("CREATE TABLE Lag (v INT); INSERT INTO Lag VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, fl.url, 0)
+	st := coordStats(t, fl.url)
+	for _, b := range st.Backends {
+		if b.Role == "replica" && b.Lag == 0 {
+			t.Errorf("lagging replica %s reports lag 0", b.URL)
+		}
+	}
+	replicaReadsBefore := st.ReplicaReads
+	for i := 0; i < 5; i++ {
+		res, err := fl.cc.Query("SELECT COUNT(*), SUM(v) FROM Lag")
+		if err != nil {
+			t.Fatalf("read %d with a lagging replica: %v", i, err)
+		}
+		if n, _ := res.Rows[0][0].Float64(); n != 3 {
+			t.Fatalf("read %d answered %g rows, want 3", i, n)
+		}
+	}
+	st = coordStats(t, fl.url)
+	if st.ReplicaReads != replicaReadsBefore {
+		t.Errorf("a lagging replica served %d reads — stale data could have escaped", st.ReplicaReads-replicaReadsBefore)
+	}
+
+	// Catch the follower up; routing must start using it again.
+	if err := fl.followers[0][0].f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, fl.url, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := fl.cc.Query("SELECT COUNT(*), SUM(v) FROM Lag"); err != nil {
+			t.Fatalf("read %d after catch-up: %v", i, err)
+		}
+	}
+	if st := coordStats(t, fl.url); st.ReplicaReads == replicaReadsBefore {
+		t.Error("caught-up replica never rejoined read routing")
+	}
+}
+
+// TestReplicaExplainNamesFanOut: EXPLAIN through a replicated fleet names
+// the replica fan-out in the plan.
+func TestReplicaExplainNamesFanOut(t *testing.T) {
+	script, opts := worldScript(t)
+	fl := startReplicaFleet(t, 1, 1, script, opts, 10*time.Millisecond, 5*time.Millisecond)
+	waitCaughtUp(t, fl.url, 1)
+	res, err := fl.cc.Explain("SELECT CLOSED AVG(distance) FROM Flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "'fleet'" {
+		t.Fatalf("fleet EXPLAIN does not lead with the fleet row: %q", render(res))
+	}
+	found := false
+	for _, row := range res.Rows {
+		if strings.Contains(row[1].String(), "follower replicas") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no plan row names the follower replica fan-out: %q", render(res))
+	}
+}
+
+// TestValidateTopology covers the boot-time validation satellite: clear
+// errors for malformed URLs, duplicate registrations, and out-of-range
+// shard indices.
+func TestValidateTopology(t *testing.T) {
+	good := []string{"http://a:1", "http://b:2"}
+	cases := []struct {
+		name     string
+		shards   []string
+		replicas map[int][]string
+		wantErr  string
+	}{
+		{"ok", good, map[int][]string{0: {"http://r:3"}, 1: {"https://r:4"}}, ""},
+		{"no shards", nil, nil, "no shards"},
+		{"empty shard url", []string{""}, nil, "scheme"},
+		{"bad scheme", []string{"ftp://a:1"}, nil, "scheme"},
+		{"no host", []string{"http://"}, nil, "host"},
+		{"duplicate shard", []string{"http://a:1", "http://a:1"}, nil, "is both"},
+		{"replica bad url", good, map[int][]string{0: {"nope"}}, ""},
+		{"replica duplicates shard", good, map[int][]string{1: {"http://a:1"}}, "is both"},
+		{"replica duplicated", good, map[int][]string{0: {"http://r:3", "http://r:3"}}, "is both"},
+		{"replica shard out of range", good, map[int][]string{2: {"http://r:3"}}, "fleet has shards"},
+		{"replica negative shard", good, map[int][]string{-1: {"http://r:3"}}, "fleet has shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := coord.ValidateTopology(tc.shards, tc.replicas)
+			if tc.name == "ok" {
+				if err != nil {
+					t.Fatalf("valid topology rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid topology accepted")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -24,6 +24,21 @@ import (
 func (e *Engine) DumpScript() (string, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.dumpScriptLocked()
+}
+
+// DumpWithGeneration returns the dump script together with the generation it
+// captures, read under one lock acquisition — the pair GET /v1/snapshot
+// ships to bootstrapping followers. Replaying the script reproduces the
+// engine state at exactly that generation.
+func (e *Engine) DumpWithGeneration() (string, uint64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	script, err := e.dumpScriptLocked()
+	return script, e.gen.Load(), err
+}
+
+func (e *Engine) dumpScriptLocked() (string, error) {
 	var b strings.Builder
 	b.WriteString("-- Mosaic dump; replay with mosaic.DB.Exec or cmd/mosaic.\n")
 

@@ -65,6 +65,13 @@ type Options struct {
 	// against the unified view (generative models train on the full sample),
 	// never sharded.
 	Shards int
+	// StmtLogSize bounds the per-generation statement log that backs
+	// follower delta catch-up (GET /v1/snapshot/delta): the engine retains
+	// the SQL source of the most recent StmtLogSize mutations. A follower
+	// whose generation has fallen out of the window re-bootstraps from a
+	// full snapshot. 0 (the default) means 1024; negative disables retention
+	// entirely (every delta request forces a full snapshot).
+	StmtLogSize int
 	// IPF tunes the SEMI-OPEN fit.
 	IPF ipf.Options
 	// SWG is the base M-SWG configuration for OPEN queries; the engine
@@ -87,6 +94,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.StmtLogSize == 0 {
+		o.StmtLogSize = 1024
+	}
+	if o.StmtLogSize < 0 {
+		o.StmtLogSize = -1
 	}
 	return o
 }
@@ -112,6 +125,13 @@ type Engine struct {
 	// whether their cached plan is still valid. Bumping on failed mutations
 	// too costs only a spurious re-plan, never a stale one.
 	gen atomic.Uint64
+
+	// log is the bounded statement log paired with gen: every generation
+	// bump appends the mutation's SQL source (or a barrier when it has
+	// none), so followers can catch up by replaying the generation delta.
+	// Guarded by mu — appends under the write lock, reads under the read
+	// lock.
+	log stmtLog
 
 	// cacheMu guards the cache maps themselves; the entries carry their own
 	// single-flight gates so cacheMu is never held across training or
@@ -232,6 +252,7 @@ func NewEngine(opts Options) *Engine {
 	}
 	e.shardScans = make([]atomic.Int64, e.opts.Shards)
 	e.shardRows = make([]atomic.Int64, e.opts.Shards)
+	e.log.cap = e.opts.StmtLogSize
 	return e
 }
 
@@ -289,7 +310,7 @@ func (e *Engine) ExecScript(src string) ([]*exec.Result, error) {
 // executed when the context expires stay executed (each statement is atomic;
 // scripts are not).
 func (e *Engine) ExecScriptContext(ctx context.Context, src string) ([]*exec.Result, error) {
-	stmts, err := sql.Parse(src)
+	stmts, err := sql.ParseScript(src)
 	if err != nil {
 		return nil, err
 	}
@@ -298,13 +319,28 @@ func (e *Engine) ExecScriptContext(ctx context.Context, src string) ([]*exec.Res
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		res, err := e.ExecContext(ctx, st)
+		res, err := e.execScriptStmt(ctx, st)
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// execScriptStmt executes one statement of a script, retaining its SQL
+// source so mutations land in the replication log as replayable entries.
+func (e *Engine) execScriptStmt(ctx context.Context, st sql.ScriptStmt) (*exec.Result, error) {
+	switch s := st.Stmt.(type) {
+	case *sql.Select:
+		return e.QueryContext(ctx, s)
+	case *sql.Explain:
+		return e.Explain(s.Query)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, e.execMutation(st.Stmt, st.Source)
 }
 
 // Exec executes one parsed statement. SELECT and EXPLAIN run on the shared
@@ -315,7 +351,11 @@ func (e *Engine) Exec(st sql.Statement) (*exec.Result, error) {
 
 // ExecContext is Exec with a cancellation context. SELECTs honor it at every
 // engine checkpoint; DDL/DML checks it before taking the write lock and then
-// runs to completion (partial mutations are never left behind).
+// runs to completion (partial mutations are never left behind). A mutation
+// executed through this parsed-statement entry point has no SQL source, so
+// it lands in the replication log as a barrier — followers crossing it
+// re-bootstrap from a full snapshot. Script execution (ExecScriptContext)
+// retains each statement's source and replicates incrementally.
 func (e *Engine) ExecContext(ctx context.Context, st sql.Statement) (*exec.Result, error) {
 	switch s := st.(type) {
 	case *sql.Select:
@@ -326,30 +366,70 @@ func (e *Engine) ExecContext(ctx context.Context, st sql.Statement) (*exec.Resul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return nil, e.execMutation(st, "")
+}
+
+// execMutation runs one DDL/DML statement under the write lock, appending it
+// to the replication log and advancing the generation in the same critical
+// section — so a reader holding the read lock always observes a (state,
+// generation, log) triple that agree. source is the statement's exact SQL
+// text; "" logs a barrier entry.
+func (e *Engine) execMutation(st sql.Statement, source string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.gen.Add(1)
+	var err error
+	defer func() {
+		if source == "" {
+			e.log.appendBarrier()
+		} else {
+			e.log.append(source, err != nil)
+		}
+		e.gen.Add(1)
+	}()
 	switch s := st.(type) {
 	case *sql.CreateTable:
-		return nil, e.execCreateTable(s)
+		err = e.execCreateTable(s)
 	case *sql.CreatePopulation:
-		return nil, e.execCreatePopulation(s)
+		err = e.execCreatePopulation(s)
 	case *sql.CreateSample:
-		return nil, e.execCreateSample(s)
+		err = e.execCreateSample(s)
 	case *sql.CreateMetadata:
-		return nil, e.execCreateMetadata(s)
+		err = e.execCreateMetadata(s)
 	case *sql.Insert:
-		return nil, e.execInsert(s)
+		err = e.execInsert(s)
 	case *sql.UpdateWeights:
-		return nil, e.execUpdateWeights(s)
+		err = e.execUpdateWeights(s)
 	case *sql.Drop:
 		e.invalidateModels()
-		return nil, e.cat.Drop(s.Kind, s.Name)
+		err = e.cat.Drop(s.Kind, s.Name)
 	case *sql.Copy:
-		return nil, e.execCopy(s)
+		err = e.execCopy(s)
 	default:
-		return nil, fmt.Errorf("core: unsupported statement %T", st)
+		err = fmt.Errorf("core: unsupported statement %T", st)
 	}
+	return err
+}
+
+// logBarrierAndBump records a non-replayable mutation (no SQL source) in
+// the statement log and advances the generation. Callers hold the write
+// lock.
+func (e *Engine) logBarrierAndBump() {
+	e.log.appendBarrier()
+	e.gen.Add(1)
+}
+
+// DeltaScript returns the statements that advance this engine from
+// generation `from` to the current generation, in execution order, plus the
+// current generation itself. ErrLogTruncated means the range is
+// unserviceable (fell out of the bounded log, lies in the future, or
+// crosses a non-replayable barrier) and the follower must re-bootstrap from
+// a full snapshot.
+func (e *Engine) DeltaScript(from uint64) ([]LogStmt, uint64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cur := e.gen.Load()
+	stmts, err := e.log.delta(from, cur)
+	return stmts, cur, err
 }
 
 // invalidateModels drops every cached M-SWG model and IPF fit. Callers must
@@ -463,7 +543,7 @@ func (e *Engine) execCreateSample(s *sql.CreateSample) error {
 func (e *Engine) SetSampleMechanism(sample string, m mechanism.Mechanism) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.gen.Add(1)
+	defer e.logBarrierAndBump()
 	s, ok := e.cat.Sample(sample)
 	if !ok {
 		return fmt.Errorf("core: no sample %q", sample)
@@ -543,7 +623,7 @@ func (e *Engine) execCreateMetadata(s *sql.CreateMetadata) error {
 func (e *Engine) AddMarginal(pop string, m *marginal.Marginal) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.gen.Add(1)
+	defer e.logBarrierAndBump()
 	e.invalidateModels()
 	return e.cat.AddMarginal(pop, m)
 }
@@ -659,7 +739,7 @@ func (e *Engine) execUpdateWeights(s *sql.UpdateWeights) error {
 func (e *Engine) Ingest(relation string, rows [][]any) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.gen.Add(1)
+	defer e.logBarrierAndBump()
 	t, err := e.sourceTable(relation)
 	if err != nil {
 		return err
@@ -688,7 +768,7 @@ func (e *Engine) Ingest(relation string, rows [][]any) error {
 func (e *Engine) IngestTable(relation string, src *table.Table) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.gen.Add(1)
+	defer e.logBarrierAndBump()
 	dst, err := e.sourceTable(relation)
 	if err != nil {
 		return err

@@ -1,0 +1,91 @@
+package core
+
+import "errors"
+
+// ErrLogTruncated is returned by DeltaScript when the requested generation
+// predates the bounded statement log's retention window, lies in the future,
+// or the requested range crosses a barrier (a mutation with no SQL source).
+// In every such case the follower cannot catch up incrementally and must
+// re-bootstrap from a full snapshot.
+var ErrLogTruncated = errors.New("core: statement log truncated")
+
+// LogStmt is one replicated statement: the exact SQL source the primary
+// executed and whether that execution failed. Followers replay failed
+// statements too — a failed mutation can leave partial effects behind
+// (INSERT appends rows before erroring on a later one), and replaying the
+// same source against the same state reproduces those effects and the
+// failure deterministically. A follower whose replay outcome disagrees with
+// Failed has diverged and must re-bootstrap.
+type LogStmt struct {
+	Src    string
+	Failed bool
+}
+
+// stmtLog is the bounded per-generation statement log behind
+// GET /v1/snapshot/delta. Entry i records the mutation that advanced the
+// engine from generation base+i to base+i+1; once len(entries) reaches cap,
+// the oldest entry is dropped and base advances. Mutations that have no SQL
+// source (parsed-statement Exec, Go-API ingestion, mechanism and marginal
+// installation) append barrier entries that poison any delta range crossing
+// them.
+//
+// The log is guarded by the engine's mu: appends happen under the write lock
+// (in the same critical section as the generation bump), reads under the
+// read lock — so base+len(entries) always equals the generation counter.
+type stmtLog struct {
+	cap     int
+	base    uint64
+	entries []logEntry
+}
+
+type logEntry struct {
+	src     string
+	failed  bool
+	barrier bool
+}
+
+// append records one sourced mutation.
+func (l *stmtLog) append(src string, failed bool) {
+	l.push(logEntry{src: src, failed: failed})
+}
+
+// appendBarrier records a mutation that cannot be replayed from SQL.
+func (l *stmtLog) appendBarrier() {
+	l.push(logEntry{barrier: true})
+}
+
+func (l *stmtLog) push(ent logEntry) {
+	if l.cap <= 0 {
+		// Retention disabled: keep base == generation so every delta request
+		// answers ErrLogTruncated (full-snapshot-only replication).
+		l.base++
+		return
+	}
+	if len(l.entries) >= l.cap {
+		drop := len(l.entries) - l.cap + 1
+		n := copy(l.entries, l.entries[drop:])
+		l.entries = l.entries[:n]
+		l.base += uint64(drop)
+	}
+	l.entries = append(l.entries, ent)
+}
+
+// delta returns the statements advancing generation from → cur, or
+// ErrLogTruncated when that range is unserviceable.
+func (l *stmtLog) delta(from, cur uint64) ([]LogStmt, error) {
+	if from == cur {
+		return nil, nil
+	}
+	if from > cur || from < l.base {
+		return nil, ErrLogTruncated
+	}
+	start := int(from - l.base)
+	out := make([]LogStmt, 0, len(l.entries)-start)
+	for _, ent := range l.entries[start:] {
+		if ent.barrier {
+			return nil, ErrLogTruncated
+		}
+		out = append(out, LogStmt{Src: ent.src, Failed: ent.failed})
+	}
+	return out, nil
+}

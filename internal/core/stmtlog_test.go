@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestStmtLogDeltaReplaysToIdenticalDump: the delta contract end to end —
+// the statement suffix between two generations, replayed against a copy at
+// the older generation, lands on a byte-identical dump at the newer one.
+func TestStmtLogDeltaReplaysToIdenticalDump(t *testing.T) {
+	primary := NewEngine(Options{Seed: 3})
+	exec1(t, primary, `CREATE TABLE T (k TEXT, v INT); INSERT INTO T VALUES ('a', 1), ('b', 2)`)
+
+	// Follower boots from the full dump at generation G0.
+	script, g0, err := primary.DumpWithGeneration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0 != primary.Generation() {
+		t.Fatalf("DumpWithGeneration = %d, Generation = %d", g0, primary.Generation())
+	}
+	follower := restore(t, script)
+
+	// Primary moves on.
+	exec1(t, primary, `INSERT INTO T VALUES ('c', 3)`)
+	exec1(t, primary, `CREATE TABLE U (x INT); INSERT INTO U VALUES (7)`)
+
+	stmts, g1, err := primary.DeltaScript(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != primary.Generation() {
+		t.Fatalf("delta generation = %d, want %d", g1, primary.Generation())
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("delta has %d statements, want 3: %+v", len(stmts), stmts)
+	}
+	for i, st := range stmts {
+		if st.Failed {
+			t.Fatalf("statement %d marked failed: %+v", i, st)
+		}
+		if _, err := follower.ExecScript(st.Src); err != nil {
+			t.Fatalf("replay %q: %v", st.Src, err)
+		}
+	}
+	want, err := primary.DumpScript()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := follower.DumpScript()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("replayed follower dump differs from primary\nfollower:\n%s\nprimary:\n%s", got, want)
+	}
+}
+
+// TestStmtLogCaughtUpDeltaIsEmpty: asking for the current generation's
+// suffix returns no statements and no error.
+func TestStmtLogCaughtUpDeltaIsEmpty(t *testing.T) {
+	e := NewEngine(Options{})
+	exec1(t, e, `CREATE TABLE T (v INT)`)
+	stmts, gen, err := e.DeltaScript(e.Generation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 0 || gen != e.Generation() {
+		t.Errorf("caught-up delta = %d stmts at gen %d, want 0 at %d", len(stmts), gen, e.Generation())
+	}
+}
+
+// TestStmtLogFailedStatementsAreLogged: a failing statement still bumps the
+// generation and appears in the delta with Failed set — the follower must
+// replay it to reproduce any deterministic partial effects.
+func TestStmtLogFailedStatementsAreLogged(t *testing.T) {
+	e := NewEngine(Options{})
+	exec1(t, e, `CREATE TABLE T (v INT)`)
+	from := e.Generation()
+	if _, err := e.ExecScript(`INSERT INTO Nonexistent VALUES (1)`); err == nil {
+		t.Fatal("insert into a missing table succeeded")
+	}
+	stmts, gen, err := e.DeltaScript(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != from+1 {
+		t.Fatalf("failed statement did not bump the generation: %d -> %d", from, gen)
+	}
+	if len(stmts) != 1 || !stmts[0].Failed {
+		t.Fatalf("delta = %+v, want one Failed statement", stmts)
+	}
+}
+
+// TestStmtLogTruncation: a bounded log drops its oldest entries; a delta
+// reaching past the retained window answers ErrLogTruncated (the follower's
+// signal to re-bootstrap), while a delta inside the window still works.
+func TestStmtLogTruncation(t *testing.T) {
+	e := NewEngine(Options{StmtLogSize: 4})
+	exec1(t, e, `CREATE TABLE T (v INT)`)
+	base := e.Generation()
+	for i := 0; i < 8; i++ {
+		exec1(t, e, fmt.Sprintf("INSERT INTO T VALUES (%d)", i))
+	}
+	if _, _, err := e.DeltaScript(base); !errors.Is(err, ErrLogTruncated) {
+		t.Errorf("delta past the retained window: err = %v, want ErrLogTruncated", err)
+	}
+	// The newest 4 mutations are still retained.
+	stmts, gen, err := e.DeltaScript(e.Generation() - 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 4 || gen != e.Generation() {
+		t.Errorf("in-window delta = %d stmts at gen %d, want 4 at %d", len(stmts), gen, e.Generation())
+	}
+	// A "from" ahead of the log (a follower of a restarted primary) is
+	// truncation too, never an empty success.
+	if _, _, err := e.DeltaScript(e.Generation() + 10); !errors.Is(err, ErrLogTruncated) {
+		t.Errorf("delta from the future: err = %v, want ErrLogTruncated", err)
+	}
+}
+
+// TestStmtLogBarrierPoisonsDelta: mutations without SQL source (Go-API
+// ingest) log barriers — any delta range crossing one refuses with
+// ErrLogTruncated instead of silently skipping the mutation.
+func TestStmtLogBarrierPoisonsDelta(t *testing.T) {
+	e := NewEngine(Options{})
+	exec1(t, e, `CREATE GLOBAL POPULATION P (g TEXT, v INT); CREATE SAMPLE S AS (SELECT * FROM P)`)
+	from := e.Generation()
+	if err := e.Ingest("S", [][]any{{"a", 1}}); err != nil {
+		t.Fatal(err)
+	}
+	exec1(t, e, `CREATE TABLE After (x INT)`)
+	if _, _, err := e.DeltaScript(from); !errors.Is(err, ErrLogTruncated) {
+		t.Errorf("delta across a Go-API barrier: err = %v, want ErrLogTruncated", err)
+	}
+	// A range strictly after the barrier is fine.
+	stmts, _, err := e.DeltaScript(from + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Errorf("post-barrier delta = %d stmts, want 1", len(stmts))
+	}
+}
+
+// TestStmtLogDisabledRetainsNothing: StmtLogSize < 0 disables retention —
+// every non-empty delta range answers ErrLogTruncated, forcing full
+// snapshots, while the generation keeps advancing.
+func TestStmtLogDisabledRetainsNothing(t *testing.T) {
+	e := NewEngine(Options{StmtLogSize: -1})
+	exec1(t, e, `CREATE TABLE T (v INT)`)
+	from := e.Generation()
+	exec1(t, e, `INSERT INTO T VALUES (1)`)
+	if _, _, err := e.DeltaScript(from); !errors.Is(err, ErrLogTruncated) {
+		t.Errorf("disabled log served a delta: err = %v, want ErrLogTruncated", err)
+	}
+	if stmts, _, err := e.DeltaScript(e.Generation()); err != nil || len(stmts) != 0 {
+		t.Errorf("caught-up delta on a disabled log: %v, %d stmts", err, len(stmts))
+	}
+}

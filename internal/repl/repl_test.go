@@ -1,0 +1,253 @@
+// Follower replication tests against a real primary serving process: full
+// bootstrap, delta catch-up (failed statements included), truncation
+// fallback, and divergence recovery — each ending in a byte-identical dump.
+package repl_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/repl"
+	"mosaic/internal/server"
+)
+
+func testOpts() *mosaic.Options { return &mosaic.Options{Seed: 3, OpenSamples: 3} }
+
+// startPrimary boots a primary DB behind a real HTTP serving layer.
+func startPrimary(t *testing.T, opts *mosaic.Options) (*mosaic.DB, string) {
+	t.Helper()
+	db := mosaic.Open(opts)
+	srv, err := server.New(server.Config{DB: db, RequestTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return db, ts.URL
+}
+
+// newFollower creates a follower DB + Follower over the primary URL.
+func newFollower(t *testing.T, primary string, opts *mosaic.Options) (*mosaic.DB, *repl.Follower) {
+	t.Helper()
+	db := mosaic.Open(opts)
+	f, err := repl.NewFollower(repl.Config{
+		Primary:      primary,
+		DB:           db,
+		PollInterval: 10 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return db, f
+}
+
+// dumpsEqual requires byte-identical dumps — the replication contract.
+func dumpsEqual(t *testing.T, stage string, primary, follower *mosaic.DB) {
+	t.Helper()
+	want, err := primary.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := follower.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("%s: follower dump diverged from primary\nfollower:\n%s\nprimary:\n%s", stage, got, want)
+	}
+}
+
+func TestFollowerBootstrapAndDeltaCatchUp(t *testing.T) {
+	opts := testOpts()
+	pdb, url := startPrimary(t, opts)
+	if err := pdb.Exec("CREATE TABLE T (k TEXT, v INT); INSERT INTO T VALUES ('a', 1), ('b', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	fdb, f := newFollower(t, url, opts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, "bootstrap", pdb, fdb)
+	if g, ok := f.ReplicatedGeneration(); !ok || g != pdb.Engine().Generation() {
+		t.Fatalf("after bootstrap: replicated generation (%d, %v), primary at %d", g, ok, pdb.Engine().Generation())
+	}
+
+	// Primary moves on — including a FAILING statement, which the follower
+	// must replay (it bumps the generation and may leave deterministic
+	// partial effects) and agree on the outcome.
+	if err := pdb.Exec("INSERT INTO T VALUES ('c', 3)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Exec("INSERT INTO Missing VALUES (1)"); err == nil {
+		t.Fatal("insert into a missing table succeeded on the primary")
+	}
+	if err := pdb.Exec("CREATE TABLE U (x INT); INSERT INTO U VALUES (7), (8)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, "delta catch-up", pdb, fdb)
+	st := f.Stats()
+	if st.Generation != pdb.Engine().Generation() {
+		t.Errorf("follower at generation %d, primary at %d", st.Generation, pdb.Engine().Generation())
+	}
+	if st.FullSyncs != 1 || st.DeltaSyncs != 1 || st.AppliedStmts != 4 {
+		t.Errorf("stats = full %d / delta %d / applied %d, want 1/1/4", st.FullSyncs, st.DeltaSyncs, st.AppliedStmts)
+	}
+	// Caught up: another round is a cheap no-op, not a re-sync.
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.DeltaSyncs != 1 {
+		t.Errorf("caught-up round re-synced: delta_syncs = %d", st.DeltaSyncs)
+	}
+}
+
+// TestFollowerTruncationFallsBackToFullBootstrap is the satellite
+// regression: a follower that lags past the primary's bounded statement log
+// gets 410, re-bootstraps from the full snapshot, and converges anyway.
+func TestFollowerTruncationFallsBackToFullBootstrap(t *testing.T) {
+	opts := testOpts()
+	opts.StmtLogSize = 2
+	pdb, url := startPrimary(t, opts)
+	if err := pdb.Exec("CREATE TABLE T (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	fopts := testOpts() // follower keeps the default log size; only engine answers must match
+	fdb, f := newFollower(t, url, fopts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Far more mutations than the primary retains.
+	for i := 0; i < 6; i++ {
+		if err := pdb.Exec(fmt.Sprintf("INSERT INTO T VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, "post-truncation", pdb, fdb)
+	st := f.Stats()
+	if st.Truncations != 1 || st.FullSyncs != 2 {
+		t.Errorf("stats = truncations %d / full %d, want 1 / 2 (bootstrap + fallback)", st.Truncations, st.FullSyncs)
+	}
+	if g, ok := f.ReplicatedGeneration(); !ok || g != pdb.Engine().Generation() {
+		t.Errorf("replicated generation (%d, %v), primary at %d", g, ok, pdb.Engine().Generation())
+	}
+}
+
+// TestFollowerGoAPIBarrierForcesFullSnapshot: a primary mutation with no
+// SQL source (Go-API Ingest) poisons the delta range; the follower must
+// take the full-snapshot path and still converge byte-identically.
+func TestFollowerGoAPIBarrierForcesFullSnapshot(t *testing.T) {
+	opts := testOpts()
+	pdb, url := startPrimary(t, opts)
+	if err := pdb.Exec("CREATE GLOBAL POPULATION P (g TEXT, v INT); CREATE SAMPLE S AS (SELECT * FROM P)"); err != nil {
+		t.Fatal(err)
+	}
+	fdb, f := newFollower(t, url, opts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Ingest("S", [][]any{{"a", 1}, {"b", 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, "post-barrier", pdb, fdb)
+	if st := f.Stats(); st.Truncations != 1 || st.FullSyncs != 2 {
+		t.Errorf("stats = truncations %d / full %d, want 1 / 2", st.Truncations, st.FullSyncs)
+	}
+}
+
+// TestFollowerDivergenceRebootstraps: when replay disagrees with the
+// primary's recorded outcome (here: the follower's state was corrupted out
+// of band), the follower refuses to limp along and rebuilds from a full
+// snapshot.
+func TestFollowerDivergenceRebootstraps(t *testing.T) {
+	opts := testOpts()
+	pdb, url := startPrimary(t, opts)
+	if err := pdb.Exec("CREATE TABLE T (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	fdb, f := newFollower(t, url, opts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the follower out of band: it now holds a table the primary
+	// will create next, so replaying that CREATE fails locally while the
+	// primary recorded success.
+	if err := fdb.Exec("CREATE TABLE D (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Exec("CREATE TABLE D (x INT); INSERT INTO D VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dumpsEqual(t, "post-divergence", pdb, fdb)
+	if st := f.Stats(); st.FullSyncs != 2 {
+		t.Errorf("full_syncs = %d, want 2 (divergence forces a re-bootstrap)", st.FullSyncs)
+	}
+}
+
+// TestFollowerPollLoopTracksPrimary: Start's background loop converges on
+// primary mutations without explicit SyncOnce calls, and staleness flips
+// health (not correctness) once syncs stop succeeding.
+func TestFollowerPollLoopTracksPrimary(t *testing.T) {
+	opts := testOpts()
+	pdb, url := startPrimary(t, opts)
+	if err := pdb.Exec("CREATE TABLE T (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	db := mosaic.Open(opts)
+	f, err := repl.NewFollower(repl.Config{
+		Primary:      url,
+		DB:           db,
+		PollInterval: 5 * time.Millisecond,
+		StalenessMax: 50 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Exec("INSERT INTO T VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g, ok := f.ReplicatedGeneration(); ok && g == pdb.Engine().Generation() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poll loop never caught up: follower at %d, primary at %d", f.Generation(), pdb.Engine().Generation())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	dumpsEqual(t, "poll catch-up", pdb, db)
+	if f.Stats().Stale {
+		t.Error("an actively syncing follower reports stale")
+	}
+	f.Close()
+	// With the loop stopped, staleness must set in.
+	time.Sleep(80 * time.Millisecond)
+	if !f.Stats().Stale {
+		t.Error("follower not stale after syncs stopped for > StalenessMax")
+	}
+}

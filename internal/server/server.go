@@ -93,8 +93,26 @@ type Config struct {
 	// SnapshotInterval is the background snapshot period. Default 30s
 	// (only meaningful with SnapshotPath).
 	SnapshotInterval time.Duration
+	// Follower, when non-nil, runs the server in read-only follower mode:
+	// DDL/DML (/v1/exec) answers 403, the snapshot endpoints are refused
+	// (a follower is not a replication source), and generation-checked
+	// reads gate on the replicated primary generation this hook reports
+	// instead of the local engine counter. internal/repl's Follower
+	// implements it.
+	Follower FollowerState
 	// Logf receives operational log lines. Default: discard.
 	Logf func(format string, args ...any)
+}
+
+// FollowerState is the replication view a follower-mode server consults on
+// every generation-checked read and when reporting /statsz and /healthz.
+type FollowerState interface {
+	// ReplicatedGeneration returns the primary generation the local state
+	// corresponds to, and false while a delta is mid-apply (the state is
+	// between generations and must not serve generation-checked reads).
+	ReplicatedGeneration() (uint64, bool)
+	// Stats reports replication progress.
+	Stats() wire.FollowerStats
 }
 
 func (c Config) withDefaults() Config {
@@ -199,9 +217,21 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/partial", s.handlePartial)
 	s.mux.HandleFunc("/v1/exec", s.handleExec)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/snapshot/delta", s.handleSnapshotDelta)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/statsz", s.handleStats)
 	return s, nil
+}
+
+// fleetGen returns the generation that generation-checked reads gate on: the
+// replicated primary generation in follower mode (ok=false while a delta is
+// mid-apply), the local engine generation otherwise.
+func (s *Server) fleetGen() (uint64, bool) {
+	if s.cfg.Follower != nil {
+		return s.cfg.Follower.ReplicatedGeneration()
+	}
+	return s.db.Engine().Generation(), true
 }
 
 // Handler returns the root HTTP handler.
@@ -465,6 +495,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, cl, func(ctx context.Context) (any, int) {
+		// Generation-checked reads bracket execution: refuse before starting
+		// when the serving state is not at the requested generation, and
+		// refuse the computed answer when the generation moved (or a follower
+		// delta was mid-apply) underneath it. Any query that could have
+		// observed a different or intermediate state fails one of the two
+		// checks — the gate that makes replica answers bit-identical to the
+		// primary's at the same generation.
+		if req.CheckGeneration {
+			if g, ok := s.fleetGen(); !ok || g != req.Generation {
+				return fmt.Sprintf("serving generation %d, coordinator expected %d: state diverged from the fleet", g, req.Generation), http.StatusConflict
+			}
+			// Re-capture the engine AFTER the generation check: a follower
+			// re-bootstrap (Restore) swaps the engine pointer, and executing
+			// against the pre-swap engine would pass both generation checks
+			// while reading outdated state. Captured after g1, any later swap
+			// moves the generation and the post-execution check refuses.
+			if cur := s.db.Engine(); cur != eng {
+				eng, pq = cur, nil
+			}
+		}
 		start := time.Now()
 		// Query the engine with the already-parsed statement (db.Query would
 		// re-parse the string); through the prepared plan when cached.
@@ -478,6 +528,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.stats.recordQuery(vis, time.Since(start), qerr)
 		if qerr != nil {
 			return qerr.Error(), http.StatusUnprocessableEntity
+		}
+		if req.CheckGeneration {
+			if g, ok := s.fleetGen(); !ok || g != req.Generation {
+				return fmt.Sprintf("generation moved to %d during a generation-%d read: answer discarded", g, req.Generation), http.StatusConflict
+			}
 		}
 		return wire.EncodeResult(res), http.StatusOK
 	})
@@ -527,8 +582,25 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, cl, func(ctx context.Context) (any, int) {
+		// In follower mode the local engine counter is meaningless (replay
+		// renumbers it); generation-checked partials bracket execution on the
+		// replicated generation instead, and the engine is captured after the
+		// first check so a concurrent re-bootstrap cannot slip an outdated
+		// engine past both checks.
+		if req.CheckGeneration && s.cfg.Follower != nil {
+			if g, ok := s.fleetGen(); !ok || g != req.Generation {
+				return fmt.Sprintf("follower at generation %d, coordinator expected %d: replica state diverged from the fleet", g, req.Generation), http.StatusConflict
+			}
+		}
 		eng := s.db.Engine()
 		p, gen, handled, perr := eng.PartialContext(ctx, bound, req.Shard, req.Shards)
+		if s.cfg.Follower != nil {
+			g, ok := s.fleetGen()
+			if req.CheckGeneration && (!ok || g != req.Generation) {
+				return fmt.Sprintf("follower generation moved to %d during a generation-%d partial: answer discarded", g, req.Generation), http.StatusConflict
+			}
+			gen = g // report the replicated generation, not the local counter
+		}
 		if req.CheckGeneration && gen != req.Generation {
 			return fmt.Sprintf("shard at generation %d, coordinator expected %d: shard state diverged from the fleet", gen, req.Generation), http.StatusConflict
 		}
@@ -551,6 +623,11 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.Follower != nil {
+		writeError(w, http.StatusForbidden,
+			"read-only follower replicating from %s: DDL/DML is not accepted here — write to the primary", s.cfg.Follower.Stats().Primary)
 		return
 	}
 	var req wire.ExecRequest
@@ -613,16 +690,92 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSnapshot serves GET /v1/snapshot: the full dump script plus the
+// generation it captures, for follower bootstrap. It bypasses admission —
+// replication is control-plane traffic, and shedding a bootstrap during
+// overload would wedge the replica fleet exactly when read capacity is
+// needed most.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Follower != nil {
+		writeError(w, http.StatusForbidden, "followers are not replication sources: snapshot from the primary")
+		return
+	}
+	script, gen, err := s.db.Engine().DumpWithGeneration()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SnapshotResponse{Script: script, Generation: gen})
+}
+
+// handleSnapshotDelta serves GET /v1/snapshot/delta?from=G: the statement
+// suffix advancing generation G to the current one. 410 Gone means G fell
+// out of the bounded statement log (or the range crosses a non-replayable
+// mutation) and the follower must re-bootstrap from /v1/snapshot.
+func (s *Server) handleSnapshotDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Follower != nil {
+		writeError(w, http.StatusForbidden, "followers are not replication sources: snapshot from the primary")
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "missing or malformed ?from=GENERATION: %v", err)
+		return
+	}
+	stmts, cur, err := s.db.Engine().DeltaScript(from)
+	if err != nil {
+		if errors.Is(err, core.ErrLogTruncated) {
+			writeError(w, http.StatusGone,
+				"generation %d is outside the statement log (current %d): re-bootstrap from /v1/snapshot", from, cur)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := wire.DeltaResponse{From: from, Generation: cur}
+	if len(stmts) > 0 {
+		out.Stmts = make([]wire.DeltaStmt, len(stmts))
+		for i, st := range stmts {
+			out.Stmts[i] = wire.DeltaStmt{Src: st.Src, Failed: st.Failed}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"uptime_secs": time.Since(s.stats.started).Seconds(),
-	})
+	out := wire.HealthResponse{
+		Status:     "ok",
+		UptimeSecs: time.Since(s.stats.started).Seconds(),
+	}
+	if s.cfg.Follower != nil {
+		fs := s.cfg.Follower.Stats()
+		out.Follower = &fs
+		if fs.Stale {
+			out.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := s.stats.snapshot(s.adm, s.plans)
 	out.Generation = s.db.Engine().Generation()
+	if s.cfg.Follower != nil {
+		// Report the replicated primary generation — the value the
+		// coordinator's replica poller gates read routing on — not the local
+		// replay counter.
+		fs := s.cfg.Follower.Stats()
+		out.Follower = &fs
+		out.Generation = fs.Generation
+	}
 	// Per-shard scan counters live on the engine (the server has no view of
 	// scatter-gather execution); merge them in when sharding is on.
 	if eng := s.db.Engine(); eng.Shards() > 1 {

@@ -19,12 +19,15 @@ const (
 	tokSymbol // punctuation and operators
 )
 
-// token is one lexical token with its source position (1-based line/col).
+// token is one lexical token with its source position (1-based line/col)
+// and the byte offset of its first character in the source — the offset is
+// what lets ParseScript slice each statement's exact source text back out.
 type token struct {
 	kind tokenKind
 	text string // keywords are upper-cased; idents keep original case
 	line int
 	col  int
+	off  int // byte offset of the token's first character
 }
 
 func (t token) String() string {
@@ -140,11 +143,13 @@ func (l *lexer) next() (token, error) {
 		return token{}, err
 	}
 	if l.pos >= len(l.src) {
-		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+		return token{kind: tokEOF, line: l.line, col: l.col, off: l.pos}, nil
 	}
-	line, col := l.line, l.col
+	line, col, off := l.line, l.col, l.pos
 	c := l.peekByte()
 	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	var t token
+	var err error
 	switch {
 	case isIdentStart(r):
 		start := l.pos
@@ -160,16 +165,19 @@ func (l *lexer) next() (token, error) {
 		word := l.src[start:l.pos]
 		upper := strings.ToUpper(word)
 		if keywords[upper] {
-			return token{kind: tokKeyword, text: upper, line: line, col: col}, nil
+			t = token{kind: tokKeyword, text: upper, line: line, col: col}
+		} else {
+			t = token{kind: tokIdent, text: word, line: line, col: col}
 		}
-		return token{kind: tokIdent, text: word, line: line, col: col}, nil
 	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
-		return l.lexNumber(line, col)
+		t, err = l.lexNumber(line, col)
 	case c == '\'':
-		return l.lexString(line, col)
+		t, err = l.lexString(line, col)
 	default:
-		return l.lexSymbol(line, col)
+		t, err = l.lexSymbol(line, col)
 	}
+	t.off = off
+	return t, err
 }
 
 func (l *lexer) lexNumber(line, col int) (token, error) {

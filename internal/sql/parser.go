@@ -12,23 +12,48 @@ import (
 
 // Parse tokenizes and parses a script of semicolon-separated statements.
 func Parse(src string) ([]Statement, error) {
+	scr, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Statement, len(scr))
+	for i, s := range scr {
+		out[i] = s.Stmt
+	}
+	return out, nil
+}
+
+// ScriptStmt is one parsed statement paired with its exact source text
+// (leading/trailing whitespace trimmed, terminator excluded). The source is
+// what replication logs: replaying it on a follower reproduces the statement
+// byte-for-byte.
+type ScriptStmt struct {
+	Stmt   Statement
+	Source string
+}
+
+// ParseScript parses a script of semicolon-separated statements, retaining
+// each statement's source text.
+func ParseScript(src string) ([]ScriptStmt, error) {
 	toks, err := newLexer(src).lex()
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	var out []Statement
+	var out []ScriptStmt
 	for {
 		for p.acceptSymbol(";") {
 		}
 		if p.peek().kind == tokEOF {
 			return out, nil
 		}
+		start := p.peek().off
 		st, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, st)
+		end := p.peek().off // the terminator (';' or EOF) starts here
+		out = append(out, ScriptStmt{Stmt: st, Source: strings.TrimSpace(src[start:end])})
 		if !p.acceptSymbol(";") && p.peek().kind != tokEOF {
 			return nil, p.errf("expected ';' or end of input, found %s", p.peek())
 		}

@@ -62,23 +62,34 @@ type PartialResponse struct {
 // CoordStatsResponse is the body of the fleet coordinator's GET /statsz.
 type CoordStatsResponse struct {
 	UptimeSecs  float64  `json:"uptime_secs"`
-	Shards      []string `json:"shards"`     // shard base URLs, fixed fan-out order
+	Shards      []string `json:"shards"`     // primary base URLs, fixed fan-out order
 	Generation  uint64   `json:"generation"` // fleet DDL/DML generation
 	Queries     int64    `json:"queries"`
 	Scattered   int64    `json:"scattered"`    // queries answered by partial fan-out
-	PassThrough int64    `json:"pass_through"` // queries relayed whole to shard 0
+	PassThrough int64    `json:"pass_through"` // queries relayed whole to shard 0's backends
 	Execs       int64    `json:"execs"`
 	Explains    int64    `json:"explains"`
 	Unavailable int64    `json:"unavailable"`  // 503s served (shard failures, divergence)
-	ShardErrors int64    `json:"shard_errors"` // shard calls that failed after retries
+	ShardErrors int64    `json:"shard_errors"` // backend calls that failed after retries
+	// ReplicaReads/PrimaryReads split successful read routing by role, and
+	// Failovers counts reads rerouted after a backend failed — the
+	// fleet-wide view of the per-backend counters in Backends.
+	PrimaryReads int64 `json:"primary_reads,omitempty"`
+	ReplicaReads int64 `json:"replica_reads,omitempty"`
+	Failovers    int64 `json:"failovers,omitempty"`
+	// Backends reports every read backend (primaries and replicas) with its
+	// routing counters, observed generation, and lag behind the fleet.
+	Backends []BackendStats `json:"backends,omitempty"`
 }
 
 // CoordHealthResponse is the body of the coordinator's GET /healthz: the
-// coordinator itself is alive; per-shard liveness is reported alongside.
+// coordinator itself is alive; per-shard and per-replica liveness is
+// reported alongside (replica keys are "shard/URL").
 type CoordHealthResponse struct {
 	Status     string          `json:"status"` // "ok" | "degraded"
 	UptimeSecs float64         `json:"uptime_secs"`
 	Shards     map[string]bool `json:"shards"`
+	Replicas   map[string]bool `json:"replicas,omitempty"`
 }
 
 // encodeFloat is the bit-exact float64 → string encoding shared with Cell's

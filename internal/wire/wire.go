@@ -23,6 +23,14 @@ import (
 type QueryRequest struct {
 	Query  string `json:"query"`
 	Params []Cell `json:"params,omitempty"`
+	// Generation, when CheckGeneration is set, pins the request to one fleet
+	// state: the serving process refuses with 409 when its own (for a
+	// follower: replicated) generation differs before or after execution.
+	// The coordinator sets this on reads routed to replicas, so a follower
+	// that lags — or catches up mid-query — can never contribute an answer
+	// from a different generation than the primary's.
+	Generation      uint64 `json:"generation,omitempty"`
+	CheckGeneration bool   `json:"check_generation,omitempty"`
 }
 
 // ExecRequest is the body of POST /v1/exec: a semicolon-separated Mosaic
@@ -127,10 +135,15 @@ type StatsResponse struct {
 	LastSnapshotSize int64                      `json:"last_snapshot_bytes,omitempty"`
 	Sharding         *ShardStats                `json:"sharding,omitempty"`
 	// Generation is the engine's DDL/DML generation counter — the fleet
-	// coordinator probes it to (re)synchronize with a shard's state.
+	// coordinator probes it to (re)synchronize with a shard's state. On a
+	// follower it is the replicated primary generation (the value reads are
+	// gated on), not the local engine's counter.
 	Generation uint64 `json:"generation"`
 	// Partials counts /v1/partial plans served (fleet shard duty).
 	Partials int64 `json:"partials,omitempty"`
+	// Follower reports replication state when the process runs in follower
+	// mode (mosaic-serve -follow).
+	Follower *FollowerStats `json:"follower,omitempty"`
 }
 
 // EncodeValue converts a value.Value to its wire cell.

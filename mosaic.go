@@ -136,6 +136,11 @@ type Options struct {
 	// vectorized columnar path. Answers are byte-identical either way; the
 	// switch exists for differential testing and benchmarking.
 	RowExec bool
+	// StmtLogSize bounds the per-generation statement log that backs
+	// follower replication deltas (GET /v1/snapshot/delta): the newest
+	// StmtLogSize mutations are retained. 0 means the default (1024);
+	// negative disables retention, forcing followers onto full snapshots.
+	StmtLogSize int
 }
 
 // DB is a Mosaic database instance. It is safe for concurrent use: queries
@@ -165,6 +170,7 @@ func Open(opts *Options) *DB {
 		SWG:           o.SWG,
 		IPF:           o.IPF,
 		RowExec:       o.RowExec,
+		StmtLogSize:   o.StmtLogSize,
 	}}
 	db.engine.Store(core.NewEngine(db.opts))
 	return db
